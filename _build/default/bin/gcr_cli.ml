@@ -1,0 +1,401 @@
+(* gcr — command-line driver for the gated-clock-routing library.
+
+   Subcommands mirror the paper's experiments plus design I/O:
+     route           route one benchmark and compare methods (Figure 3 row)
+     route-files     route a user design from sinks/RTL/stream files
+     sweep-gates     gate-reduction sweep (Figure 5)
+     sweep-activity  module-activity sweep (Figure 4)
+     controllers     distributed-controller study (Figure 6)
+     table4          benchmark characteristics (Table 4)
+     trace           windowed power trace of a routed benchmark
+     svg             render a routed tree to SVG *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bench_arg =
+  let doc = "Benchmark suite (r1..r5)." in
+  Arg.(value & opt string "r1" & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+
+let sinks_arg =
+  let doc = "Scale the suite to this many sinks (0 = the suite's own size)." in
+  Arg.(value & opt int 0 & info [ "n"; "sinks" ] ~docv:"N" ~doc)
+
+let stream_arg =
+  let doc = "Instruction-stream length in cycles." in
+  Arg.(value & opt int 10_000 & info [ "stream" ] ~docv:"CYCLES" ~doc)
+
+let usage_arg =
+  let doc = "Target average module activity (the paper uses ~0.4)." in
+  Arg.(value & opt float 0.4 & info [ "activity" ] ~docv:"FRACTION" ~doc)
+
+let k_arg =
+  let doc = "Number of distributed controllers (perfect square; 1 = centralized)." in
+  Arg.(value & opt int 1 & info [ "k"; "controllers" ] ~docv:"K" ~doc)
+
+let load_case bench n_sinks stream usage k =
+  let spec = Benchmarks.Rbench.by_name bench in
+  let spec = if n_sinks > 0 then Benchmarks.Rbench.scaled spec ~n_sinks else spec in
+  let controller = Gcr.Controller.distributed (Benchmarks.Rbench.die spec) ~k in
+  Benchmarks.Suite.case ~stream_length:stream ~usage ~controller spec
+
+let handle_unknown_bench f =
+  try f () with Not_found ->
+    prerr_endline "error: unknown benchmark (expected r1..r5)";
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* route                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let reduction_arg =
+  let doc = "Gate reduction: greedy, rules, none, or a fraction in [0,1]." in
+  Arg.(value & opt string "greedy" & info [ "r"; "reduce" ] ~docv:"MODE" ~doc)
+
+let skew_arg =
+  let doc = "Skew budget in ohm x fF (0 = exact zero skew)." in
+  Arg.(value & opt float 0.0 & info [ "skew-budget" ] ~docv:"SKEW" ~doc)
+
+let size_arg =
+  let doc = "Apply load-proportional gate/buffer sizing after reduction." in
+  Arg.(value & flag & info [ "size" ] ~doc)
+
+let spice_arg =
+  let doc = "Write the reduced tree as a SPICE deck to this file." in
+  Arg.(value & opt (some string) None & info [ "spice" ] ~docv:"FILE" ~doc)
+
+let csv_arg =
+  let doc = "Append the comparison as CSV to this file." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let svg_arg =
+  let doc = "Write the reduced gated tree to this SVG file." in
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
+
+let verify_arg =
+  let doc = "Cross-check the analytic cost by cycle-accurate simulation." in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let reduce_tree mode tree =
+  match mode with
+  | "greedy" -> Gcr.Gate_reduction.reduce_greedy tree
+  | "rules" -> Gcr.Gate_reduction.reduce_rules tree
+  | "none" -> tree
+  | s ->
+    (match float_of_string_opt s with
+    | Some fraction when fraction >= 0.0 && fraction <= 1.0 ->
+      Gcr.Gate_reduction.reduce_fraction tree ~fraction
+    | _ ->
+      prerr_endline "error: --reduce expects greedy | rules | none | fraction";
+      exit 1)
+
+let run_comparison config profile sinks ~reduction ~skew_budget ~size ~svg
+    ~spice ~csv ~verify =
+  let skew_budget = if skew_budget > 0.0 then Some skew_budget else None in
+  let buffered = Gcr.Buffered.route ?skew_budget config profile sinks in
+  let gated = Gcr.Router.route ?skew_budget config profile sinks in
+  let reduced = reduce_tree reduction gated in
+  let reduced = if size then Gcr.Sizing.proportional reduced else reduced in
+  let label =
+    "gated+" ^ reduction ^ (if size then "+sized" else "")
+  in
+  let reports =
+    [
+      Gcr.Report.of_tree ~name:"buffered" buffered;
+      Gcr.Report.of_tree ~name:"gated" gated;
+      Gcr.Report.of_tree ~name:label reduced;
+    ]
+  in
+  Util.Text_table.print (Gcr.Report.comparison_table reports);
+  if verify then begin
+    Gsim.Check.validate reduced;
+    Format.printf "@.simulation check passed: %a@." Gsim.Check.pp
+      (Gsim.Check.compare reduced)
+  end;
+  (match csv with
+  | None -> ()
+  | Some file ->
+    Formats.Report_csv.save file reports;
+    Format.printf "wrote %s@." file);
+  (match spice with
+  | None -> ()
+  | Some file ->
+    Gcr.Spice.write_file file (Gcr.Spice.render reduced);
+    Format.printf "wrote %s@." file);
+  match svg with
+  | None -> ()
+  | Some file ->
+    Gcr.Svg.write_file file (Gcr.Svg.render reduced);
+    Format.printf "wrote %s@." file
+
+let route_cmd bench n_sinks stream usage k reduction skew_budget size svg spice
+    csv verify =
+  handle_unknown_bench @@ fun () ->
+  let case = load_case bench n_sinks stream usage k in
+  let { Benchmarks.Suite.config; profile; sinks; _ } = case in
+  run_comparison config profile sinks ~reduction ~skew_budget ~size ~svg ~spice
+    ~csv ~verify
+
+let route_t =
+  Term.(
+    const route_cmd $ bench_arg $ sinks_arg $ stream_arg $ usage_arg $ k_arg
+    $ reduction_arg $ skew_arg $ size_arg $ svg_arg $ spice_arg $ csv_arg
+    $ verify_arg)
+
+(* ------------------------------------------------------------------ *)
+(* route-files: user designs from disk                                *)
+(* ------------------------------------------------------------------ *)
+
+let req_file arg_name =
+  let doc = Printf.sprintf "Input %s file." arg_name in
+  Arg.(required & opt (some file) None & info [ arg_name ] ~docv:"FILE" ~doc)
+
+let route_files_cmd sinks_file rtl_file stream_file k reduction skew_budget size
+    svg spice csv verify =
+  match
+    let sinks = Formats.Sinks_format.load sinks_file in
+    let rtl = Formats.Rtl_format.load rtl_file in
+    let stream = Formats.Stream_format.load rtl stream_file in
+    let profile = Activity.Profile.of_stream stream in
+    let die =
+      Geometry.Bbox.expand
+        (Geometry.Bbox.of_points
+           (Array.map (fun s -> s.Clocktree.Sink.loc) sinks))
+        1.0
+    in
+    let controller = Gcr.Controller.distributed die ~k in
+    let config = Gcr.Config.make ~controller ~die () in
+    run_comparison config profile sinks ~reduction ~skew_budget ~size ~svg
+      ~spice ~csv ~verify
+  with
+  | () -> ()
+  | exception e ->
+    (match Formats.Parse.error_to_string e with
+    | Some msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+    | None -> raise e)
+
+let route_files_t =
+  Term.(
+    const route_files_cmd $ req_file "sinks" $ req_file "rtl" $ req_file "stream"
+    $ k_arg $ reduction_arg $ skew_arg $ size_arg $ svg_arg $ spice_arg
+    $ csv_arg $ verify_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let window_arg =
+  let doc = "Cycles per trace window." in
+  Arg.(value & opt int 100 & info [ "window" ] ~docv:"CYCLES" ~doc)
+
+let trace_cmd bench n_sinks stream usage reduction window =
+  handle_unknown_bench @@ fun () ->
+  let case = load_case bench n_sinks stream usage 1 in
+  let { Benchmarks.Suite.config; profile; sinks; _ } = case in
+  let tree = reduce_tree reduction (Gcr.Router.route config profile sinks) in
+  let trace =
+    Gsim.Trace.power_trace tree (Activity.Profile.stream profile) ~window
+  in
+  let open Util.Text_table in
+  let table =
+    create
+      ~title:
+        (Printf.sprintf "Windowed switched capacitance (%d-cycle windows)" window)
+      [ ("window", Right); ("clock pF", Right); ("ctrl pF", Right); ("total pF", Right) ]
+  in
+  Array.iteri
+    (fun w total ->
+      add_row table
+        [
+          string_of_int w;
+          Printf.sprintf "%.3f" (trace.Gsim.Trace.clock.(w) /. 1000.0);
+          Printf.sprintf "%.3f" (trace.Gsim.Trace.ctrl.(w) /. 1000.0);
+          Printf.sprintf "%.3f" (total /. 1000.0);
+        ])
+    trace.Gsim.Trace.total;
+  print table;
+  Format.printf "mean %.3f pF/cycle, peak %.3f pF/cycle (peak/avg %.2f)@."
+    (Gsim.Trace.mean trace /. 1000.0)
+    (Gsim.Trace.peak trace /. 1000.0)
+    (Gsim.Trace.peak_to_average trace)
+
+let trace_t =
+  Term.(
+    const trace_cmd $ bench_arg $ sinks_arg $ stream_arg $ usage_arg
+    $ reduction_arg $ window_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep-gates                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let steps_arg =
+  let doc = "Number of sweep steps." in
+  Arg.(value & opt int 10 & info [ "steps" ] ~docv:"N" ~doc)
+
+let sweep_gates_cmd bench n_sinks stream usage steps =
+  handle_unknown_bench @@ fun () ->
+  let case = load_case bench n_sinks stream usage 1 in
+  let { Benchmarks.Suite.config; profile; sinks; _ } = case in
+  let gated = Gcr.Router.route config profile sinks in
+  let open Util.Text_table in
+  let table =
+    create ~title:"Gate reduction sweep (Figure 5)"
+      [
+        ("removed %", Right); ("gates", Right); ("W clock pF", Right);
+        ("W ctrl pF", Right); ("W total pF", Right); ("area 10^3um^2", Right);
+      ]
+  in
+  for i = 0 to steps do
+    let fraction = float_of_int i /. float_of_int steps in
+    let tree = Gcr.Gate_reduction.reduce_fraction gated ~fraction in
+    let area = Gcr.Area.of_tree tree in
+    add_row table
+      [
+        Printf.sprintf "%.0f" (100.0 *. fraction);
+        string_of_int (Gcr.Gated_tree.gate_count tree);
+        Printf.sprintf "%.2f" (Gcr.Cost.w_clock tree /. 1000.0);
+        Printf.sprintf "%.2f" (Gcr.Cost.w_ctrl tree /. 1000.0);
+        Printf.sprintf "%.2f" (Gcr.Cost.w_total tree /. 1000.0);
+        Printf.sprintf "%.1f" (area.Gcr.Area.total /. 1000.0);
+      ]
+  done;
+  print table
+
+let sweep_gates_t =
+  Term.(const sweep_gates_cmd $ bench_arg $ sinks_arg $ stream_arg $ usage_arg $ steps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep-activity                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_activity_cmd bench n_sinks stream steps =
+  handle_unknown_bench @@ fun () ->
+  let open Util.Text_table in
+  let table =
+    create ~title:"Average module activity vs switched capacitance (Figure 4)"
+      [
+        ("target", Right); ("measured", Right); ("gated+red pF", Right);
+        ("buffered pF", Right); ("ratio", Right);
+      ]
+  in
+  for i = 1 to steps do
+    let usage = float_of_int i /. float_of_int (steps + 1) in
+    let case = load_case bench n_sinks stream usage 1 in
+    let { Benchmarks.Suite.config; profile; sinks; _ } = case in
+    let buffered = Gcr.Buffered.route config profile sinks in
+    let reduced =
+      Gcr.Gate_reduction.reduce_greedy (Gcr.Router.route config profile sinks)
+    in
+    let wg = Gcr.Cost.w_total reduced and wb = Gcr.Cost.w_total buffered in
+    add_row table
+      [
+        Printf.sprintf "%.2f" usage;
+        Printf.sprintf "%.3f" (Activity.Profile.avg_activity profile);
+        Printf.sprintf "%.2f" (wg /. 1000.0);
+        Printf.sprintf "%.2f" (wb /. 1000.0);
+        Printf.sprintf "%.2f" (wg /. wb);
+      ]
+  done;
+  print table
+
+let sweep_activity_t =
+  Term.(const sweep_activity_cmd $ bench_arg $ sinks_arg $ stream_arg $ steps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* controllers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let controllers_cmd bench n_sinks stream usage =
+  handle_unknown_bench @@ fun () ->
+  let open Util.Text_table in
+  let table =
+    create ~title:"Distributed controllers (Figure 6)"
+      [
+        ("k", Right); ("ctrl wire mm", Right); ("analytic mm", Right);
+        ("W ctrl pF", Right); ("W total pF", Right);
+      ]
+  in
+  List.iter
+    (fun k ->
+      let case = load_case bench n_sinks stream usage k in
+      let { Benchmarks.Suite.config; profile; sinks; spec; _ } = case in
+      let tree =
+        Gcr.Gate_reduction.reduce_greedy (Gcr.Router.route config profile sinks)
+      in
+      let g = float_of_int (Gcr.Gated_tree.gate_count tree) in
+      let analytic =
+        g *. spec.Benchmarks.Rbench.die_side /. (4.0 *. sqrt (float_of_int k))
+      in
+      add_row table
+        [
+          string_of_int k;
+          Printf.sprintf "%.2f" (Gcr.Cost.control_wirelength_total tree /. 1000.0);
+          Printf.sprintf "%.2f" (analytic /. 1000.0);
+          Printf.sprintf "%.2f" (Gcr.Cost.w_ctrl tree /. 1000.0);
+          Printf.sprintf "%.2f" (Gcr.Cost.w_total tree /. 1000.0);
+        ])
+    [ 1; 4; 16; 64 ];
+  print table
+
+let controllers_t =
+  Term.(const controllers_cmd $ bench_arg $ sinks_arg $ stream_arg $ usage_arg)
+
+(* ------------------------------------------------------------------ *)
+(* table4 / svg                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table4_cmd stream =
+  Util.Text_table.print
+    (Benchmarks.Suite.characteristics_table (Benchmarks.Suite.all ~stream_length:stream ()))
+
+let table4_t = Term.(const table4_cmd $ stream_arg)
+
+let svg_out_arg =
+  let doc = "Output SVG file." in
+  Arg.(value & opt string "tree.svg" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let regions_arg =
+  let doc = "Overlay the DME merging segments." in
+  Arg.(value & flag & info [ "regions" ] ~doc)
+
+let svg_cmd bench n_sinks stream usage k reduction out regions =
+  handle_unknown_bench @@ fun () ->
+  let case = load_case bench n_sinks stream usage k in
+  let { Benchmarks.Suite.config; profile; sinks; _ } = case in
+  let tree = reduce_tree reduction (Gcr.Router.route config profile sinks) in
+  Gcr.Svg.write_file out (Gcr.Svg.render ~show_regions:regions tree);
+  Format.printf "wrote %s (%d gates)@." out (Gcr.Gated_tree.gate_count tree)
+
+let svg_t =
+  Term.(
+    const svg_cmd $ bench_arg $ sinks_arg $ stream_arg $ usage_arg $ k_arg
+    $ reduction_arg $ svg_out_arg $ regions_arg)
+
+(* ------------------------------------------------------------------ *)
+(* assembly                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let main =
+  Cmd.group
+    (Cmd.info "gcr" ~version:"1.0.0"
+       ~doc:"Gated clock routing minimizing the switched capacitance (DATE'98)")
+    [
+      cmd "route" "Route a benchmark and compare buffered/gated/reduced." route_t;
+      cmd "route-files" "Route a user design from sinks/RTL/stream files."
+        route_files_t;
+      cmd "trace" "Windowed power trace of a routed benchmark." trace_t;
+      cmd "sweep-gates" "Gate-reduction sweep (Figure 5)." sweep_gates_t;
+      cmd "sweep-activity" "Module-activity sweep (Figure 4)." sweep_activity_t;
+      cmd "controllers" "Distributed-controller study (Figure 6)." controllers_t;
+      cmd "table4" "Benchmark characteristics (Table 4)." table4_t;
+      cmd "svg" "Render a routed tree to SVG." svg_t;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/custom_design.ml: Activity Array Clocktree Format Formats Gcr Geometry Gsim String Util

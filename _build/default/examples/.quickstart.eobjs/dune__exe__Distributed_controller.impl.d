@@ -1,0 +1,1 @@
+examples/distributed_controller.ml: Benchmarks Format Gcr Geometry List Printf Util

@@ -1,0 +1,1 @@
+examples/gate_reduction_sweep.ml: Activity Array Benchmarks Format Gcr List Printf Util

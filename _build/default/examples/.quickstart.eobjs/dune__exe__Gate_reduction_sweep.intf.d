@@ -1,0 +1,1 @@
+examples/gate_reduction_sweep.mli:

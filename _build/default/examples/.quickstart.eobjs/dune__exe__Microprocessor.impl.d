@@ -1,0 +1,1 @@
+examples/microprocessor.ml: Activity Array Clocktree Format Gcr Geometry Gsim Util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Activity Array Clocktree Format Gcr Geometry Gsim Util

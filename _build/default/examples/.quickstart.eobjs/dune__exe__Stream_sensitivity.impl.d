@@ -1,0 +1,1 @@
+examples/stream_sensitivity.ml: Activity Benchmarks Format Gcr List Printf Util

@@ -1,0 +1,65 @@
+(* Power/area trade-off exploration: the paper's Figure 5 on a scaled-down
+   r1 benchmark.
+
+   Sweeps the fraction of masking gates removed from 0% to 100% and prints
+   the clock-tree vs controller-tree switched capacitance split and the
+   area — showing the interior optimum the paper reports at ~55%
+   reduction, plus where the three rule-based heuristics land.
+
+   Run with:  dune exec examples/gate_reduction_sweep.exe *)
+
+let () =
+  let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:128 in
+  let case = Benchmarks.Suite.case ~stream_length:3000 spec in
+  let { Benchmarks.Suite.config; profile; sinks; _ } = case in
+  Format.printf "Benchmark %s: %d sinks, average module activity %.2f@.@."
+    spec.Benchmarks.Rbench.name (Array.length sinks)
+    (Activity.Profile.avg_activity profile);
+
+  let gated = Gcr.Router.route config profile sinks in
+  let g0 = Gcr.Gated_tree.gate_count gated in
+
+  let open Util.Text_table in
+  let table =
+    create ~title:"Gate reduction sweep (cf. paper Figure 5)"
+      [
+        ("removed %", Right);
+        ("gates", Right);
+        ("W clock (pF)", Right);
+        ("W ctrl (pF)", Right);
+        ("W total (pF)", Right);
+        ("area (10^3 um^2)", Right);
+        ("phase delay (ps)", Right);
+      ]
+  in
+  let row name tree =
+    let r = Gcr.Report.of_tree tree in
+    add_row table
+      [
+        name;
+        string_of_int r.Gcr.Report.gate_count;
+        Printf.sprintf "%.2f" (r.Gcr.Report.w_clock /. 1000.0);
+        Printf.sprintf "%.2f" (r.Gcr.Report.w_ctrl /. 1000.0);
+        Printf.sprintf "%.2f" (r.Gcr.Report.w_total /. 1000.0);
+        Printf.sprintf "%.1f" (r.Gcr.Report.area.Gcr.Area.total /. 1000.0);
+        Printf.sprintf "%.1f" (r.Gcr.Report.phase_delay /. 1000.0);
+      ]
+  in
+  List.iter
+    (fun pct ->
+      let tree =
+        Gcr.Gate_reduction.reduce_fraction gated ~fraction:(float_of_int pct /. 100.0)
+      in
+      row (string_of_int pct) tree)
+    [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+  add_separator table;
+  row "greedy" (Gcr.Gate_reduction.reduce_greedy gated);
+  row "rules" (Gcr.Gate_reduction.reduce_rules gated);
+  let buffered = Gcr.Buffered.route config profile sinks in
+  row "buffered" buffered;
+  print table;
+  Format.printf
+    "@.The optimum sits between the extremes: all %d gates pay a huge star-\n\
+     routing bill, zero gates mask nothing. The greedy reducer lands near the\n\
+     sweep minimum automatically.@."
+    g0

@@ -1,0 +1,61 @@
+(* How long must the instruction stream be?
+
+   Section 3.2 of the paper argues that brute-force probability extraction
+   needs "some millions of instructions" for rare instructions to show up,
+   and proposes the one-scan IFT/IMATT tables instead. The tables fix the
+   *cost per query*, but the statistical question remains: how long a
+   stream until the estimated switched capacitance stabilizes?
+
+   Here we route once, then re-cost the same tree with profiles built from
+   longer and longer streams and compare against the exact closed-form
+   (Markov) probabilities of the generating CPU model — the limit the
+   samples converge to.
+
+   Run with:  dune exec examples/stream_sensitivity.exe *)
+
+let () =
+  let n = 96 in
+  let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n in
+  let sinks = Benchmarks.Rbench.sinks spec in
+  let rtl =
+    Benchmarks.Workload.make_rtl ~n_modules:n ~n_instructions:32 ~usage:0.4
+      ~n_groups:spec.Benchmarks.Rbench.n_groups
+      ~seed:(spec.Benchmarks.Rbench.seed * 13)
+      ()
+  in
+  let model = Benchmarks.Workload.cpu_model rtl in
+  let config = Gcr.Config.make ~die:(Benchmarks.Rbench.die spec) () in
+
+  (* route once against the exact model, so topology is held fixed *)
+  let exact_profile = Activity.Profile.of_model model in
+  let tree = Gcr.Router.route config exact_profile sinks in
+  let w_exact = Gcr.Cost.w_total tree in
+  Format.printf
+    "Routed %d sinks once (analytic profile). Exact W = %.1f fF/cycle.@.@." n w_exact;
+
+  let open Util.Text_table in
+  let table =
+    create ~title:"Estimated W of the SAME tree vs stream length"
+      [ ("cycles", Right); ("estimated W (fF)", Right); ("error vs exact", Right) ]
+  in
+  List.iter
+    (fun cycles ->
+      let profile = Activity.Profile.generate model ~seed:71 ~length:cycles in
+      let recost =
+        Gcr.Gated_tree.build config profile sinks tree.Gcr.Gated_tree.topo
+          ~kind:(fun _ -> Gcr.Gated_tree.Gated)
+      in
+      let w = Gcr.Cost.w_total recost in
+      add_row table
+        [
+          string_of_int cycles;
+          Printf.sprintf "%.1f" w;
+          Printf.sprintf "%+.2f%%" (100.0 *. ((w -. w_exact) /. w_exact));
+        ])
+    [ 50; 100; 300; 1_000; 3_000; 10_000; 30_000; 100_000 ];
+  print table;
+  Format.printf
+    "@.The estimate converges at roughly 1/sqrt(B); a few thousand cycles\n\
+     suffice for percent-level accuracy — consistent with the paper's choice\n\
+     of streams 'of thousands' of instructions, while rare-event accuracy\n\
+     (their 'millions' remark) only matters for rarely used modules.@."

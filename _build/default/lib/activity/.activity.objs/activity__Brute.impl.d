@@ -1,0 +1,1 @@
+lib/activity/brute.ml: Instr_stream Module_set Rtl

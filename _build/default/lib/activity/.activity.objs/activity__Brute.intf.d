@@ -1,0 +1,1 @@
+lib/activity/brute.mli: Instr_stream Module_set

@@ -1,0 +1,1 @@
+lib/activity/cpu_model.ml: Array Float Instr_stream Rtl Util

@@ -1,0 +1,1 @@
+lib/activity/cpu_model.mli: Instr_stream Rtl Util

@@ -1,0 +1,1 @@
+lib/activity/ift.mli: Format Instr_stream Module_set Rtl

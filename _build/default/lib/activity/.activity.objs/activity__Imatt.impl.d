@@ -1,0 +1,1 @@
+lib/activity/imatt.ml: Array Format Instr_stream Module_set Printf Rtl

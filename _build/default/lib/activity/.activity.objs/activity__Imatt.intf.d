@@ -1,0 +1,1 @@
+lib/activity/imatt.mli: Format Instr_stream Module_set Rtl

@@ -1,0 +1,1 @@
+lib/activity/instr_stream.ml: Array Format List Module_set Printf Rtl String

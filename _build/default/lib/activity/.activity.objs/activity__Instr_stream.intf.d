@@ -1,0 +1,1 @@
+lib/activity/instr_stream.mli: Format Module_set Rtl

@@ -1,0 +1,1 @@
+lib/activity/markov.ml: Array Cpu_model Module_set Rtl

@@ -1,0 +1,1 @@
+lib/activity/markov.mli: Cpu_model Module_set

@@ -1,0 +1,1 @@
+lib/activity/module_set.ml: Array Format Hashtbl Int List Printf Stdlib String

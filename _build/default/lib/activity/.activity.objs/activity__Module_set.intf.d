@@ -1,0 +1,1 @@
+lib/activity/module_set.mli: Format

@@ -1,0 +1,1 @@
+lib/activity/profile.ml: Cpu_model Ift Imatt Instr_stream Markov Module_set Rtl Util

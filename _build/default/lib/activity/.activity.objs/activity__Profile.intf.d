@@ -1,0 +1,1 @@
+lib/activity/profile.mli: Cpu_model Ift Imatt Instr_stream Module_set Rtl

@@ -1,0 +1,1 @@
+lib/activity/rtl.ml: Array Format List Module_set Printf String

@@ -1,0 +1,1 @@
+lib/activity/rtl.mli: Format Module_set

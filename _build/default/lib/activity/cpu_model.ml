@@ -1,0 +1,41 @@
+type t = { rtl : Rtl.t; weights : float array; locality : float }
+
+let make ?(locality = 0.0) ?weights rtl =
+  let k = Rtl.n_instructions rtl in
+  let weights =
+    match weights with
+    | None -> Array.make k 1.0
+    | Some w ->
+      if Array.length w <> k then invalid_arg "Cpu_model.make: weights length mismatch";
+      if Array.exists (fun x -> x < 0.0 || not (Float.is_finite x)) w then
+        invalid_arg "Cpu_model.make: negative or non-finite weight";
+      if Array.fold_left ( +. ) 0.0 w <= 0.0 then
+        invalid_arg "Cpu_model.make: weights sum to zero";
+      Array.copy w
+  in
+  if locality < 0.0 || locality >= 1.0 then
+    invalid_arg "Cpu_model.make: locality outside [0,1)";
+  { rtl; weights; locality }
+
+let zipf_weights rtl ~s =
+  Array.init (Rtl.n_instructions rtl) (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s)
+
+let rtl t = t.rtl
+
+let stationary t =
+  let total = Array.fold_left ( +. ) 0.0 t.weights in
+  Array.map (fun w -> w /. total) t.weights
+
+let locality t = t.locality
+
+let generate t prng b =
+  if b <= 0 then invalid_arg "Cpu_model.generate: non-positive length";
+  let draw () = Util.Prng.choose_weighted prng t.weights in
+  let instrs = Array.make b 0 in
+  instrs.(0) <- draw ();
+  for i = 1 to b - 1 do
+    instrs.(i) <-
+      (if t.locality > 0.0 && Util.Prng.float prng 1.0 < t.locality then instrs.(i - 1)
+       else draw ())
+  done;
+  Instr_stream.make t.rtl instrs

@@ -1,0 +1,36 @@
+(** Probabilistic CPU model generating instruction streams.
+
+    The paper generates its streams "according to a probabilistic model of
+    the CPU when it executes typical programs"; the model itself is not
+    published, so we substitute a first-order Markov source: a stationary
+    instruction mix plus a locality parameter (probability of staying on
+    the current instruction, mimicking loops and bursty module usage).
+    Locality does not change the stationary mix but raises pairwise
+    self-transitions, which is exactly what lowers the transition
+    probabilities [Ptr(EN)] in realistic programs. *)
+
+type t
+
+val make : ?locality:float -> ?weights:float array -> Rtl.t -> t
+(** [make rtl] draws instructions i.i.d. and uniformly. [weights] gives a
+    non-uniform stationary mix (length [K], non-negative, positive sum);
+    [locality] in [\[0,1)] (default 0) is the probability of repeating the
+    previous instruction instead of redrawing. Raises [Invalid_argument] on
+    malformed weights or locality. *)
+
+val zipf_weights : Rtl.t -> s:float -> float array
+(** Zipf-law weights [1/rank^s] over the instruction set — a conventional
+    stand-in for the skewed instruction mixes of real benchmark programs. *)
+
+val rtl : t -> Rtl.t
+
+val stationary : t -> float array
+(** Normalized stationary instruction distribution (the weights summed to
+    1). Locality does not change it: a refresh draws from the same mix. *)
+
+val locality : t -> float
+(** The repeat probability. *)
+
+val generate : t -> Util.Prng.t -> int -> Instr_stream.t
+(** [generate model prng b] draws a [b]-cycle stream. Raises
+    [Invalid_argument] when [b <= 0]. *)

@@ -1,0 +1,73 @@
+type row = { first : int; second : int; count : int }
+
+type t = { rtl : Rtl.t; rows : row array; total_pairs : int }
+
+let build stream =
+  let b = Instr_stream.length stream in
+  if b < 2 then invalid_arg "Imatt.build: stream shorter than two cycles";
+  let rtl = Instr_stream.rtl stream in
+  let k = Rtl.n_instructions rtl in
+  let counts = Array.make (k * k) 0 in
+  for t = 0 to b - 2 do
+    let idx = (Instr_stream.get stream t * k) + Instr_stream.get stream (t + 1) in
+    counts.(idx) <- counts.(idx) + 1
+  done;
+  let rows = ref [] in
+  for idx = (k * k) - 1 downto 0 do
+    if counts.(idx) > 0 then
+      rows := { first = idx / k; second = idx mod k; count = counts.(idx) } :: !rows
+  done;
+  { rtl; rows = Array.of_list !rows; total_pairs = b - 1 }
+
+let rtl t = t.rtl
+
+let total_pairs t = t.total_pairs
+
+let rows t = Array.copy t.rows
+
+let pair_count t ~first ~second =
+  let n = Array.length t.rows in
+  let rec find i =
+    if i = n then 0
+    else
+      let r = t.rows.(i) in
+      if r.first = first && r.second = second then r.count else find (i + 1)
+  in
+  find 0
+
+let pair_prob t ~first ~second =
+  float_of_int (pair_count t ~first ~second) /. float_of_int t.total_pairs
+
+let toggles rtl ~first ~second set =
+  let now = Module_set.intersects (Rtl.uses rtl first) set in
+  let next = Module_set.intersects (Rtl.uses rtl second) set in
+  now <> next
+
+let activation_tag rtl ~first ~second m =
+  let bit instr = if Module_set.mem (Rtl.uses rtl instr) m then '1' else '0' in
+  Printf.sprintf "%c%c" (bit first) (bit second)
+
+let ptr t set =
+  if Module_set.universe_size set <> Rtl.n_modules t.rtl then
+    invalid_arg "Imatt.ptr: universe mismatch";
+  let hits = ref 0 in
+  Array.iter
+    (fun r -> if toggles t.rtl ~first:r.first ~second:r.second set then hits := !hits + r.count)
+    t.rows;
+  float_of_int !hits /. float_of_int t.total_pairs
+
+let pp ppf t =
+  let n = Rtl.n_modules t.rtl in
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun r ->
+      Format.fprintf ppf "%.4f %s->%s "
+        (float_of_int r.count /. float_of_int t.total_pairs)
+        (Rtl.instr_name t.rtl r.first)
+        (Rtl.instr_name t.rtl r.second);
+      for m = 0 to n - 1 do
+        Format.fprintf ppf "%s " (activation_tag t.rtl ~first:r.first ~second:r.second m)
+      done;
+      Format.fprintf ppf "@ ")
+    t.rows;
+  Format.fprintf ppf "@]"

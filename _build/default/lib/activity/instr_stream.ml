@@ -1,0 +1,87 @@
+type t = { rtl : Rtl.t; instrs : int array }
+
+let make rtl instrs =
+  if Array.length instrs = 0 then invalid_arg "Instr_stream.make: empty stream";
+  let k = Rtl.n_instructions rtl in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= k then
+        invalid_arg (Printf.sprintf "Instr_stream.make: instruction %d out of range" i))
+    instrs;
+  { rtl; instrs = Array.copy instrs }
+
+let of_names rtl names =
+  let k = Rtl.n_instructions rtl in
+  let index name =
+    let rec find i =
+      if i = k then invalid_arg ("Instr_stream.of_names: unknown instruction " ^ name)
+      else if String.equal (Rtl.instr_name rtl i) name then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  make rtl (Array.of_list (List.map index names))
+
+let rtl t = t.rtl
+
+let length t = Array.length t.instrs
+
+let get t i =
+  if i < 0 || i >= Array.length t.instrs then
+    invalid_arg (Printf.sprintf "Instr_stream.get: cycle %d out of range" i);
+  t.instrs.(i)
+
+let active_modules t i = Rtl.uses t.rtl (get t i)
+
+let counts t =
+  let c = Array.make (Rtl.n_instructions t.rtl) 0 in
+  Array.iter (fun i -> c.(i) <- c.(i) + 1) t.instrs;
+  c
+
+let concat streams =
+  match streams with
+  | [] -> invalid_arg "Instr_stream.concat: no streams"
+  | first :: _ ->
+    List.iter
+      (fun s ->
+        if Rtl.n_modules s.rtl <> Rtl.n_modules first.rtl
+           || Rtl.n_instructions s.rtl <> Rtl.n_instructions first.rtl
+        then invalid_arg "Instr_stream.concat: mismatched RTL")
+      streams;
+    { rtl = first.rtl;
+      instrs = Array.concat (List.map (fun s -> s.instrs) streams);
+    }
+
+let slice t ~pos ~len =
+  if len <= 0 then invalid_arg "Instr_stream.slice: non-positive length";
+  if pos < 0 || pos + len > Array.length t.instrs then
+    invalid_arg "Instr_stream.slice: range outside the stream";
+  { t with instrs = Array.sub t.instrs pos len }
+
+let repeat t k =
+  if k < 1 then invalid_arg "Instr_stream.repeat: need at least one copy";
+  concat (List.init k (fun _ -> t))
+
+let avg_active_fraction t =
+  let n = Rtl.n_modules t.rtl in
+  let total =
+    Array.fold_left
+      (fun acc i -> acc + Module_set.cardinal (Rtl.uses t.rtl i))
+      0 t.instrs
+  in
+  float_of_int total /. float_of_int (Array.length t.instrs * n)
+
+(* 10 x I1, 5 x I2, 1 x I3, 4 x I4 interleaved: count(I1)+count(I2) = 15 so
+   P(M1) = 0.75, count(I1)+count(I3) = 11 so P(M5 or M6) = 0.55, matching
+   the probabilities worked out in the paper's Section 3.2. *)
+let paper_example =
+  of_names Rtl.paper_example
+    [
+      "I1"; "I2"; "I4"; "I1"; "I3"; "I1"; "I2"; "I1"; "I1"; "I2";
+      "I4"; "I1"; "I2"; "I4"; "I1"; "I1"; "I2"; "I1"; "I4"; "I1";
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov>";
+  Array.iter (fun i -> Format.fprintf ppf "%s@ " (Rtl.instr_name t.rtl i)) t.instrs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,53 @@
+(** Instruction streams: the trace of instructions a processor executes,
+    one per clock cycle (Section 3.2 of the paper).
+
+    A stream is bound to the {!Rtl} description it indexes into. All module
+    activity information used by the router derives from a single scan of a
+    stream (via {!Ift} and {!Imatt}); {!Brute} re-scans it as a test
+    oracle. *)
+
+type t
+
+val make : Rtl.t -> int array -> t
+(** [make rtl instrs] validates every index against [rtl]. Raises
+    [Invalid_argument] on an out-of-range instruction or an empty stream. *)
+
+val of_names : Rtl.t -> string list -> t
+(** Build from instruction names (e.g. ["I1"; "I3"; ...]). Raises
+    [Invalid_argument] on an unknown name. *)
+
+val rtl : t -> Rtl.t
+
+val length : t -> int
+(** Number of cycles [B]. *)
+
+val get : t -> int -> int
+(** Instruction index executed at cycle [t] (0-based). *)
+
+val active_modules : t -> int -> Module_set.t
+(** Modules active at cycle [t]. *)
+
+val counts : t -> int array
+(** Per-instruction occurrence counts; sums to [length]. *)
+
+val concat : t list -> t
+(** Concatenate streams over the same RTL, in order. Raises
+    [Invalid_argument] on an empty list or mismatched RTL universes. *)
+
+val slice : t -> pos:int -> len:int -> t
+(** [slice t ~pos ~len] is cycles [pos .. pos+len-1]. Raises
+    [Invalid_argument] when the range leaves the stream or [len <= 0]. *)
+
+val repeat : t -> int -> t
+(** [repeat t k] plays the stream [k >= 1] times back to back. *)
+
+val avg_active_fraction : t -> float
+(** Mean over cycles of (active modules / total modules): the paper's
+    average module activity. *)
+
+val paper_example : t
+(** A 20-cycle stream over {!Rtl.paper_example} with the frequency profile
+    of the paper's Section 3.2 walkthrough: [P(M1) = 0.75] and
+    [P(M5 or M6) = 0.55]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+let p_instruction model i =
+  let p = Cpu_model.stationary model in
+  if i < 0 || i >= Array.length p then
+    invalid_arg "Markov.p_instruction: instruction out of range";
+  p.(i)
+
+let enable_mass model set =
+  let rtl = Cpu_model.rtl model in
+  if Module_set.universe_size set <> Rtl.n_modules rtl then
+    invalid_arg "Markov: universe mismatch";
+  let p = Cpu_model.stationary model in
+  let q = ref 0.0 in
+  Array.iteri
+    (fun i pi -> if Module_set.intersects (Rtl.uses rtl i) set then q := !q +. pi)
+    p;
+  !q
+
+let p_any = enable_mass
+
+(* A boundary toggles iff the chain redraws (prob 1 - locality) and the
+   fresh draw lands on the other side of the enable partition. *)
+let ptr model set =
+  let q = enable_mass model set in
+  2.0 *. (1.0 -. Cpu_model.locality model) *. q *. (1.0 -. q)
+
+let avg_activity model =
+  let rtl = Cpu_model.rtl model in
+  let p = Cpu_model.stationary model in
+  let n = float_of_int (Rtl.n_modules rtl) in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i pi ->
+      acc := !acc +. (pi *. float_of_int (Module_set.cardinal (Rtl.uses rtl i)) /. n))
+    p;
+  !acc

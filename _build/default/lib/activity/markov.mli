@@ -1,0 +1,30 @@
+(** Closed-form enable probabilities from the CPU model itself.
+
+    The paper computes probabilities from a {e sampled} instruction stream
+    (via IFT/IMATT); when the stream comes from our first-order Markov CPU
+    model, the same quantities have exact closed forms:
+
+    - the stationary instruction mix is the normalized weight vector
+      (locality only slows mixing, it does not bias it);
+    - [P(EN)] for module set [S] is the stationary mass [q] of the
+      instructions whose used-module set intersects [S];
+    - the chain repeats the previous instruction with probability
+      [locality] (never a toggle) and redraws i.i.d. otherwise, so
+      [Ptr(EN) = 2 (1 - locality) q (1 - q)].
+
+    Sampled tables converge to these values as the stream grows — tested
+    statistically — making this module both an oracle for the sampling
+    pipeline and a way to route without generating a stream at all. *)
+
+val p_instruction : Cpu_model.t -> int -> float
+(** Stationary probability of one instruction. *)
+
+val p_any : Cpu_model.t -> Module_set.t -> float
+(** Exact signal probability [P(EN)] of the enable covering the module
+    set. Raises [Invalid_argument] on a universe mismatch. *)
+
+val ptr : Cpu_model.t -> Module_set.t -> float
+(** Exact transition probability [Ptr(EN)] per cycle boundary. *)
+
+val avg_activity : Cpu_model.t -> float
+(** Expected fraction of active modules per cycle. *)

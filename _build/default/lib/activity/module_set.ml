@@ -1,0 +1,99 @@
+type t = { n : int; bits : int array }
+
+let bits_per_word = 62 (* stay clear of the tag bit and sign *)
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let universe_size s = s.n
+
+let empty n =
+  if n < 0 then invalid_arg "Module_set.empty: negative universe";
+  { n; bits = Array.make (words_for n) 0 }
+
+let check_member name n m =
+  if m < 0 || m >= n then
+    invalid_arg (Printf.sprintf "Module_set.%s: module %d outside [0,%d)" name m n)
+
+let add s m =
+  check_member "add" s.n m;
+  let bits = Array.copy s.bits in
+  let w = m / bits_per_word and b = m mod bits_per_word in
+  bits.(w) <- bits.(w) lor (1 lsl b);
+  { s with bits }
+
+let singleton n m =
+  check_member "singleton" n m;
+  add (empty n) m
+
+let of_list n ms = List.fold_left add (empty n) ms
+
+let mem s m =
+  check_member "mem" s.n m;
+  let w = m / bits_per_word and b = m mod bits_per_word in
+  s.bits.(w) land (1 lsl b) <> 0
+
+let full n =
+  let s = empty n in
+  let bits = s.bits in
+  for m = 0 to n - 1 do
+    let w = m / bits_per_word and b = m mod bits_per_word in
+    bits.(w) <- bits.(w) lor (1 lsl b)
+  done;
+  { n; bits }
+
+let check_universe name a b =
+  if a.n <> b.n then
+    invalid_arg (Printf.sprintf "Module_set.%s: universe mismatch (%d vs %d)" name a.n b.n)
+
+let map2 name op a b =
+  check_universe name a b;
+  { n = a.n; bits = Array.init (Array.length a.bits) (fun i -> op a.bits.(i) b.bits.(i)) }
+
+let union a b = map2 "union" ( lor ) a b
+
+let inter a b = map2 "inter" ( land ) a b
+
+let diff a b = map2 "diff" (fun x y -> x land lnot y) a b
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.bits
+
+let intersects a b =
+  check_universe "intersects" a b;
+  let rec scan i =
+    i < Array.length a.bits && (a.bits.(i) land b.bits.(i) <> 0 || scan (i + 1))
+  in
+  scan 0
+
+let subset a b =
+  check_universe "subset" a b;
+  let rec scan i =
+    i >= Array.length a.bits || (a.bits.(i) land lnot b.bits.(i) = 0 && scan (i + 1))
+  in
+  scan 0
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+  go w 0
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.bits
+
+let equal a b = a.n = b.n && Array.for_all2 ( = ) a.bits b.bits
+
+let compare a b =
+  match Int.compare a.n b.n with 0 -> Stdlib.compare a.bits b.bits | c -> c
+
+let hash s = Hashtbl.hash (s.n, s.bits)
+
+let fold f s init =
+  let acc = ref init in
+  for m = 0 to s.n - 1 do
+    if mem s m then acc := f m !acc
+  done;
+  !acc
+
+let iter f s = fold (fun m () -> f m) s ()
+
+let to_list s = List.rev (fold (fun m acc -> m :: acc) s [])
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (to_list s)))

@@ -1,0 +1,57 @@
+(** Activity profile: the bundled statistics object the clock router
+    consumes.
+
+    Two backends answer the same queries:
+
+    - {b Sampled} — the paper's pipeline: an instruction stream scanned
+      once into the {!Ift} and {!Imatt} tables. What the evaluation uses;
+      what the cycle-accurate simulator can verify exactly.
+    - {b Analytic} — closed-form probabilities straight from a
+      {!Cpu_model} (see {!Markov}), with no stream at all. Useful early in
+      a design, when only the model exists; sampled profiles converge to
+      it as streams grow. *)
+
+type t
+
+val of_stream : Instr_stream.t -> t
+(** Scan the stream once and build both tables. Raises [Invalid_argument]
+    on a stream shorter than two cycles. *)
+
+val of_model : Cpu_model.t -> t
+(** Analytic profile: exact Markov probabilities, no sampling. *)
+
+val generate : Cpu_model.t -> seed:int -> length:int -> t
+(** Draw a stream from the CPU model (deterministically from [seed]) and
+    profile it. *)
+
+val rtl : t -> Rtl.t
+
+val is_analytic : t -> bool
+
+val stream : t -> Instr_stream.t
+(** The backing stream. Raises [Invalid_argument] on an analytic profile
+    (there is none). *)
+
+val ift : t -> Ift.t
+(** Raises [Invalid_argument] on an analytic profile. *)
+
+val imatt : t -> Imatt.t
+(** Raises [Invalid_argument] on an analytic profile. *)
+
+val n_modules : t -> int
+
+val p : t -> Module_set.t -> float
+(** Signal probability [P(EN)] of the enable covering the given module
+    set. *)
+
+val ptr : t -> Module_set.t -> float
+(** Transition probability [Ptr(EN)] of that enable. *)
+
+val p_module : t -> int -> float
+
+val avg_activity : t -> float
+(** Average module activity (the x-axis of the paper's Figure 4); the
+    expectation under the model for analytic profiles. *)
+
+val paper_example : t
+(** Profile of {!Instr_stream.paper_example}. *)

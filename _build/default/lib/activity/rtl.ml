@@ -1,0 +1,85 @@
+type t = {
+  n_modules : int;
+  module_names : string array;
+  instr_names : string array;
+  uses : Module_set.t array;
+}
+
+let default_names prefix n = Array.init n (fun i -> Printf.sprintf "%s%d" prefix (i + 1))
+
+let make ?module_names ?instr_names ~n_modules ~uses () =
+  let k = Array.length uses in
+  if n_modules <= 0 then invalid_arg "Rtl.make: need at least one module";
+  if k = 0 then invalid_arg "Rtl.make: need at least one instruction";
+  Array.iter
+    (fun s ->
+      if Module_set.universe_size s <> n_modules then
+        invalid_arg "Rtl.make: used-module set over wrong universe")
+    uses;
+  let module_names =
+    match module_names with
+    | None -> default_names "M" n_modules
+    | Some names ->
+      if Array.length names <> n_modules then
+        invalid_arg "Rtl.make: module_names length mismatch";
+      names
+  in
+  let instr_names =
+    match instr_names with
+    | None -> default_names "I" k
+    | Some names ->
+      if Array.length names <> k then invalid_arg "Rtl.make: instr_names length mismatch";
+      names
+  in
+  { n_modules; module_names; instr_names; uses = Array.copy uses }
+
+let of_lists ~n_modules lists =
+  let uses = Array.of_list (List.map (Module_set.of_list n_modules) lists) in
+  make ~n_modules ~uses ()
+
+let n_modules t = t.n_modules
+
+let n_instructions t = Array.length t.uses
+
+let uses t i =
+  if i < 0 || i >= Array.length t.uses then
+    invalid_arg (Printf.sprintf "Rtl.uses: instruction %d out of range" i);
+  t.uses.(i)
+
+let module_name t m =
+  if m < 0 || m >= t.n_modules then
+    invalid_arg (Printf.sprintf "Rtl.module_name: module %d out of range" m);
+  t.module_names.(m)
+
+let instr_name t i =
+  if i < 0 || i >= Array.length t.uses then
+    invalid_arg (Printf.sprintf "Rtl.instr_name: instruction %d out of range" i);
+  t.instr_names.(i)
+
+let instructions_using t set =
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (if Module_set.intersects t.uses.(i) set then i :: acc else acc)
+  in
+  go (Array.length t.uses - 1) []
+
+let avg_usage_fraction t =
+  let total =
+    Array.fold_left (fun acc s -> acc + Module_set.cardinal s) 0 t.uses
+  in
+  float_of_int total /. float_of_int (Array.length t.uses * t.n_modules)
+
+(* Table 1 of the paper: module indices are 0-based (M1 = 0). *)
+let paper_example =
+  of_lists ~n_modules:6 [ [ 0; 1; 2; 4 ]; [ 0; 3 ]; [ 1; 4; 5 ]; [ 2; 3 ] ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i set ->
+      let names =
+        List.map (fun m -> t.module_names.(m)) (Module_set.to_list set)
+      in
+      Format.fprintf ppf "%s: %s@ " t.instr_names.(i) (String.concat " " names))
+    t.uses;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,50 @@
+(** Register-transfer-level description of a processor: which circuit
+    modules each instruction exercises (the paper's Table 1).
+
+    This is the sole architectural input of the activity model: an
+    instruction set of size [K] over [N] modules, with one used-module set
+    per instruction. *)
+
+type t
+
+val make :
+  ?module_names:string array ->
+  ?instr_names:string array ->
+  n_modules:int ->
+  uses:Module_set.t array ->
+  unit ->
+  t
+(** [make ~n_modules ~uses ()] builds a description with [Array.length uses]
+    instructions. Names default to [M1..Mn] / [I1..Ik]. Raises
+    [Invalid_argument] when a used-module set ranges over a different
+    universe, when a name array has the wrong length, or when there are no
+    instructions or no modules. *)
+
+val of_lists : n_modules:int -> int list list -> t
+(** Convenience: one used-module index list per instruction. *)
+
+val n_modules : t -> int
+
+val n_instructions : t -> int
+
+val uses : t -> int -> Module_set.t
+(** Modules exercised by instruction [i]. Raises [Invalid_argument] on an
+    out-of-range index. *)
+
+val module_name : t -> int -> string
+
+val instr_name : t -> int -> string
+
+val instructions_using : t -> Module_set.t -> int list
+(** Instructions whose used-module set intersects the given set (the
+    instructions that keep the corresponding enable signal high). *)
+
+val avg_usage_fraction : t -> float
+(** Unweighted mean over instructions of [|uses|/N] — the paper's
+    [Ave(M(I))] when the instruction mix is uniform. *)
+
+val paper_example : t
+(** The 4-instruction, 6-module RTL of the paper's Table 1:
+    I1 uses M1 M2 M3 M5; I2 uses M1 M4; I3 uses M2 M5 M6; I4 uses M3 M4. *)
+
+val pp : Format.formatter -> t -> unit

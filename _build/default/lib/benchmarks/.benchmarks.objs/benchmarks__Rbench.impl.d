@@ -1,0 +1,1 @@
+lib/benchmarks/rbench.ml: Array Clocktree Float Fun Geometry Printf String Util Workload

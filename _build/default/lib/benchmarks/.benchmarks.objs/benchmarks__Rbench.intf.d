@@ -1,0 +1,1 @@
+lib/benchmarks/rbench.mli: Clocktree Geometry

@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Activity Array Clocktree Gcr List Printf Rbench Util Workload

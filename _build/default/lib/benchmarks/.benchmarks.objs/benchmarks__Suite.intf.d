@@ -1,0 +1,1 @@
+lib/benchmarks/suite.mli: Activity Clocktree Gcr Rbench Util

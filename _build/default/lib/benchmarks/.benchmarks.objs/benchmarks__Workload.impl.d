@@ -1,0 +1,1 @@
+lib/benchmarks/workload.ml: Activity Array Float Fun Util

@@ -1,0 +1,82 @@
+type spec = {
+  name : string;
+  n_sinks : int;
+  die_side : float;
+  cap_lo : float;
+  cap_hi : float;
+  n_groups : int;
+  seed : int;
+}
+
+let mk name n_sinks seed =
+  {
+    name;
+    n_sinks;
+    (* die side grows with sqrt(N): constant sink density *)
+    die_side = 400.0 *. sqrt (float_of_int n_sinks);
+    cap_lo = 5.0;
+    cap_hi = 50.0;
+    n_groups = Workload.default_groups n_sinks;
+    seed;
+  }
+
+let specs =
+  [|
+    mk "r1" 267 101;
+    mk "r2" 598 102;
+    mk "r3" 862 103;
+    mk "r4" 1903 104;
+    mk "r5" 3101 105;
+  |]
+
+let by_name name =
+  match Array.find_opt (fun s -> String.equal s.name name) specs with
+  | Some s -> s
+  | None -> raise Not_found
+
+let scaled spec ~n_sinks =
+  {
+    spec with
+    name = Printf.sprintf "%s@%d" spec.name n_sinks;
+    n_sinks;
+    die_side = 400.0 *. sqrt (float_of_int n_sinks);
+    n_groups = Workload.default_groups n_sinks;
+  }
+
+let die spec = Geometry.Bbox.square ~side:spec.die_side
+
+(* Sinks of a functional group cluster around the group's centroid — a
+   module's registers sit inside the module — so activity clusters and
+   spatial clusters coincide, as on a real floorplan. *)
+let sinks spec =
+  let prng = Util.Prng.create spec.seed in
+  let box = die spec in
+  let radius = 0.40 *. spec.die_side /. sqrt (float_of_int spec.n_groups) in
+  (* group centers tile the die like floorplan blocks (with jitter), so
+     clusters are essentially disjoint *)
+  let grid = int_of_float (Float.ceil (sqrt (float_of_int spec.n_groups))) in
+  let cell = spec.die_side /. float_of_int grid in
+  let order = Array.init (grid * grid) Fun.id in
+  Util.Prng.shuffle prng order;
+  let centers =
+    Array.init spec.n_groups (fun g ->
+        let slot = order.(g) in
+        let gx = float_of_int (slot mod grid) and gy = float_of_int (slot / grid) in
+        Geometry.Point.make
+          (((gx +. 0.5) *. cell) +. Util.Prng.range prng (-0.15 *. cell) (0.15 *. cell))
+          (((gy +. 0.5) *. cell) +. Util.Prng.range prng (-0.15 *. cell) (0.15 *. cell)))
+  in
+  Array.init spec.n_sinks (fun id ->
+      let g =
+        Workload.group_of ~n_modules:spec.n_sinks ~n_groups:spec.n_groups id
+      in
+      let c = centers.(g) in
+      let loc =
+        Geometry.Bbox.clamp box
+          (Geometry.Point.make
+             (c.Geometry.Point.x +. Util.Prng.range prng (-.radius) radius)
+             (c.Geometry.Point.y +. Util.Prng.range prng (-.radius) radius))
+      in
+      Clocktree.Sink.make ~id ~loc
+        ~cap:(Util.Prng.range prng spec.cap_lo spec.cap_hi)
+        ~module_id:id)

@@ -1,0 +1,39 @@
+(** Synthetic stand-ins for the r1-r5 clock-routing benchmarks.
+
+    The paper evaluates on Tsay's r1-r5 suites (sink locations and load
+    capacitances), which are not distributed with it. We generate
+    deterministic suites with the published sink counts (267, 598, 862,
+    1903, 3101), die sizes growing with sqrt(N) and load capacitances in a
+    late-90s 5..50 fF range — the same geometric regime; see DESIGN.md for
+    the substitution argument.
+
+    Sinks are placed in spatial clusters, one per functional group of the
+    matching {!Workload} RTL (a module's registers sit inside the module),
+    so the activity correlation the paper's gating exploits has a spatial
+    counterpart, as on a real floorplan. *)
+
+type spec = {
+  name : string;
+  n_sinks : int;
+  die_side : float;  (** um *)
+  cap_lo : float;  (** fF *)
+  cap_hi : float;  (** fF *)
+  n_groups : int;  (** functional groups = spatial clusters *)
+  seed : int;
+}
+
+val specs : spec array
+(** r1..r5 in order. *)
+
+val by_name : string -> spec
+(** Lookup by name ("r1".."r5"). Raises [Not_found] on an unknown name. *)
+
+val scaled : spec -> n_sinks:int -> spec
+(** A smaller or larger variant of a suite (used by perf scaling benches);
+    the die side is rescaled with sqrt(n). *)
+
+val die : spec -> Geometry.Bbox.t
+
+val sinks : spec -> Clocktree.Sink.t array
+(** Deterministic sink set; [module_id = id] (one module per sink, as in
+    the paper). *)

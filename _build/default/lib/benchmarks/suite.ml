@@ -1,0 +1,50 @@
+type case = {
+  name : string;
+  spec : Rbench.spec;
+  sinks : Clocktree.Sink.t array;
+  profile : Activity.Profile.t;
+  config : Gcr.Config.t;
+}
+
+let case ?(stream_length = 10_000) ?(usage = 0.4) ?(n_instructions = 32)
+    ?controller spec =
+  let sinks = Rbench.sinks spec in
+  let profile =
+    Workload.profile ~n_modules:spec.Rbench.n_sinks ~n_instructions ~usage
+      ~n_groups:spec.Rbench.n_groups ~stream_length
+      ~seed:(spec.Rbench.seed * 13) ()
+  in
+  let die = Rbench.die spec in
+  let config = Gcr.Config.make ?controller ~die () in
+  { name = spec.Rbench.name; spec; sinks; profile; config }
+
+let by_name ?stream_length ?usage name =
+  case ?stream_length ?usage (Rbench.by_name name)
+
+let all ?stream_length () =
+  Array.to_list (Array.map (fun spec -> case ?stream_length spec) Rbench.specs)
+
+let characteristics_table cases =
+  let open Util.Text_table in
+  let table =
+    create ~title:"Table 4: benchmark characteristics"
+      [
+        ("Bench", Left);
+        ("No. of sinks", Right);
+        ("No. of instr", Right);
+        ("Stream cycles", Right);
+        ("Ave(M(I))", Right);
+      ]
+  in
+  List.iter
+    (fun c ->
+      add_row table
+        [
+          c.name;
+          string_of_int (Array.length c.sinks);
+          string_of_int (Activity.Rtl.n_instructions (Activity.Profile.rtl c.profile));
+          string_of_int (Activity.Instr_stream.length (Activity.Profile.stream c.profile));
+          Printf.sprintf "%.3f" (Activity.Profile.avg_activity c.profile);
+        ])
+    cases;
+  table

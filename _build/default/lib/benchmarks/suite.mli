@@ -1,0 +1,32 @@
+(** Bundled experiment setups: one [case] per r-benchmark, combining the
+    sink suite, a matching activity profile and a routing configuration —
+    everything a reproduction run needs. *)
+
+type case = {
+  name : string;
+  spec : Rbench.spec;
+  sinks : Clocktree.Sink.t array;
+  profile : Activity.Profile.t;
+  config : Gcr.Config.t;
+}
+
+val case :
+  ?stream_length:int ->
+  ?usage:float ->
+  ?n_instructions:int ->
+  ?controller:Gcr.Controller.t ->
+  Rbench.spec ->
+  case
+(** Build the full setup for one suite. Defaults: 10,000-cycle stream, 40%
+    module usage, 32 instructions, centralized controller at the die
+    center. *)
+
+val by_name : ?stream_length:int -> ?usage:float -> string -> case
+(** ["r1"] .. ["r5"]. Raises [Not_found] on an unknown name. *)
+
+val all : ?stream_length:int -> unit -> case list
+(** All five suites. *)
+
+val characteristics_table : case list -> Util.Text_table.t
+(** The paper's Table 4: per suite, the number of sinks, the number of
+    instructions, the stream length and the measured [Ave(M(I))]. *)

@@ -1,0 +1,1 @@
+lib/clocktree/bst.ml: Array Embed Float Geometry Mseg Sink Tech Topo Zskew

@@ -1,0 +1,1 @@
+lib/clocktree/bst.mli: Embed Geometry Mseg Sink Tech Topo

@@ -1,0 +1,1 @@
+lib/clocktree/elmore.ml: Array Embed Mseg Topo Util Zskew

@@ -1,0 +1,1 @@
+lib/clocktree/elmore.mli: Embed Tech

@@ -1,0 +1,1 @@
+lib/clocktree/embed.ml: Array Geometry Mseg Printf Topo

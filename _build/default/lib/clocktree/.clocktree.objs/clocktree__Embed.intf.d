@@ -1,0 +1,1 @@
+lib/clocktree/embed.mli: Geometry Mseg Sink Tech Topo

@@ -1,0 +1,1 @@
+lib/clocktree/greedy.ml: Array Util

@@ -1,0 +1,1 @@
+lib/clocktree/grow.ml: Array Geometry Mseg Printf Sink Tech Topo Zskew

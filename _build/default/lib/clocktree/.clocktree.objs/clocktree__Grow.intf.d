@@ -1,0 +1,1 @@
+lib/clocktree/grow.mli: Geometry Sink Tech Topo Zskew

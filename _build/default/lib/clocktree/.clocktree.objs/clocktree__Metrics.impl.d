@@ -1,0 +1,1 @@
+lib/clocktree/metrics.ml: Array Embed Float Format Geometry Mseg Topo

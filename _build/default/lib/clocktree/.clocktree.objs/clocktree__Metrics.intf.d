@@ -1,0 +1,1 @@
+lib/clocktree/metrics.mli: Embed Format

@@ -1,0 +1,1 @@
+lib/clocktree/mseg.ml: Array Geometry Sink Topo Zskew

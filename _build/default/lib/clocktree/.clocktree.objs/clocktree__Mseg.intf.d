@@ -1,0 +1,1 @@
+lib/clocktree/mseg.mli: Geometry Sink Tech Topo

@@ -1,0 +1,1 @@
+lib/clocktree/nn.ml: Array Embed Greedy Grow

@@ -1,0 +1,1 @@
+lib/clocktree/nn.mli: Embed Geometry Sink Tech Topo

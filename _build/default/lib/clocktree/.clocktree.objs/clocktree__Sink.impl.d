@@ -1,0 +1,1 @@
+lib/clocktree/sink.ml: Array Float Format Geometry Printf

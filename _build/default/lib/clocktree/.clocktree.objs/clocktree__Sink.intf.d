@@ -1,0 +1,1 @@
+lib/clocktree/sink.mli: Format Geometry

@@ -1,0 +1,1 @@
+lib/clocktree/tech.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/clocktree/tech.mli: Format

@@ -1,0 +1,1 @@
+lib/clocktree/topo.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/clocktree/topo.mli: Format

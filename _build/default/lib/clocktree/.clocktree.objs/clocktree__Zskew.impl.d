@@ -1,0 +1,1 @@
+lib/clocktree/zskew.ml: Float Tech

@@ -1,0 +1,1 @@
+lib/clocktree/zskew.mli: Tech

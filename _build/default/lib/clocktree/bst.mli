@@ -1,0 +1,58 @@
+(** Bounded-skew merging — the natural extension of the paper's zero-skew
+    constraint (listed by the authors as a trade-off knob; BST-DME in the
+    literature).
+
+    Each subtree carries a delay {e interval} [dmin, dmax] instead of a
+    single delay; every merge must keep the merged interval's width within
+    a global skew [budget]. Where exact zero skew would elongate wire
+    (snaking) to cancel a delay imbalance, a non-zero budget absorbs part
+    or all of the imbalance, saving wire — with budget 0 the construction
+    degenerates to exact zero skew.
+
+    The merged node's merging region is still computed with the TRR
+    machinery of {!Mseg}; the embedding and the Elmore verification are
+    shared with the zero-skew path. *)
+
+type branch = {
+  dmin : float;  (** earliest sink delay below the branch root *)
+  dmax : float;  (** latest sink delay below the branch root *)
+  cap : float;
+  gate : Tech.gate option;
+}
+
+type split = {
+  ea : float;
+  eb : float;
+  dmin : float;  (** merged interval *)
+  dmax : float;
+  merged_cap : float;
+  snaked : bool;  (** true when wire beyond the region distance was needed *)
+}
+
+val split : Tech.t -> branch -> branch -> dist:float -> budget:float -> split
+(** Split [dist] so that the merged delay interval has width at most
+    [budget], using extra (snaking) wire only for the part of the
+    imbalance the budget cannot absorb. Guarantees [ea, eb >= 0],
+    [ea + eb >= dist] and [dmax - dmin <= max budget (max child widths)].
+    Raises [Invalid_argument] on a negative distance or budget. *)
+
+val build :
+  Tech.t ->
+  Topo.t ->
+  sinks:Sink.t array ->
+  gate_on_edge:(int -> Tech.gate option) ->
+  budget:float ->
+  Mseg.t * float array * float array
+(** Bottom-up construction under the skew budget: the {!Mseg.t} (with
+    [delay] holding the latest-arrival [dmax]) plus the per-node [dmin]
+    and [dmax] arrays. Feed the [Mseg.t] to {!Embed.of_mseg}. *)
+
+val embed :
+  Tech.t ->
+  Topo.t ->
+  sinks:Sink.t array ->
+  gate_on_edge:(int -> Tech.gate option) ->
+  budget:float ->
+  root_anchor:Geometry.Point.t ->
+  Embed.t
+(** {!build} followed by the shared top-down placement. *)

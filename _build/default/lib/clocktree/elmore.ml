@@ -1,0 +1,42 @@
+type report = {
+  sink_delay : float array;
+  max_delay : float;
+  min_delay : float;
+  skew : float;
+}
+
+let evaluate tech (embed : Embed.t) ~gate_on_edge =
+  let topo = embed.Embed.topo in
+  let n = Topo.n_nodes topo in
+  let n_sinks = Topo.n_sinks topo in
+  (* Downstream capacitance, recomputed bottom-up from wire lengths. *)
+  let cap = Array.make n 0.0 in
+  Topo.iter_bottom_up topo (fun v ->
+      match Topo.children topo v with
+      | None -> cap.(v) <- embed.Embed.mseg.Mseg.cap.(v) (* sink load *)
+      | Some (a, b) ->
+        let side c =
+          let e = Embed.edge_len embed c in
+          Zskew.branch_head_cap tech
+            { Zskew.delay = 0.0; cap = cap.(c); gate = gate_on_edge c }
+            e
+        in
+        cap.(v) <- side a +. side b);
+  (* Delay from the root down, top-down. *)
+  let delay_to = Array.make n 0.0 in
+  Topo.iter_top_down topo (fun v ->
+      match Topo.parent topo v with
+      | None -> delay_to.(v) <- 0.0
+      | Some p ->
+        let e = Embed.edge_len embed v in
+        let through =
+          Zskew.branch_delay tech
+            { Zskew.delay = 0.0; cap = cap.(v); gate = gate_on_edge v }
+            e
+        in
+        delay_to.(v) <- delay_to.(p) +. through);
+  let sink_delay = Array.init n_sinks (fun s -> delay_to.(s)) in
+  let min_delay, max_delay = Util.Stats.min_max sink_delay in
+  { sink_delay; max_delay; min_delay; skew = max_delay -. min_delay }
+
+let phase_delay r = r.max_delay

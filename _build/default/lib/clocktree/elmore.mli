@@ -1,0 +1,23 @@
+(** Independent Elmore-delay evaluation of an embedded clock tree.
+
+    Recomputes every source-to-sink phase delay from the embedding (wire
+    lengths, downstream capacitances, gates) without reusing the values
+    cached during construction — the verification path for the zero-skew
+    guarantee. *)
+
+type report = {
+  sink_delay : float array;  (** per-sink phase delay, indexed by sink id *)
+  max_delay : float;
+  min_delay : float;
+  skew : float;  (** [max_delay - min_delay]; ~0 for a zero-skew tree *)
+}
+
+val evaluate :
+  Tech.t -> Embed.t -> gate_on_edge:(int -> Tech.gate option) -> report
+(** The gate assignment must match the one the tree was embedded with for
+    the skew to be zero; evaluating with a different assignment measures
+    the skew that assignment would cause (used by the gate-reduction
+    ablation). *)
+
+val phase_delay : report -> float
+(** Maximum source-to-sink delay. *)

@@ -1,0 +1,44 @@
+type t = { topo : Topo.t; mseg : Mseg.t; loc : Geometry.Point.t array }
+
+let of_mseg topo mseg ~root_anchor =
+  let n = Topo.n_nodes topo in
+  let loc = Array.make n Geometry.Point.origin in
+  Topo.iter_top_down topo (fun v ->
+      let target =
+        match Topo.parent topo v with
+        | None -> Geometry.Rot.of_point root_anchor
+        | Some p -> Geometry.Rot.of_point loc.(p)
+      in
+      loc.(v) <-
+        Geometry.Rot.to_point (Geometry.Rect.nearest_to mseg.Mseg.region.(v) target));
+  { topo; mseg; loc }
+
+let build tech topo ~sinks ~gate_on_edge ~root_anchor =
+  of_mseg topo (Mseg.build tech topo ~sinks ~gate_on_edge) ~root_anchor
+
+let edge_len t v = t.mseg.Mseg.edge_len.(v)
+
+let total_wirelength t = Mseg.total_wirelength t.mseg
+
+let gate_location t v =
+  match Topo.parent t.topo v with None -> t.loc.(v) | Some p -> t.loc.(p)
+
+let check_consistency t =
+  let n = Topo.n_nodes t.topo in
+  for v = 0 to n - 1 do
+    let region = t.mseg.Mseg.region.(v) in
+    if not (Geometry.Rect.contains ~eps:1e-6 region (Geometry.Rot.of_point t.loc.(v)))
+    then
+      failwith
+        (Printf.sprintf "Embed.check_consistency: node %d placed outside its region" v);
+    match Topo.parent t.topo v with
+    | None -> ()
+    | Some p ->
+      let d = Geometry.Point.manhattan t.loc.(v) t.loc.(p) in
+      let e = t.mseg.Mseg.edge_len.(v) in
+      if d > e +. (1e-6 *. (1.0 +. e)) then
+        failwith
+          (Printf.sprintf
+             "Embed.check_consistency: edge %d->%d spans %.9g but has wire %.9g" p v d
+             e)
+  done

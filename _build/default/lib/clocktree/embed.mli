@@ -1,0 +1,41 @@
+(** Top-down embedding — phase 2 of DME.
+
+    Fixes a concrete location for every node inside its merging region:
+    the root is placed at the region point nearest to a given anchor
+    (typically the clock source at the chip center); every other node at
+    the point of its region nearest to its parent's location, which is
+    always within the zero-skew wire length. *)
+
+type t = {
+  topo : Topo.t;
+  mseg : Mseg.t;
+  loc : Geometry.Point.t array;  (** embedded location per node *)
+}
+
+val build :
+  Tech.t ->
+  Topo.t ->
+  sinks:Sink.t array ->
+  gate_on_edge:(int -> Tech.gate option) ->
+  root_anchor:Geometry.Point.t ->
+  t
+(** Runs {!Mseg.build} then the top-down placement. *)
+
+val of_mseg :
+  Topo.t -> Mseg.t -> root_anchor:Geometry.Point.t -> t
+(** Placement only, for callers that already hold the merging segments. *)
+
+val edge_len : t -> int -> float
+(** Wire length of the edge above the node (detours included). *)
+
+val total_wirelength : t -> float
+
+val gate_location : t -> int -> Geometry.Point.t
+(** Location of the masking gate on the edge above node [v]: the head of
+    the edge, i.e. the parent's embedded location (the node's own location
+    at the root). *)
+
+val check_consistency : t -> unit
+(** Asserts the embedding invariants: every location lies in its node's
+    merging region and every edge's endpoints are no farther apart than its
+    assigned wire length. Raises [Failure] with a diagnostic otherwise. *)

@@ -1,0 +1,61 @@
+(* Pairs are packed into one heap payload: ids stay below 2^20, well within
+   a 63-bit immediate. Stale pairs (either endpoint already merged) are
+   skipped on pop — lazy deletion. *)
+
+let id_bits = 21
+
+let max_ids = 1 lsl 20
+
+let pack a b = (a lsl id_bits) lor b
+
+let unpack p = (p lsr id_bits, p land ((1 lsl id_bits) - 1))
+
+let merge_all ~n ~cost ~merge =
+  if n <= 0 then invalid_arg "Greedy.merge_all: no elements";
+  if n > max_ids / 2 then invalid_arg "Greedy.merge_all: too many elements";
+  if n = 1 then 0
+  else begin
+    let size = (2 * n) - 1 in
+    let alive = Array.init size (fun v -> v < n) in
+    (* Active roots in a swap-remove array for O(active) neighbor pushes. *)
+    let active = Array.init size (fun v -> v) in
+    let n_active = ref n in
+    let heap = Util.Bin_heap.create ~capacity:(n * n / 2) () in
+    let push_pair a b = Util.Bin_heap.push heap (cost a b) (pack a b) in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        push_pair i j
+      done
+    done;
+    let remove_from_active v =
+      (* find and swap-remove; linear scan is fine: called 2(n-1) times. *)
+      let rec find i = if active.(i) = v then i else find (i + 1) in
+      let i = find 0 in
+      active.(i) <- active.(!n_active - 1);
+      decr n_active
+    in
+    let rec loop () =
+      if !n_active = 1 then active.(0)
+      else
+        match Util.Bin_heap.pop heap with
+        | None -> failwith "Greedy.merge_all: heap exhausted with roots remaining"
+        | Some (_, payload) ->
+          let a, b = unpack payload in
+          if not (alive.(a) && alive.(b)) then loop ()
+          else begin
+            let k = merge a b in
+            alive.(a) <- false;
+            alive.(b) <- false;
+            alive.(k) <- true;
+            remove_from_active a;
+            remove_from_active b;
+            for i = 0 to !n_active - 1 do
+              push_pair active.(i) k
+            done;
+            active.(!n_active) <- k;
+            incr n_active;
+            loop ()
+          end
+    in
+    loop ()
+  end

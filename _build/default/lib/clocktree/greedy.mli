@@ -1,0 +1,23 @@
+(** Generic greedy pair-merging engine.
+
+    Repeatedly merges the pair of active elements with the smallest cost
+    until a single element remains — the shared skeleton of the
+    nearest-neighbor heuristic (cost = merging-sector distance, Edahiro
+    style) and of the paper's min-switched-capacitance ordering (cost =
+    Eq. (3)).
+
+    Complexity: O(n^2 log n) heap operations with lazy deletion — the
+    structure behind the paper's O(K^2 N^2) bound, where the probability
+    work multiplies in. *)
+
+val merge_all :
+  n:int ->
+  cost:(int -> int -> float) ->
+  merge:(int -> int -> int) ->
+  int
+(** [merge_all ~n ~cost ~merge] starts from active elements [0..n-1].
+    [merge a b] must consume both arguments and return a fresh id, denser
+    ids first: the engine requires ids to be allocated consecutively
+    ([n], [n+1], ...). Returns the final surviving id. [cost] must be
+    symmetric; it is consulted once per unordered candidate pair. Raises
+    [Invalid_argument] when [n <= 0] or exceeds the 2^20 id budget. *)

@@ -1,0 +1,59 @@
+type t = {
+  n_sinks : int;
+  max_depth : int;
+  min_depth : int;
+  mean_depth : float;
+  total_wirelength : float;
+  detour_wirelength : float;
+  snaked_edges : int;
+  mean_edge_length : float;
+  max_edge_length : float;
+  wirelength_by_depth : float array;
+}
+
+let of_embed (embed : Embed.t) =
+  let topo = embed.Embed.topo in
+  let n_sinks = Topo.n_sinks topo in
+  let n_edges = max 1 (Topo.n_nodes topo - 1) in
+  let depths = Array.init n_sinks (fun s -> Topo.depth topo s) in
+  let max_depth = Array.fold_left max 0 depths in
+  let min_depth = Array.fold_left min max_int depths in
+  let mean_depth =
+    float_of_int (Array.fold_left ( + ) 0 depths) /. float_of_int n_sinks
+  in
+  let total = ref 0.0 and detour = ref 0.0 and snaked = ref 0 in
+  let max_edge = ref 0.0 in
+  let by_depth = Array.make (max max_depth 1) 0.0 in
+  Topo.iter_bottom_up topo (fun v ->
+      match Topo.parent topo v with
+      | None -> ()
+      | Some p ->
+        let len = Embed.edge_len embed v in
+        let direct =
+          Geometry.Point.manhattan embed.Embed.loc.(v) embed.Embed.loc.(p)
+        in
+        total := !total +. len;
+        detour := !detour +. Float.max 0.0 (len -. direct);
+        if embed.Embed.mseg.Mseg.snaked.(v) then incr snaked;
+        if len > !max_edge then max_edge := len;
+        let d = Topo.depth topo v in
+        if d >= 1 then by_depth.(d - 1) <- by_depth.(d - 1) +. len);
+  {
+    n_sinks;
+    max_depth;
+    min_depth;
+    mean_depth;
+    total_wirelength = !total;
+    detour_wirelength = !detour;
+    snaked_edges = !snaked;
+    mean_edge_length = !total /. float_of_int n_edges;
+    max_edge_length = !max_edge;
+    wirelength_by_depth = by_depth;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%d sinks, depth %d..%d (mean %.2f)@ wire %.0f um (detour %.0f um over \
+     %d snaked edges)@ edges: mean %.1f um, max %.1f um@]"
+    t.n_sinks t.min_depth t.max_depth t.mean_depth t.total_wirelength
+    t.detour_wirelength t.snaked_edges t.mean_edge_length t.max_edge_length

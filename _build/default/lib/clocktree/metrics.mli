@@ -1,0 +1,23 @@
+(** Structural and electrical metrics of an embedded clock tree, for
+    reports, benches and regression tracking. *)
+
+type t = {
+  n_sinks : int;
+  max_depth : int;  (** deepest sink, in edges from the root *)
+  min_depth : int;
+  mean_depth : float;
+  total_wirelength : float;  (** um, detours included *)
+  detour_wirelength : float;
+      (** um of wire beyond the Manhattan distance of each edge's embedded
+          endpoints (the snaking cost of skew balancing) *)
+  snaked_edges : int;
+  mean_edge_length : float;
+  max_edge_length : float;
+  wirelength_by_depth : float array;
+      (** index d: total wire of edges whose child sits at depth d+1...
+          indexed by the child's depth minus one *)
+}
+
+val of_embed : Embed.t -> t
+
+val pp : Format.formatter -> t -> unit

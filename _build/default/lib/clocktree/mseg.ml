@@ -1,0 +1,63 @@
+type t = {
+  region : Geometry.Rect.t array;
+  delay : float array;
+  cap : float array;
+  edge_len : float array;
+  snaked : bool array;
+}
+
+(* The two inflated child regions meet in exact arithmetic; under floating
+   point they can miss by a hair, so retry with a small relative slack and
+   finally fall back to the midpoint of the closest pair. *)
+let merge_region ra ea rb eb dist =
+  let ta = Geometry.Rect.inflate ra ea and tb = Geometry.Rect.inflate rb eb in
+  match Geometry.Rect.intersect ta tb with
+  | Some r -> r
+  | None ->
+    let slack = 1e-9 *. (1.0 +. dist) in
+    (match
+       Geometry.Rect.intersect (Geometry.Rect.inflate ta slack)
+         (Geometry.Rect.inflate tb slack)
+     with
+    | Some r -> r
+    | None ->
+      let p, q = Geometry.Rect.nearest_pair ta tb in
+      Geometry.Rect.of_rot
+        { Geometry.Rot.u = (p.Geometry.Rot.u +. q.Geometry.Rot.u) /. 2.0;
+          v = (p.Geometry.Rot.v +. q.Geometry.Rot.v) /. 2.0;
+        })
+
+let build tech topo ~sinks ~gate_on_edge =
+  Sink.validate_array sinks;
+  if Array.length sinks <> Topo.n_sinks topo then
+    invalid_arg "Mseg.build: sink count does not match topology";
+  let n = Topo.n_nodes topo in
+  let region = Array.make n (Geometry.Rect.of_point Geometry.Point.origin) in
+  let delay = Array.make n 0.0 in
+  let cap = Array.make n 0.0 in
+  let edge_len = Array.make n 0.0 in
+  let snaked = Array.make n false in
+  Topo.iter_bottom_up topo (fun v ->
+      match Topo.children topo v with
+      | None ->
+        region.(v) <- Geometry.Rect.of_point sinks.(v).Sink.loc;
+        cap.(v) <- sinks.(v).Sink.cap
+      | Some (a, b) ->
+        let branch c =
+          { Zskew.delay = delay.(c); cap = cap.(c); gate = gate_on_edge c }
+        in
+        let dist = Geometry.Rect.distance region.(a) region.(b) in
+        let split = Zskew.split tech (branch a) (branch b) ~dist in
+        edge_len.(a) <- split.Zskew.ea;
+        edge_len.(b) <- split.Zskew.eb;
+        (match split.Zskew.snaked with
+        | Zskew.No_snake -> ()
+        | Zskew.Snake_a -> snaked.(a) <- true
+        | Zskew.Snake_b -> snaked.(b) <- true);
+        region.(v) <-
+          merge_region region.(a) split.Zskew.ea region.(b) split.Zskew.eb dist;
+        delay.(v) <- split.Zskew.merged_delay;
+        cap.(v) <- split.Zskew.merged_cap);
+  { region; delay; cap; edge_len; snaked }
+
+let total_wirelength t = Array.fold_left ( +. ) 0.0 t.edge_len

@@ -1,0 +1,36 @@
+(** Bottom-up merging-segment construction — phase 1 of DME (Deferred Merge
+    Embedding) under exact zero skew.
+
+    Given a topology and a gate assignment, computes for every node its
+    merging region (the locus of zero-skew placements, a Manhattan arc
+    represented as a rotated-frame rectangle), the wire length of the edge
+    to its parent, and the subtree delay/capacitance at the node. *)
+
+type t = {
+  region : Geometry.Rect.t array;  (** merging region per node *)
+  delay : float array;  (** zero-skew Elmore delay node -> sinks *)
+  cap : float array;  (** downstream capacitance at the node *)
+  edge_len : float array;  (** wire length of the edge above the node; 0 at the root *)
+  snaked : bool array;  (** true when the edge above the node is elongated *)
+}
+
+val build :
+  Tech.t ->
+  Topo.t ->
+  sinks:Sink.t array ->
+  gate_on_edge:(int -> Tech.gate option) ->
+  t
+(** [gate_on_edge v] is the masking gate or buffer at the head of the edge
+    above node [v] (queried for every non-root node). Raises
+    [Invalid_argument] when the sink array does not match the topology. *)
+
+val total_wirelength : t -> float
+(** Sum of all edge lengths (detour wire included). *)
+
+val merge_region :
+  Geometry.Rect.t -> float -> Geometry.Rect.t -> float -> float -> Geometry.Rect.t
+(** [merge_region ra ea rb eb dist] is the merging region of a parent whose
+    children occupy regions [ra], [rb] at wire lengths [ea], [eb] with
+    [dist] the region distance: the intersection of the two inflated
+    regions, with a numerically-robust fallback when rounding makes the
+    exact intersection empty. Shared with the incremental {!Grow} state. *)

@@ -1,0 +1,13 @@
+let topology tech ~edge_gate sinks =
+  let grow = Grow.create tech ~edge_gate sinks in
+  let root =
+    Greedy.merge_all ~n:(Array.length sinks)
+      ~cost:(fun a b -> Grow.dist grow a b)
+      ~merge:(fun a b -> Grow.merge grow a b)
+  in
+  ignore root;
+  Grow.topology grow
+
+let embed tech ~edge_gate ~root_anchor sinks =
+  let topo = topology tech ~edge_gate sinks in
+  Embed.build tech topo ~sinks ~gate_on_edge:(fun _ -> edge_gate) ~root_anchor

@@ -1,0 +1,18 @@
+(** Nearest-neighbor zero-skew topology (the Edahiro-style heuristic the
+    paper uses for its buffered baseline and cites as [3]).
+
+    Greedily merges the two subtree roots whose merging sectors are
+    geometrically closest; with [edge_gate = Some tech.buffer] this yields
+    the paper's "buffered clock tree" construction. *)
+
+val topology : Tech.t -> edge_gate:Tech.gate option -> Sink.t array -> Topo.t
+(** Build the complete topology. Raises [Invalid_argument] on an empty or
+    mis-indexed sink array. *)
+
+val embed :
+  Tech.t ->
+  edge_gate:Tech.gate option ->
+  root_anchor:Geometry.Point.t ->
+  Sink.t array ->
+  Embed.t
+(** Topology plus DME embedding with the same uniform gate assignment. *)

@@ -1,0 +1,75 @@
+type gate = {
+  input_cap : float;
+  drive_res : float;
+  intrinsic_delay : float;
+  area : float;
+}
+
+type t = {
+  unit_res : float;
+  unit_cap : float;
+  wire_area : float;
+  and_gate : gate;
+  buffer : gate;
+}
+
+let default_and_gate =
+  { input_cap = 20.0; drive_res = 400.0; intrinsic_delay = 30_000.0; area = 60.0 }
+
+let scale_gate g k =
+  if k <= 0.0 || not (Float.is_finite k) then
+    invalid_arg "Tech.scale_gate: non-positive factor";
+  {
+    input_cap = g.input_cap *. k;
+    drive_res = g.drive_res /. k;
+    intrinsic_delay = g.intrinsic_delay;
+    area = g.area *. k;
+  }
+
+(* The clock buffer is "half the size" of the masking AND gate (its area
+   and input capacitance): it is the same clock path minus the enable input
+   circuitry, so its drive strength and intrinsic delay match the gate's.
+   Keeping the delays equal means swapping a gate for a buffer (tying the
+   enable high) does not disturb the zero-skew balance. *)
+let default_buffer =
+  { input_cap = 10.0; drive_res = 400.0; intrinsic_delay = 30_000.0; area = 30.0 }
+
+let default =
+  {
+    unit_res = 0.1;
+    unit_cap = 0.2;
+    wire_area = 0.6;
+    and_gate = default_and_gate;
+    buffer = default_buffer;
+  }
+
+let validate_gate name g =
+  let pos field x =
+    if x <= 0.0 || not (Float.is_finite x) then
+      invalid_arg (Printf.sprintf "Tech.validate: %s.%s must be positive" name field)
+  in
+  pos "input_cap" g.input_cap;
+  pos "drive_res" g.drive_res;
+  pos "area" g.area;
+  if g.intrinsic_delay < 0.0 || not (Float.is_finite g.intrinsic_delay) then
+    invalid_arg (Printf.sprintf "Tech.validate: %s.intrinsic_delay must be non-negative" name)
+
+let validate t =
+  let pos field x =
+    if x <= 0.0 || not (Float.is_finite x) then
+      invalid_arg (Printf.sprintf "Tech.validate: %s must be positive" field)
+  in
+  pos "unit_res" t.unit_res;
+  pos "unit_cap" t.unit_cap;
+  pos "wire_area" t.wire_area;
+  validate_gate "and_gate" t.and_gate;
+  validate_gate "buffer" t.buffer
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>wire: %.3g ohm/um, %.3g fF/um, %.3g um^2/um@ \
+     and-gate: %.3g fF, %.3g ohm, %.3g fs, %.3g um^2@ \
+     buffer: %.3g fF, %.3g ohm, %.3g fs, %.3g um^2@]"
+    t.unit_res t.unit_cap t.wire_area t.and_gate.input_cap t.and_gate.drive_res
+    t.and_gate.intrinsic_delay t.and_gate.area t.buffer.input_cap
+    t.buffer.drive_res t.buffer.intrinsic_delay t.buffer.area

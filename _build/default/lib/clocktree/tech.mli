@@ -1,0 +1,47 @@
+(** Technology parameters.
+
+    Units used throughout the library:
+    - distance: micrometres (um)
+    - capacitance: femtofarads (fF)
+    - resistance: ohms
+    - delay: ohm x fF = femtoseconds (divide by 1000 for ps)
+    - area: square micrometres (um^2)
+
+    The absolute values are representative of the paper's late-90s process;
+    only relative comparisons (gated vs. buffered, reduction sweeps) are
+    meaningful for reproduction, as discussed in DESIGN.md. *)
+
+type gate = {
+  input_cap : float;  (** capacitance presented to the net driving the gate (fF) *)
+  drive_res : float;  (** output drive resistance (ohm) *)
+  intrinsic_delay : float;  (** input-to-output delay at zero load (ohm x fF) *)
+  area : float;  (** layout area (um^2) *)
+}
+(** A clock masking AND-gate or a clock buffer. *)
+
+type t = {
+  unit_res : float;  (** wire resistance per unit length (ohm/um) *)
+  unit_cap : float;  (** wire capacitance per unit length (fF/um) *)
+  wire_area : float;  (** wire area per unit length (um^2/um) *)
+  and_gate : gate;  (** the masking gate inserted on clock-tree edges *)
+  buffer : gate;  (** conventional clock buffer, half the size of the AND gate *)
+}
+
+val default : t
+(** Representative 0.35um-class parameters: 0.1 ohm/um, 0.2 fF/um wire; a
+    20 fF / 400 ohm AND gate. The buffer is half the gate's size (input
+    capacitance and area) — the same clock path minus the enable input —
+    with equal drive resistance and intrinsic delay, so replacing a masking
+    gate by a buffer (tying its enable high) leaves the zero-skew balance
+    untouched. *)
+
+val scale_gate : gate -> float -> gate
+(** [scale_gate g k] scales the transistor widths by [k]: input capacitance
+    and area scale by [k], drive resistance by [1/k]; intrinsic delay is
+    unchanged. Raises [Invalid_argument] when [k <= 0]. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] when any parameter is non-positive or
+    non-finite. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type branch = { delay : float; cap : float; gate : Tech.gate option }
+
+type side = No_snake | Snake_a | Snake_b
+
+type split = {
+  ea : float;
+  eb : float;
+  merged_delay : float;
+  merged_cap : float;
+  snaked : side;
+}
+
+(* Delay through a branch as a polynomial in the wire length e:
+   D(e) = base + lin*e + quad*e^2. *)
+let coeffs (tech : Tech.t) b =
+  let r = tech.unit_res and c = tech.unit_cap in
+  match b.gate with
+  | None -> (b.delay, r *. b.cap, r *. c /. 2.0)
+  | Some g ->
+    ( b.delay +. g.Tech.intrinsic_delay +. (g.Tech.drive_res *. b.cap),
+      (r *. b.cap) +. (g.Tech.drive_res *. c),
+      r *. c /. 2.0 )
+
+let eval (base, lin, quad) e = base +. (lin *. e) +. (quad *. e *. e)
+
+let branch_delay tech b e = eval (coeffs tech b) e
+
+let branch_head_cap (tech : Tech.t) b e =
+  match b.gate with
+  | Some g -> g.Tech.input_cap
+  | None -> (tech.unit_cap *. e) +. b.cap
+
+(* Smallest e >= 0 with base + lin*e + quad*e^2 = target, assuming
+   target >= base and lin, quad >= 0 (delay grows with wire length). *)
+let solve_length (base, lin, quad) target =
+  let rhs = target -. base in
+  if rhs <= 0.0 then 0.0
+  else if quad <= 0.0 then
+    if lin <= 0.0 then
+      invalid_arg "Zskew: cannot snake with zero wire parasitics"
+    else rhs /. lin
+  else
+    let disc = (lin *. lin) +. (4.0 *. quad *. rhs) in
+    ((-.lin) +. sqrt disc) /. (2.0 *. quad)
+
+let delay_poly = coeffs
+
+let wire_for_delay = solve_length
+
+let split tech a b ~dist =
+  if dist < 0.0 || not (Float.is_finite dist) then
+    invalid_arg "Zskew.split: negative or non-finite distance";
+  let ca = coeffs tech a and cb = coeffs tech b in
+  let a0, a1, q = ca in
+  let b0, b1, _ = cb in
+  (* Balance point of D_a(x) = D_b(dist - x); the quadratic terms cancel. *)
+  let denom = a1 +. b1 +. (2.0 *. q *. dist) in
+  let x =
+    if denom <= 0.0 then if a0 <= b0 then dist else 0.0
+    else (b0 -. a0 +. (b1 *. dist) +. (q *. dist *. dist)) /. denom
+  in
+  let finish ea eb snaked =
+    let da = eval ca ea in
+    { ea;
+      eb;
+      merged_delay = da;
+      merged_cap = branch_head_cap tech a ea +. branch_head_cap tech b eb;
+      snaked;
+    }
+  in
+  if x < 0.0 then
+    (* Branch a is too slow even with no wire: elongate b's wire. *)
+    finish 0.0 (Float.max dist (solve_length cb (eval ca 0.0))) Snake_b
+  else if x > dist then
+    finish (Float.max dist (solve_length ca (eval cb 0.0))) 0.0 Snake_a
+  else finish x (dist -. x) No_snake

@@ -1,0 +1,1 @@
+lib/formats/parse.ml: Float Fun List Printf String

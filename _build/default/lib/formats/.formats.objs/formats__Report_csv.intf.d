@@ -1,0 +1,1 @@
+lib/formats/report_csv.mli: Gcr

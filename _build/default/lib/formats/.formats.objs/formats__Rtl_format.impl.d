@@ -1,0 +1,1 @@
+lib/formats/rtl_format.ml: Activity Array Buffer Fun Hashtbl List Parse Printf String

@@ -1,0 +1,1 @@
+lib/formats/rtl_format.mli: Activity

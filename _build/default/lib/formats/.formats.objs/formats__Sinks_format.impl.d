@@ -1,0 +1,1 @@
+lib/formats/sinks_format.ml: Array Buffer Clocktree Fun Geometry List Parse Printf

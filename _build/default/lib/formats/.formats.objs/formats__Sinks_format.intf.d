@@ -1,0 +1,1 @@
+lib/formats/sinks_format.mli: Clocktree

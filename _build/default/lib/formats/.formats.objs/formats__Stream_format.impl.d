@@ -1,0 +1,1 @@
+lib/formats/stream_format.ml: Activity Array Buffer Fun List Parse String

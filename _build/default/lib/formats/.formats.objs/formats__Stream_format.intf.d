@@ -1,0 +1,1 @@
+lib/formats/stream_format.mli: Activity

@@ -1,0 +1,37 @@
+exception Error of { source : string; line : int; msg : string }
+
+let fail ~source ~line fmt =
+  Printf.ksprintf (fun msg -> raise (Error { source; line; msg })) fmt
+
+let strip_comment s =
+  match String.index_opt s '#' with None -> s | Some i -> String.sub s 0 i
+
+let significant_lines contents =
+  let lines = String.split_on_char '\n' contents in
+  List.filteri (fun _ _ -> true) lines
+  |> List.mapi (fun i l -> (i + 1, strip_comment l))
+  |> List.filter (fun (_, l) -> String.trim l <> "")
+
+let fields line =
+  String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+  |> List.filter (fun f -> f <> "")
+
+let float_field ~source ~line ~what s =
+  match float_of_string_opt s with
+  | Some f when Float.is_finite f -> f
+  | Some _ | None -> fail ~source ~line "invalid %s: %S" what s
+
+let int_field ~source ~line ~what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail ~source ~line "invalid %s: %S" what s
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let error_to_string = function
+  | Error { source; line; msg } -> Some (Printf.sprintf "%s:%d: %s" source line msg)
+  | _ -> None

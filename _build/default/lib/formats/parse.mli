@@ -1,0 +1,29 @@
+(** Shared plumbing for the plain-text file formats.
+
+    All formats are line-oriented: [#] starts a comment (to end of line),
+    blank lines are ignored, fields are whitespace-separated. Errors carry
+    the source name and 1-based line number. *)
+
+exception Error of { source : string; line : int; msg : string }
+(** Raised by every parser in this library on malformed input. *)
+
+val fail : source:string -> line:int -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Error} with a formatted message. *)
+
+val significant_lines : string -> (int * string) list
+(** Split file contents into (line number, content) pairs with comments
+    stripped and blank lines dropped. *)
+
+val fields : string -> string list
+(** Whitespace-split a line into non-empty fields. *)
+
+val float_field : source:string -> line:int -> what:string -> string -> float
+(** Parse a float field or fail with a located error. *)
+
+val int_field : source:string -> line:int -> what:string -> string -> int
+
+val read_file : string -> string
+(** Read a whole file. Raises [Sys_error] as usual. *)
+
+val error_to_string : exn -> string option
+(** Pretty-print an {!Error}; [None] for other exceptions. *)

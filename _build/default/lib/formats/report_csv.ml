@@ -1,0 +1,28 @@
+let header =
+  "name,sinks,gates,buffers,w_clock_ff,w_ctrl_ff,w_total_ff,clock_wire_um,"
+  ^ "control_wire_um,area_clock_wire_um2,area_control_wire_um2,area_gates_um2,"
+  ^ "area_buffers_um2,area_total_um2,phase_delay_ohm_ff,skew_ohm_ff,avg_activity"
+
+(* quote a name only if it contains a comma or quote *)
+let quote s =
+  if String.exists (fun c -> c = ',' || c = '"') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let row (r : Gcr.Report.t) =
+  Printf.sprintf "%s,%d,%d,%d,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g"
+    (quote r.Gcr.Report.name) r.Gcr.Report.n_sinks r.Gcr.Report.gate_count
+    r.Gcr.Report.buffer_count r.Gcr.Report.w_clock r.Gcr.Report.w_ctrl
+    r.Gcr.Report.w_total r.Gcr.Report.clock_wirelength r.Gcr.Report.control_wirelength
+    r.Gcr.Report.area.Gcr.Area.clock_wire r.Gcr.Report.area.Gcr.Area.control_wire
+    r.Gcr.Report.area.Gcr.Area.gates r.Gcr.Report.area.Gcr.Area.buffers
+    r.Gcr.Report.area.Gcr.Area.total r.Gcr.Report.phase_delay r.Gcr.Report.skew
+    r.Gcr.Report.avg_activity
+
+let render reports =
+  String.concat "\n" (header :: List.map row reports) ^ "\n"
+
+let save path reports =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (render reports))

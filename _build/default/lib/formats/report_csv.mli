@@ -1,0 +1,16 @@
+(** CSV export of routing reports, for plotting the reproduction figures
+    with external tools. *)
+
+val header : string
+(** The CSV header row (no trailing newline). *)
+
+val row : Gcr.Report.t -> string
+(** One report as a CSV row (no trailing newline). Fields match
+    {!header}: name, sinks, gates, buffers, switched capacitance (clock /
+    control / total, fF), wire lengths (um), area breakdown (um^2), phase
+    delay and skew (ohm x fF), average activity. *)
+
+val render : Gcr.Report.t list -> string
+(** Header plus one row per report, newline-terminated. *)
+
+val save : string -> Gcr.Report.t list -> unit

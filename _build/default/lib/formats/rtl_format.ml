@@ -1,0 +1,84 @@
+let parse ?(source = "<rtl>") contents =
+  match Parse.significant_lines contents with
+  | [] -> Parse.fail ~source ~line:0 "empty RTL description"
+  | (header_line, header) :: rest ->
+    let module_names =
+      match Parse.fields header with
+      | "modules" :: [ count ] when int_of_string_opt count <> None ->
+        let n = int_of_string count in
+        if n <= 0 then Parse.fail ~source ~line:header_line "module count must be positive";
+        Array.init n (fun i -> Printf.sprintf "M%d" (i + 1))
+      | "modules" :: (_ :: _ as names) -> Array.of_list names
+      | _ ->
+        Parse.fail ~source ~line:header_line
+          "expected a 'modules <count | names...>' header"
+    in
+    let n_modules = Array.length module_names in
+    let module_index ~line name =
+      let rec find i =
+        if i = n_modules then
+          match int_of_string_opt name with
+          | Some idx when idx >= 0 && idx < n_modules -> idx
+          | Some idx -> Parse.fail ~source ~line "module index %d out of range" idx
+          | None -> Parse.fail ~source ~line "unknown module %S" name
+        else if String.equal module_names.(i) name then i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let parse_instr (line, text) =
+      match String.index_opt text ':' with
+      | None -> Parse.fail ~source ~line "expected '<instruction>: <modules...>'"
+      | Some i ->
+        let name = String.trim (String.sub text 0 i) in
+        if name = "" then Parse.fail ~source ~line "empty instruction name";
+        let mods = Parse.fields (String.sub text (i + 1) (String.length text - i - 1)) in
+        if mods = [] then Parse.fail ~source ~line "instruction %s uses no modules" name;
+        let set =
+          List.fold_left
+            (fun set m -> Activity.Module_set.add set (module_index ~line m))
+            (Activity.Module_set.empty n_modules)
+            mods
+        in
+        (line, name, set)
+    in
+    let instrs = List.map parse_instr rest in
+    if instrs = [] then Parse.fail ~source ~line:header_line "no instructions";
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (line, name, _) ->
+        if Hashtbl.mem seen name then
+          Parse.fail ~source ~line "duplicate instruction name %S" name;
+        Hashtbl.add seen name ())
+      instrs;
+    Activity.Rtl.make ~module_names
+      ~instr_names:(Array.of_list (List.map (fun (_, n, _) -> n) instrs))
+      ~n_modules
+      ~uses:(Array.of_list (List.map (fun (_, _, s) -> s) instrs))
+      ()
+
+let load path = parse ~source:path (Parse.read_file path)
+
+let render rtl =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "modules";
+  for m = 0 to Activity.Rtl.n_modules rtl - 1 do
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (Activity.Rtl.module_name rtl m)
+  done;
+  Buffer.add_char buf '\n';
+  for i = 0 to Activity.Rtl.n_instructions rtl - 1 do
+    Buffer.add_string buf (Activity.Rtl.instr_name rtl i);
+    Buffer.add_char buf ':';
+    Activity.Module_set.iter
+      (fun m ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Activity.Rtl.module_name rtl m))
+      (Activity.Rtl.uses rtl i);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let save path rtl =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render rtl))

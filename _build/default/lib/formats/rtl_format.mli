@@ -1,0 +1,33 @@
+(** Plain-text RTL description files (the paper's Table 1 as a file).
+
+    A [modules] header declares the module universe, either by count or by
+    listing names; each following line declares one instruction and the
+    modules it uses (by name or 0-based index). Comments with [#].
+
+    {v
+    modules M1 M2 M3 M4 M5 M6
+    I1: M1 M2 M3 M5
+    I2: M1 M4
+    I3: M2 M5 M6
+    I4: M3 M4
+    v}
+
+    or, anonymously:
+
+    {v
+    modules 6
+    I1: 0 1 2 4
+    I2: 0 3
+    v} *)
+
+val parse : ?source:string -> string -> Activity.Rtl.t
+(** Raises {!Parse.Error} on malformed input: missing header, unknown
+    module name, index out of range, duplicate instruction name, or an
+    instruction with no modules. *)
+
+val load : string -> Activity.Rtl.t
+
+val render : Activity.Rtl.t -> string
+(** Named-module form; roundtrips through {!parse}. *)
+
+val save : string -> Activity.Rtl.t -> unit

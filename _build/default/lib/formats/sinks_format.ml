@@ -1,0 +1,50 @@
+let parse ?(source = "<sinks>") contents =
+  let entries =
+    List.map
+      (fun (line, text) ->
+        match Parse.fields text with
+        | [ id; x; y; cap; module_id ] ->
+          let num = Parse.float_field ~source ~line in
+          ( line,
+            Parse.int_field ~source ~line ~what:"sink id" id,
+            num ~what:"x coordinate" x,
+            num ~what:"y coordinate" y,
+            num ~what:"load capacitance" cap,
+            Parse.int_field ~source ~line ~what:"module id" module_id )
+        | fs ->
+          Parse.fail ~source ~line "expected 5 fields (id x y cap module), got %d"
+            (List.length fs))
+      (Parse.significant_lines contents)
+  in
+  if entries = [] then Parse.fail ~source ~line:0 "no sinks in file";
+  let sinks =
+    List.mapi
+      (fun expected (line, id, x, y, cap, module_id) ->
+        if id <> expected then
+          Parse.fail ~source ~line "sink ids must be dense: expected %d, got %d"
+            expected id;
+        if cap <= 0.0 then Parse.fail ~source ~line "load capacitance must be positive";
+        if module_id < 0 then Parse.fail ~source ~line "module id must be non-negative";
+        Clocktree.Sink.make ~id ~loc:(Geometry.Point.make x y) ~cap ~module_id)
+      entries
+  in
+  Array.of_list sinks
+
+let load path = parse ~source:path (Parse.read_file path)
+
+let render sinks =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# id x y cap module\n";
+  Array.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %.6g %.6g %.6g %d\n" s.Clocktree.Sink.id
+           s.Clocktree.Sink.loc.Geometry.Point.x s.Clocktree.Sink.loc.Geometry.Point.y
+           s.Clocktree.Sink.cap s.Clocktree.Sink.module_id))
+    sinks;
+  Buffer.contents buf
+
+let save path sinks =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (render sinks))

@@ -1,0 +1,24 @@
+(** Plain-text sink files.
+
+    One sink per line: [id x y cap module_id], where [id] must be dense
+    and ascending from 0, coordinates are in um and the load capacitance
+    in fF. Comments with [#].
+
+    {v
+    # id  x       y       cap   module
+    0     450.0   500.0   10.0  0
+    1     550.0   500.0   10.0  1
+    v} *)
+
+val parse : ?source:string -> string -> Clocktree.Sink.t array
+(** Parse file contents. Raises {!Parse.Error} on malformed input
+    (including non-dense ids) — the array always satisfies
+    {!Clocktree.Sink.validate_array}. *)
+
+val load : string -> Clocktree.Sink.t array
+(** Read and parse a file. *)
+
+val render : Clocktree.Sink.t array -> string
+(** Render in the same format (roundtrips through {!parse}). *)
+
+val save : string -> Clocktree.Sink.t array -> unit

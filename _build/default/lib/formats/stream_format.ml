@@ -1,0 +1,36 @@
+let parse ?(source = "<stream>") rtl contents =
+  let k = Activity.Rtl.n_instructions rtl in
+  let index ~line name =
+    let rec find i =
+      if i = k then Parse.fail ~source ~line "unknown instruction %S" name
+      else if String.equal (Activity.Rtl.instr_name rtl i) name then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let instrs =
+    List.concat_map
+      (fun (line, text) -> List.map (fun f -> index ~line f) (Parse.fields text))
+      (Parse.significant_lines contents)
+  in
+  if instrs = [] then Parse.fail ~source ~line:0 "empty instruction stream";
+  Activity.Instr_stream.make rtl (Array.of_list instrs)
+
+let load rtl path = parse ~source:path rtl (Parse.read_file path)
+
+let render ?(per_line = 20) stream =
+  if per_line <= 0 then invalid_arg "Stream_format.render: per_line must be positive";
+  let rtl = Activity.Instr_stream.rtl stream in
+  let buf = Buffer.create 4096 in
+  let b = Activity.Instr_stream.length stream in
+  for t = 0 to b - 1 do
+    Buffer.add_string buf (Activity.Rtl.instr_name rtl (Activity.Instr_stream.get stream t));
+    if (t + 1) mod per_line = 0 || t = b - 1 then Buffer.add_char buf '\n'
+    else Buffer.add_char buf ' '
+  done;
+  Buffer.contents buf
+
+let save ?per_line path stream =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (render ?per_line stream))

@@ -1,0 +1,22 @@
+(** Plain-text instruction-stream files.
+
+    Whitespace-separated instruction names (any number per line),
+    interpreted against a given {!Activity.Rtl.t}. Comments with [#].
+
+    {v
+    # 20-cycle trace
+    I1 I2 I4 I1 I3
+    I1 I2 I1 I1 I2
+    v} *)
+
+val parse : ?source:string -> Activity.Rtl.t -> string -> Activity.Instr_stream.t
+(** Raises {!Parse.Error} on an unknown instruction name or an empty
+    stream. *)
+
+val load : Activity.Rtl.t -> string -> Activity.Instr_stream.t
+
+val render : ?per_line:int -> Activity.Instr_stream.t -> string
+(** [per_line] (default 20) instruction names per line; roundtrips
+    through {!parse}. *)
+
+val save : ?per_line:int -> string -> Activity.Instr_stream.t -> unit

@@ -1,0 +1,1 @@
+lib/gcr/activity_router.ml: Activity Array Clocktree Config Enable Gated_tree Geometry

@@ -1,0 +1,1 @@
+lib/gcr/activity_router.mli: Activity Clocktree Config Gated_tree

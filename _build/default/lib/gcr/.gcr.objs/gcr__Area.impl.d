@@ -1,0 +1,1 @@
+lib/gcr/area.ml: Array Clocktree Config Cost Format Gated_tree

@@ -1,0 +1,1 @@
+lib/gcr/area.mli: Format Gated_tree

@@ -1,0 +1,1 @@
+lib/gcr/buffered.ml: Clocktree Config Gated_tree

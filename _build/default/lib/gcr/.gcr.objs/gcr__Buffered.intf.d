@@ -1,0 +1,1 @@
+lib/gcr/buffered.mli: Activity Clocktree Config Gated_tree

@@ -1,0 +1,1 @@
+lib/gcr/config.ml: Clocktree Controller Float Format Geometry

@@ -1,0 +1,1 @@
+lib/gcr/config.mli: Clocktree Controller Format Geometry

@@ -1,0 +1,1 @@
+lib/gcr/controller.ml: Array Float Format Geometry

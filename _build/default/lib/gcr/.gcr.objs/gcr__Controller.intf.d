@@ -1,0 +1,1 @@
+lib/gcr/controller.mli: Format Geometry

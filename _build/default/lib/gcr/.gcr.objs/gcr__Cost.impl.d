@@ -1,0 +1,1 @@
+lib/gcr/cost.ml: Array Clocktree Config Controller Enable Gated_tree

@@ -1,0 +1,1 @@
+lib/gcr/cost.mli: Config Enable Gated_tree Geometry

@@ -1,0 +1,1 @@
+lib/gcr/dot.ml: Array Buffer Clocktree Enable Fun Gated_tree Printf

@@ -1,0 +1,1 @@
+lib/gcr/dot.mli: Gated_tree

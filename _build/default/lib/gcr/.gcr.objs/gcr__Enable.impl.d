@@ -1,0 +1,1 @@
+lib/gcr/enable.ml: Activity Array Clocktree Format Printf

@@ -1,0 +1,1 @@
+lib/gcr/enable.mli: Activity Clocktree Format

@@ -1,0 +1,1 @@
+lib/gcr/flow.ml: Buffered Gate_reduction Printf Router Sizing

@@ -1,0 +1,1 @@
+lib/gcr/flow.mli: Activity Clocktree Config Gated_tree

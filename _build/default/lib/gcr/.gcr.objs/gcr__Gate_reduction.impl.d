@@ -1,0 +1,1 @@
+lib/gcr/gate_reduction.ml: Array Clocktree Config Controller Cost Enable Float Gated_tree Hashtbl List

@@ -1,0 +1,1 @@
+lib/gcr/gate_reduction.mli: Gated_tree

@@ -1,0 +1,1 @@
+lib/gcr/gated_tree.ml: Activity Array Clocktree Config Enable Float Printf

@@ -1,0 +1,1 @@
+lib/gcr/gated_tree.mli: Activity Clocktree Config Enable Geometry

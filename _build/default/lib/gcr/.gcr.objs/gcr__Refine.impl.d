@@ -1,0 +1,1 @@
+lib/gcr/refine.ml: Clocktree Cost Gated_tree List

@@ -1,0 +1,1 @@
+lib/gcr/refine.mli: Gated_tree

@@ -1,0 +1,1 @@
+lib/gcr/report.ml: Activity Area Array Clocktree Config Cost Format Gated_tree List Printf Util

@@ -1,0 +1,1 @@
+lib/gcr/report.mli: Area Format Gated_tree Util

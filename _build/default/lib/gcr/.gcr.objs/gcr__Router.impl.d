@@ -1,0 +1,1 @@
+lib/gcr/router.ml: Array Clocktree Config Cost Enable Gated_tree Geometry

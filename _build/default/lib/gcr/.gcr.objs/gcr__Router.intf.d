@@ -1,0 +1,1 @@
+lib/gcr/router.mli: Activity Clocktree Config Gated_tree

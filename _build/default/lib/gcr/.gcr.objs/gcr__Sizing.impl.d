@@ -1,0 +1,1 @@
+lib/gcr/sizing.ml: Array Clocktree Config Float Gated_tree Hashtbl Option Util

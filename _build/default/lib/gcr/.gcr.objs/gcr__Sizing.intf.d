@@ -1,0 +1,1 @@
+lib/gcr/sizing.mli: Gated_tree

@@ -1,0 +1,1 @@
+lib/gcr/spice.ml: Array Buffer Clocktree Config Cost Fun Gated_tree Printf

@@ -1,0 +1,1 @@
+lib/gcr/spice.mli: Gated_tree

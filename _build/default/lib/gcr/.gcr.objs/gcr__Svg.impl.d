@@ -1,0 +1,1 @@
+lib/gcr/svg.ml: Array Buffer Clocktree Config Controller Float Fun Gated_tree Geometry List Printf String

@@ -1,0 +1,1 @@
+lib/gcr/svg.mli: Gated_tree

@@ -1,0 +1,31 @@
+let topology (config : Config.t) profile sinks =
+  Clocktree.Sink.validate_array sinks;
+  let tech = config.Config.tech in
+  let n = Array.length sinks in
+  let grow =
+    Clocktree.Grow.create tech ~edge_gate:(Some tech.Clocktree.Tech.and_gate) sinks
+  in
+  let mods = Array.make ((2 * n) - 1) None in
+  for v = 0 to n - 1 do
+    mods.(v) <- Some (Enable.of_sink profile sinks.(v)).Enable.mods
+  done;
+  let mods_of v = match mods.(v) with Some m -> m | None -> assert false in
+  (* scale so the geometric tie-breaker cannot override an activity
+     difference: probabilities differ by >= 1/B when they differ at all *)
+  let tie = 1e-6 /. (1.0 +. Geometry.Bbox.width config.Config.die) in
+  let cost a b =
+    let p = Activity.Profile.p profile (Activity.Module_set.union (mods_of a) (mods_of b)) in
+    p +. (tie *. Clocktree.Grow.dist grow a b)
+  in
+  let merge a b =
+    let k = Clocktree.Grow.merge grow a b in
+    mods.(k) <- Some (Activity.Module_set.union (mods_of a) (mods_of b));
+    k
+  in
+  let _root = Clocktree.Greedy.merge_all ~n ~cost ~merge in
+  Clocktree.Grow.topology grow
+
+let route ?skew_budget config profile sinks =
+  let topo = topology config profile sinks in
+  Gated_tree.build ?skew_budget config profile sinks topo
+    ~kind:(fun _ -> Gated_tree.Gated)

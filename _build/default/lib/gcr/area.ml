@@ -1,0 +1,26 @@
+type breakdown = {
+  clock_wire : float;
+  control_wire : float;
+  gates : float;
+  buffers : float;
+  total : float;
+}
+
+let of_tree t =
+  let tech = t.Gated_tree.config.Config.tech in
+  let clock_wire = Cost.clock_wirelength t *. tech.Clocktree.Tech.wire_area in
+  let control_wire = Cost.control_wirelength_total t *. tech.Clocktree.Tech.wire_area in
+  (* cell areas respect per-edge sizing *)
+  let gates = ref 0.0 and buffers = ref 0.0 in
+  Clocktree.Topo.iter_bottom_up t.Gated_tree.topo (fun v ->
+      match (t.Gated_tree.kind.(v), Gated_tree.gate_on_edge t v) with
+      | Gated_tree.Gated, Some g -> gates := !gates +. g.Clocktree.Tech.area
+      | Gated_tree.Buffered, Some g -> buffers := !buffers +. g.Clocktree.Tech.area
+      | (Gated_tree.Plain | Gated_tree.Gated | Gated_tree.Buffered), _ -> ());
+  let gates = !gates and buffers = !buffers in
+  { clock_wire; control_wire; gates; buffers; total = clock_wire +. control_wire +. gates +. buffers }
+
+let pp ppf b =
+  Format.fprintf ppf
+    "area %.0f um^2 (clock wire %.0f, control wire %.0f, gates %.0f, buffers %.0f)"
+    b.total b.clock_wire b.control_wire b.gates b.buffers

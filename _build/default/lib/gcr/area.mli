@@ -1,0 +1,18 @@
+(** Layout-area model (the paper's second evaluation axis).
+
+    Area = clock wiring + control-star wiring + gate/buffer cells. Wire
+    area is wire length times the technology's wire pitch area; the control
+    star dominates when too many gates are kept, which is what makes the
+    paper's Figure 3 "Gated" bars worse than "Buffered" before reduction. *)
+
+type breakdown = {
+  clock_wire : float;  (** um^2 of clock-tree wiring *)
+  control_wire : float;  (** um^2 of enable star wiring *)
+  gates : float;  (** um^2 of masking AND gates *)
+  buffers : float;  (** um^2 of clock buffers *)
+  total : float;
+}
+
+val of_tree : Gated_tree.t -> breakdown
+
+val pp : Format.formatter -> breakdown -> unit

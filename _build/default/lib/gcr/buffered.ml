@@ -1,0 +1,11 @@
+let build_with ?skew_budget (config : Config.t) profile sinks ~edge_gate ~kind =
+  let topo = Clocktree.Nn.topology config.Config.tech ~edge_gate sinks in
+  Gated_tree.build ?skew_budget config profile sinks topo ~kind:(fun _ -> kind)
+
+let route ?skew_budget config profile sinks =
+  build_with ?skew_budget config profile sinks
+    ~edge_gate:(Some config.Config.tech.Clocktree.Tech.buffer)
+    ~kind:Gated_tree.Buffered
+
+let route_ungated ?skew_budget config profile sinks =
+  build_with ?skew_budget config profile sinks ~edge_gate:None ~kind:Gated_tree.Plain

@@ -1,0 +1,26 @@
+(** The paper's baseline: a conventional buffered clock tree.
+
+    Nearest-neighbor topology (merging sectors at minimum distance), a
+    clock buffer — half the size of the masking AND gate — at the head of
+    every edge, no gating and no controller tree: the whole tree toggles
+    every cycle. *)
+
+val route :
+  ?skew_budget:float ->
+  Config.t ->
+  Activity.Profile.t ->
+  Clocktree.Sink.t array ->
+  Gated_tree.t
+(** Build the buffered baseline over the same inputs as {!Router.route}
+    (the profile is carried along so reports can quote activities, but it
+    does not influence the construction). *)
+
+val route_ungated :
+  ?skew_budget:float ->
+  Config.t ->
+  Activity.Profile.t ->
+  Clocktree.Sink.t array ->
+  Gated_tree.t
+(** A bare zero-skew tree with no buffers at all — the reference for the
+    "power of the gated tree is at least the average activity fraction of
+    the ungated tree" observation. *)

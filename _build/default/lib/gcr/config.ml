@@ -1,0 +1,29 @@
+type t = {
+  tech : Clocktree.Tech.t;
+  die : Geometry.Bbox.t;
+  controller : Controller.t;
+  control_weight : float;
+  root_anchor : Geometry.Point.t;
+}
+
+let make ?tech ?controller ?(control_weight = 1.0) ?root_anchor ~die () =
+  if control_weight < 0.0 || not (Float.is_finite control_weight) then
+    invalid_arg "Config.make: negative control weight";
+  let tech = match tech with Some t -> t | None -> Clocktree.Tech.default in
+  Clocktree.Tech.validate tech;
+  {
+    tech;
+    die;
+    controller =
+      (match controller with Some c -> c | None -> Controller.centralized die);
+    control_weight;
+    root_anchor =
+      (match root_anchor with Some p -> p | None -> Geometry.Bbox.center die);
+  }
+
+let default_for_die die = make ~die ()
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>die %a@ controller %a@ control weight %g@ %a@]"
+    Geometry.Bbox.pp t.die Controller.pp t.controller t.control_weight
+    Clocktree.Tech.pp t.tech

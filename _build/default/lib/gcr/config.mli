@@ -1,0 +1,31 @@
+(** Configuration of a gated-clock-routing run. *)
+
+type t = {
+  tech : Clocktree.Tech.t;
+  die : Geometry.Bbox.t;  (** chip outline; sinks must lie inside *)
+  controller : Controller.t;
+  control_weight : float;
+      (** scaling of the controller-tree switched capacitance [W(S)]
+          relative to the clock tree's [W(T)]. The paper's formulas weight
+          control wires by [Ptr(EN)] directly (weight 1); expose the knob
+          for sensitivity studies. *)
+  root_anchor : Geometry.Point.t;
+      (** clock-source location the tree root is pulled toward (usually the
+          die center) *)
+}
+
+val make :
+  ?tech:Clocktree.Tech.t ->
+  ?controller:Controller.t ->
+  ?control_weight:float ->
+  ?root_anchor:Geometry.Point.t ->
+  die:Geometry.Bbox.t ->
+  unit ->
+  t
+(** Defaults: {!Clocktree.Tech.default}, a centralized controller at the
+    die center, control weight 1, root anchor at the die center. Raises
+    [Invalid_argument] on a negative control weight. *)
+
+val default_for_die : Geometry.Bbox.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+let unit_cap (t : Gated_tree.t) = t.Gated_tree.config.Config.tech.Clocktree.Tech.unit_cap
+
+let edge_switched_cap t v =
+  if v = Clocktree.Topo.root t.Gated_tree.topo then 0.0
+  else
+    let wire = unit_cap t *. Clocktree.Embed.edge_len t.Gated_tree.embed v in
+    (wire +. Gated_tree.node_load t v) *. Gated_tree.edge_probability t v
+
+let w_clock t =
+  let topo = t.Gated_tree.topo in
+  let total = ref (Gated_tree.node_load t (Clocktree.Topo.root topo)) in
+  Clocktree.Topo.iter_bottom_up topo (fun v ->
+      if v <> Clocktree.Topo.root topo then total := !total +. edge_switched_cap t v);
+  !total
+
+let control_wire_length t v =
+  if Gated_tree.is_gated t v then
+    Controller.wire_length t.Gated_tree.config.Config.controller
+      (Gated_tree.gate_location t v)
+  else 0.0
+
+let control_wirelength_total t =
+  let total = ref 0.0 in
+  Clocktree.Topo.iter_bottom_up t.Gated_tree.topo (fun v ->
+      total := !total +. control_wire_length t v);
+  !total
+
+let clock_wirelength t = Clocktree.Embed.total_wirelength t.Gated_tree.embed
+
+let gate_input_cap (t : Gated_tree.t) =
+  t.Gated_tree.config.Config.tech.Clocktree.Tech.and_gate.Clocktree.Tech.input_cap
+
+let w_ctrl t =
+  let weight = t.Gated_tree.config.Config.control_weight in
+  let total = ref 0.0 in
+  Clocktree.Topo.iter_bottom_up t.Gated_tree.topo (fun v ->
+      if Gated_tree.is_gated t v then begin
+        let cg =
+          match Gated_tree.gate_on_edge t v with
+          | Some g -> g.Clocktree.Tech.input_cap
+          | None -> gate_input_cap t
+        in
+        let wire = unit_cap t *. control_wire_length t v in
+        total :=
+          !total +. ((wire +. cg) *. t.Gated_tree.enables.(v).Enable.ptr *. weight)
+      end);
+  !total
+
+let w_total t = w_clock t +. w_ctrl t
+
+let subtree_switched_cap t v =
+  let rec go v =
+    let below =
+      match Clocktree.Topo.children t.Gated_tree.topo v with
+      | None -> 0.0
+      | Some (a, b) -> go a +. go b
+    in
+    edge_switched_cap t v +. below
+  in
+  go v
+
+let merge_sc (config : Config.t) ~ea ~eb ~mid_a ~mid_b ~enable_a ~enable_b =
+  let tech = config.Config.tech in
+  let c = tech.Clocktree.Tech.unit_cap in
+  let cg = tech.Clocktree.Tech.and_gate.Clocktree.Tech.input_cap in
+  let clock side_len enable = ((c *. side_len) +. cg) *. enable.Enable.p in
+  let control mid enable =
+    let len = Controller.wire_length config.Config.controller mid in
+    ((c *. len) +. cg) *. enable.Enable.ptr *. config.Config.control_weight
+  in
+  clock ea enable_a +. clock eb enable_b +. control mid_a enable_a
+  +. control mid_b enable_b

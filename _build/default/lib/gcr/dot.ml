@@ -1,0 +1,40 @@
+let render ?(max_nodes = 4000) tree =
+  let topo = tree.Gated_tree.topo in
+  if Clocktree.Topo.n_nodes topo > max_nodes then
+    invalid_arg "Dot.render: tree too large (raise max_nodes or scale the input)";
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph gated_clock_tree {\n";
+  out "  rankdir=TB;\n  node [fontname=\"Helvetica\", fontsize=10];\n";
+  Clocktree.Topo.iter_top_down topo (fun v ->
+      if Clocktree.Topo.is_leaf topo v then begin
+        let s = tree.Gated_tree.sinks.(v) in
+        out
+          "  n%d [shape=box, label=\"sink %d\\nM%d, %.0f fF\", style=filled, \
+           fillcolor=\"#ffe8e8\"];\n"
+          v v s.Clocktree.Sink.module_id s.Clocktree.Sink.cap
+      end
+      else
+        out "  n%d [shape=circle, label=\"%.2f\"];\n" v
+          tree.Gated_tree.enables.(v).Enable.p);
+  Clocktree.Topo.iter_top_down topo (fun v ->
+      match Clocktree.Topo.parent topo v with
+      | None -> ()
+      | Some p ->
+        let len = Clocktree.Embed.edge_len tree.Gated_tree.embed v in
+        (match tree.Gated_tree.kind.(v) with
+        | Gated_tree.Gated ->
+          out
+            "  n%d -> n%d [color=\"#226622\", penwidth=2, label=\"EN p=%.2f\\n%.0f \
+             um\"];\n"
+            p v tree.Gated_tree.enables.(v).Enable.p len
+        | Gated_tree.Buffered ->
+          out "  n%d -> n%d [color=\"#888888\", label=\"buf\\n%.0f um\"];\n" p v len
+        | Gated_tree.Plain ->
+          out "  n%d -> n%d [color=\"#3366aa\", label=\"%.0f um\"];\n" p v len));
+  out "}\n";
+  Buffer.contents buf
+
+let write_file path dot =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc dot)

@@ -1,0 +1,14 @@
+(** Graphviz export of the gated clock tree's logical structure.
+
+    Complements {!Svg} (which draws the physical layout): the DOT view
+    shows the topology with enable probabilities, gate placement and the
+    governing relation — render with [dot -Tpdf]. *)
+
+val render : ?max_nodes:int -> Gated_tree.t -> string
+(** DOT digraph: internal nodes as circles labelled with [P(EN)], gated
+    edges bold green with their enable probability, buffered edges grey,
+    sinks as boxes labelled with module and load. Trees larger than
+    [max_nodes] (default 4000 nodes) are rejected with
+    [Invalid_argument] — render a scaled benchmark instead. *)
+
+val write_file : string -> string -> unit

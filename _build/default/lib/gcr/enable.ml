@@ -1,0 +1,29 @@
+type t = { mods : Activity.Module_set.t; p : float; ptr : float }
+
+let of_set profile mods =
+  { mods; p = Activity.Profile.p profile mods; ptr = Activity.Profile.ptr profile mods }
+
+let of_sink profile sink =
+  let n = Activity.Profile.n_modules profile in
+  let m = sink.Clocktree.Sink.module_id in
+  if m >= n then
+    invalid_arg
+      (Printf.sprintf "Enable.of_sink: sink module %d outside the %d-module profile" m n);
+  of_set profile (Activity.Module_set.singleton n m)
+
+let merge profile a b = of_set profile (Activity.Module_set.union a.mods b.mods)
+
+let compute_all profile topo sinks =
+  let n = Clocktree.Topo.n_nodes topo in
+  let enables =
+    Array.make n
+      (of_set profile (Activity.Module_set.empty (Activity.Profile.n_modules profile)))
+  in
+  Clocktree.Topo.iter_bottom_up topo (fun v ->
+      match Clocktree.Topo.children topo v with
+      | None -> enables.(v) <- of_sink profile sinks.(v)
+      | Some (a, b) -> enables.(v) <- merge profile enables.(a) enables.(b));
+  enables
+
+let pp ppf t =
+  Format.fprintf ppf "EN%a P=%.4f Ptr=%.4f" Activity.Module_set.pp t.mods t.p t.ptr

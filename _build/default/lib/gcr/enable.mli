@@ -1,0 +1,27 @@
+(** Enable-signal statistics per clock-tree node.
+
+    The enable [EN_i] of node [v_i] is the OR of the activities of the
+    modules at the leaves below [v_i] (Section 2 of the paper); its signal
+    probability drives the clock-tree switched capacitance and its
+    transition probability the controller-tree switched capacitance. *)
+
+type t = {
+  mods : Activity.Module_set.t;  (** modules in the node's subtree *)
+  p : float;  (** signal probability P(EN) *)
+  ptr : float;  (** transition probability Ptr(EN) *)
+}
+
+val of_sink : Activity.Profile.t -> Clocktree.Sink.t -> t
+(** Enable of a leaf: the activity of the sink's module. Raises
+    [Invalid_argument] if the sink's module id is outside the profile's
+    universe. *)
+
+val merge : Activity.Profile.t -> t -> t -> t
+(** Enable of a parent node: union of the children's module sets, with
+    probabilities looked up from the profile's tables. *)
+
+val compute_all :
+  Activity.Profile.t -> Clocktree.Topo.t -> Clocktree.Sink.t array -> t array
+(** Per-node enables for a whole topology, bottom-up. *)
+
+val pp : Format.formatter -> t -> unit

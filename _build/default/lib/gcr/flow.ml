@@ -1,0 +1,57 @@
+type reduction = No_reduction | Greedy | Rules | Fraction of float
+
+type sizing = No_sizing | Tapered | Uniform of float | Proportional
+
+type options = {
+  skew_budget : float;
+  reduction : reduction;
+  sizing : sizing;
+}
+
+let default = { skew_budget = 0.0; reduction = Greedy; sizing = No_sizing }
+
+let apply_reduction options tree =
+  match options.reduction with
+  | No_reduction -> tree
+  | Greedy -> Gate_reduction.reduce_greedy tree
+  | Rules -> Gate_reduction.reduce_rules tree
+  | Fraction fraction -> Gate_reduction.reduce_fraction tree ~fraction
+
+let apply_sizing options tree =
+  match options.sizing with
+  | No_sizing -> tree
+  | Tapered -> Sizing.tapered tree
+  | Uniform k -> Sizing.uniform tree k
+  | Proportional -> Sizing.proportional tree
+
+let budget options =
+  if options.skew_budget > 0.0 then Some options.skew_budget else None
+
+let run ?(options = default) config profile sinks =
+  let tree = Router.route ?skew_budget:(budget options) config profile sinks in
+  apply_sizing options (apply_reduction options tree)
+
+let label options =
+  let r =
+    match options.reduction with
+    | No_reduction -> ""
+    | Greedy -> "+greedy"
+    | Rules -> "+rules"
+    | Fraction f -> Printf.sprintf "+%.0f%%" (100.0 *. f)
+  in
+  let s =
+    match options.sizing with
+    | No_sizing -> ""
+    | Tapered -> "+tapered"
+    | Uniform k -> Printf.sprintf "+uniform %g" k
+    | Proportional -> "+proportional"
+  in
+  "gated" ^ r ^ s
+
+let standard_comparison ?(options = default) config profile sinks =
+  let skew_budget = budget options in
+  [
+    ("buffered", Buffered.route ?skew_budget config profile sinks);
+    ("gated", Router.route ?skew_budget config profile sinks);
+    (label options, run ~options config profile sinks);
+  ]

@@ -1,0 +1,37 @@
+(** One-call routing pipelines.
+
+    Bundles the common sequence — route, reduce gates, size — behind a
+    single options record, so applications (and the CLI, benches and
+    examples) do not each re-assemble the same glue. *)
+
+type reduction = No_reduction | Greedy | Rules | Fraction of float
+
+type sizing = No_sizing | Tapered | Uniform of float | Proportional
+
+type options = {
+  skew_budget : float;  (** 0 = exact zero skew *)
+  reduction : reduction;
+  sizing : sizing;
+}
+
+val default : options
+(** Zero skew, greedy reduction, no sizing — the configuration behind the
+    headline reproduction numbers. *)
+
+val run :
+  ?options:options ->
+  Config.t ->
+  Activity.Profile.t ->
+  Clocktree.Sink.t array ->
+  Gated_tree.t
+(** The full gated pipeline. Raises [Invalid_argument] on a malformed
+    fraction or scale inside [options], or on the usual input errors. *)
+
+val standard_comparison :
+  ?options:options ->
+  Config.t ->
+  Activity.Profile.t ->
+  Clocktree.Sink.t array ->
+  (string * Gated_tree.t) list
+(** The paper's Figure 3 trio over one input: [buffered], [gated]
+    (unreduced) and the pipeline result, labelled accordingly. *)

@@ -1,0 +1,295 @@
+type thresholds = {
+  activity_high : float;
+  min_switched_cap : float;
+  parent_delta : float;
+  force_cap_multiple : float;
+}
+
+let default_thresholds =
+  {
+    activity_high = 0.95;
+    min_switched_cap = 40.0;
+    parent_delta = 0.02;
+    force_cap_multiple = 10.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Working state: the original (fully gated) tree supplies geometry    *)
+(* and enables; only the [kinds] array evolves during the search. Wire *)
+(* lengths are taken from the original embedding — an estimate, since   *)
+(* removing a gate re-balances the zero-skew splits slightly; the final *)
+(* assignment is re-embedded exactly.                                   *)
+(* ------------------------------------------------------------------ *)
+
+type work = {
+  tree : Gated_tree.t;
+  kinds : Gated_tree.edge_kind array;
+  mutable governing : int array;
+}
+
+let compute_governing topo kinds =
+  let governing = Array.make (Clocktree.Topo.n_nodes topo) (-1) in
+  Clocktree.Topo.iter_top_down topo (fun v ->
+      match Clocktree.Topo.parent topo v with
+      | None -> governing.(v) <- -1
+      | Some p ->
+        governing.(v) <-
+          (if kinds.(v) = Gated_tree.Gated then v else governing.(p)));
+  governing
+
+let make_work tree =
+  let kinds = Gated_tree.kinds_copy tree in
+  { tree; kinds; governing = compute_governing tree.Gated_tree.topo kinds }
+
+let tech w = w.tree.Gated_tree.config.Config.tech
+
+let gate_cap w = (tech w).Clocktree.Tech.and_gate.Clocktree.Tech.input_cap
+
+let node_load w v =
+  match Clocktree.Topo.children w.tree.Gated_tree.topo v with
+  | None -> w.tree.Gated_tree.sinks.(v).Clocktree.Sink.cap
+  | Some (a, b) ->
+    let side c =
+      match w.kinds.(c) with
+      | Gated_tree.Plain -> 0.0
+      | Gated_tree.Buffered -> (tech w).Clocktree.Tech.buffer.Clocktree.Tech.input_cap
+      | Gated_tree.Gated -> gate_cap w
+    in
+    side a +. side b
+
+(* c * |e_v| + load at v: the capacitance that toggles with the edge above v. *)
+let edge_cap w v =
+  ((tech w).Clocktree.Tech.unit_cap
+  *. Clocktree.Embed.edge_len w.tree.Gated_tree.embed v)
+  +. node_load w v
+
+let prob_of_gov w g = if g = -1 then 1.0 else w.tree.Gated_tree.enables.(g).Enable.p
+
+(* Probability that node v's own net toggles (the edge above it, or 1 at
+   the root). *)
+let node_prob w v =
+  if v = Clocktree.Topo.root w.tree.Gated_tree.topo then 1.0
+  else prob_of_gov w w.governing.(v)
+
+(* Summed edge_cap of every edge governed by each gated node, bucketed in
+   one pass. *)
+let domain_caps w =
+  let topo = w.tree.Gated_tree.topo in
+  let sums = Array.make (Clocktree.Topo.n_nodes topo) 0.0 in
+  Clocktree.Topo.iter_bottom_up topo (fun v ->
+      if v <> Clocktree.Topo.root topo then begin
+        let g = w.governing.(v) in
+        if g <> -1 then sums.(g) <- sums.(g) +. edge_cap w v
+      end);
+  sums
+
+let removal_gain_work w domains v =
+  let topo = w.tree.Gated_tree.topo in
+  let parent =
+    match Clocktree.Topo.parent topo v with
+    | Some p -> p
+    | None -> invalid_arg "Gate_reduction: the root has no gate"
+  in
+  let enable = w.tree.Gated_tree.enables.(v) in
+  let p_after = node_prob w parent in
+  let clock_increase = domains.(v) *. (p_after -. enable.Enable.p) in
+  let cfg = w.tree.Gated_tree.config in
+  let ctrl_len =
+    Controller.wire_length cfg.Config.controller (Gated_tree.gate_location w.tree v)
+  in
+  let ctrl_saving =
+    (((tech w).Clocktree.Tech.unit_cap *. ctrl_len) +. gate_cap w)
+    *. enable.Enable.ptr *. cfg.Config.control_weight
+  in
+  (* the gate's input cap is replaced by the (smaller) buffer's *)
+  let buffer_cap = (tech w).Clocktree.Tech.buffer.Clocktree.Tech.input_cap in
+  let parent_load_saving = (gate_cap w -. buffer_cap) *. p_after in
+  clock_increase -. ctrl_saving -. parent_load_saving
+
+let removal_gain tree v =
+  if not (Gated_tree.is_gated tree v) then
+    invalid_arg "Gate_reduction.removal_gain: edge is not gated";
+  let w = make_work tree in
+  removal_gain_work w (domain_caps w) v
+
+let gated_nodes w =
+  let acc = ref [] in
+  Clocktree.Topo.iter_bottom_up w.tree.Gated_tree.topo (fun v ->
+      if w.kinds.(v) = Gated_tree.Gated then acc := v :: !acc);
+  List.rev !acc
+
+let remove_gate w v =
+  (* "Removal" ties the gate's enable high: electrically the cell becomes a
+     plain buffer (same drive and intrinsic delay, half the input
+     capacitance), the control star wire disappears, and the masking
+     coarsens to the enclosing gate. Keeping a buffer in place means the
+     zero-skew balance is barely disturbed, unlike tearing the cell out. *)
+  w.kinds.(v) <- Gated_tree.Buffered;
+  w.governing <- compute_governing w.tree.Gated_tree.topo w.kinds
+
+(* Remove the minimum-gain gate; [unconditional] removes even when the best
+   gain is positive. Returns false when nothing (more) should be removed. *)
+let remove_best w ~unconditional =
+  let domains = domain_caps w in
+  let best =
+    List.fold_left
+      (fun best v ->
+        let gain = removal_gain_work w domains v in
+        match best with
+        | Some (_, g) when g <= gain -> best
+        | _ -> Some (v, gain))
+      None (gated_nodes w)
+  in
+  match best with
+  | None -> false
+  | Some (v, gain) ->
+    if unconditional || gain < 0.0 then begin
+      remove_gate w v;
+      true
+    end
+    else false
+
+let finish w = Gated_tree.rebuild_with_kinds w.tree w.kinds
+
+let reduce_greedy tree =
+  let w = make_work tree in
+  let rec loop () = if remove_best w ~unconditional:false then loop () in
+  loop ();
+  finish w
+
+let reduce_count tree ~remove =
+  let w = make_work tree in
+  let rec loop k =
+    if k > 0 && remove_best w ~unconditional:true then loop (k - 1)
+  in
+  loop remove;
+  finish w
+
+let reduce_fraction tree ~fraction =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Gate_reduction.reduce_fraction: fraction outside [0,1]";
+  let remove =
+    int_of_float (Float.round (fraction *. float_of_int (Gated_tree.gate_count tree)))
+  in
+  reduce_count tree ~remove
+
+(* ------------------------------------------------------------------ *)
+(* Exact DP over gate placements                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Cost of the subtree hanging on the edge above [v], given that the
+   clock net at parent(v) toggles with probability [q] (the enable of the
+   lowest gated strict ancestor, or 1 under the root). The cell's input
+   capacitance sits at the parent node, so it toggles at [q]; the wire of
+   the edge and the loads at [v] toggle at the edge's own probability
+   (p_v if we gate here, q if we demote to a buffer); children recurse
+   with that probability as their context. *)
+let reduce_optimal tree =
+  let topo = tree.Gated_tree.topo in
+  let tech = tree.Gated_tree.config.Config.tech in
+  let c = tech.Clocktree.Tech.unit_cap in
+  let cg = tech.Clocktree.Tech.and_gate.Clocktree.Tech.input_cap in
+  let cb = tech.Clocktree.Tech.buffer.Clocktree.Tech.input_cap in
+  let cw = tree.Gated_tree.config.Config.control_weight in
+  let leaf_load v =
+    match Clocktree.Topo.children topo v with
+    | None -> tree.Gated_tree.sinks.(v).Clocktree.Sink.cap
+    | Some _ -> 0.0
+  in
+  let wire v = c *. Clocktree.Embed.edge_len tree.Gated_tree.embed v in
+  let ctrl v =
+    let len =
+      Controller.wire_length tree.Gated_tree.config.Config.controller
+        (Gated_tree.gate_location tree v)
+    in
+    ((c *. len) +. cg) *. tree.Gated_tree.enables.(v).Enable.ptr *. cw
+  in
+  (* memo over (node, context probability); the context takes one of the
+     O(depth) ancestor enable values, so this stays O(N * depth) *)
+  let memo : (int * float, float * bool) Hashtbl.t = Hashtbl.create 1024 in
+  let rec best v q =
+    match Hashtbl.find_opt memo (v, q) with
+    | Some r -> r
+    | None ->
+      let children_cost p =
+        match Clocktree.Topo.children topo v with
+        | None -> 0.0
+        | Some (a, b) -> fst (best a p) +. fst (best b p)
+      in
+      let p_v = tree.Gated_tree.enables.(v).Enable.p in
+      let gated =
+        (cg *. q) +. ctrl v
+        +. ((wire v +. leaf_load v) *. p_v)
+        +. children_cost p_v
+      in
+      let buffered =
+        (cb *. q) +. ((wire v +. leaf_load v) *. q) +. children_cost q
+      in
+      let r = if gated <= buffered then (gated, true) else (buffered, false) in
+      Hashtbl.add memo (v, q) r;
+      r
+  in
+  let kinds = Gated_tree.kinds_copy tree in
+  let rec assign v q =
+    let _, gate_here = best v q in
+    kinds.(v) <- (if gate_here then Gated_tree.Gated else Gated_tree.Buffered);
+    let p_next = if gate_here then tree.Gated_tree.enables.(v).Enable.p else q in
+    match Clocktree.Topo.children topo v with
+    | None -> ()
+    | Some (a, b) ->
+      assign a p_next;
+      assign b p_next
+  in
+  let root = Clocktree.Topo.root topo in
+  kinds.(root) <- Gated_tree.Plain;
+  (match Clocktree.Topo.children topo root with
+  | None -> ()
+  | Some (a, b) ->
+    assign a 1.0;
+    assign b 1.0);
+  Gated_tree.rebuild_with_kinds tree kinds
+
+(* ------------------------------------------------------------------ *)
+(* Rule-based pass                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let reduce_rules ?(thresholds = default_thresholds) tree =
+  let topo = tree.Gated_tree.topo in
+  let root = Clocktree.Topo.root topo in
+  let kinds = Gated_tree.kinds_copy tree in
+  (* Rules 1-3, judged on the fully gated tree. *)
+  Clocktree.Topo.iter_bottom_up topo (fun v ->
+      if kinds.(v) = Gated_tree.Gated then begin
+        let p = tree.Gated_tree.enables.(v).Enable.p in
+        let p_parent =
+          match Clocktree.Topo.parent topo v with
+          | None -> 1.0
+          | Some parent ->
+            if parent = root then 1.0 else tree.Gated_tree.enables.(parent).Enable.p
+        in
+        let rule1 = p >= thresholds.activity_high in
+        let rule2 = Cost.subtree_switched_cap tree v <= thresholds.min_switched_cap in
+        let rule3 = p_parent -. p <= thresholds.parent_delta in
+        if rule1 || rule2 || rule3 then kinds.(v) <- Gated_tree.Buffered
+      end);
+  (* Forced insertion: cap the capacitance accumulated since the enclosing
+     gate so the removals cannot let the phase delay grow unchecked. *)
+  let tech = tree.Gated_tree.config.Config.tech in
+  let cg = tech.Clocktree.Tech.and_gate.Clocktree.Tech.input_cap in
+  let limit = thresholds.force_cap_multiple *. cg in
+  let w = { tree; kinds; governing = compute_governing topo kinds } in
+  let unmasked = Array.make (Clocktree.Topo.n_nodes topo) 0.0 in
+  Clocktree.Topo.iter_top_down topo (fun v ->
+      match Clocktree.Topo.parent topo v with
+      | None -> unmasked.(v) <- 0.0
+      | Some p ->
+        if kinds.(v) = Gated_tree.Gated then unmasked.(v) <- 0.0
+        else begin
+          let acc = unmasked.(p) +. edge_cap w v in
+          if Gated_tree.is_gated tree v && acc >= limit then begin
+            kinds.(v) <- Gated_tree.Gated;
+            unmasked.(v) <- 0.0
+          end
+          else unmasked.(v) <- acc
+        end);
+  Gated_tree.rebuild_with_kinds tree kinds

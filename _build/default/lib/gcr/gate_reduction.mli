@@ -1,0 +1,81 @@
+(** Gate reduction (Section 4.3 of the paper).
+
+    Inserting a masking gate on every edge maximizes masking but blows up
+    the controller star and its switched capacitance; the paper removes
+    gates that barely help, using three rules, plus a forced-insertion rule
+    that bounds how much capacitance may accumulate without a gate (so the
+    phase delay does not grow unchecked):
+
+    + the node's activity is close to 1 — there is nothing to mask;
+    + the node's subtree switched capacitance is very small — the gate can
+      only save a sliver;
+    + the parent's activity is almost the same as the node's — the parent
+      gate already masks nearly as well.
+
+    Removing a gate ties its enable high: the cell degenerates to an
+    always-on clock buffer (the paper notes the gates "also serve as
+    buffers"), its control star wire disappears and the edges it governed
+    fall back to the enclosing gate's enable. Modelling removal as a
+    buffer demotion (rather than deleting the cell) keeps sibling branch
+    delays matched, so the re-embedding does not need pathological snaking
+    wire to restore zero skew.
+
+    Besides the rule-based pass this module provides an exact greedy
+    variant built on {!removal_gain} (remove gates while removal lowers the
+    total switched capacitance) and a fraction-targeted variant used to
+    sweep the paper's Figure 5 x-axis. All variants re-run the DME
+    embedding for the final gate assignment, so zero skew is preserved. *)
+
+type thresholds = {
+  activity_high : float;  (** rule 1: remove when [P(EN) >= activity_high] *)
+  min_switched_cap : float;
+      (** rule 2: remove when the subtree switched capacitance (fF/cycle)
+          is at most this *)
+  parent_delta : float;
+      (** rule 3: remove when [P(EN_parent) - P(EN) <= parent_delta] *)
+  force_cap_multiple : float;
+      (** re-insert a gate once the capacitance accumulated since the last
+          gate reaches this multiple of the gate input capacitance *)
+}
+
+val default_thresholds : thresholds
+(** [activity_high = 0.95], [min_switched_cap = 2 x 20 fF],
+    [parent_delta = 0.02], [force_cap_multiple = 10]. *)
+
+val removal_gain : Gated_tree.t -> int -> float
+(** [removal_gain t v] is the change in total switched capacitance [W] if
+    the gate on the edge above [v] were removed (negative = removal saves
+    power): the edges it governs fall back to the enclosing gate's higher
+    probability, while its control star wire and its input capacitance
+    disappear. Computed on the current embedding (wire lengths are not
+    re-balanced for the estimate). Raises [Invalid_argument] when the edge
+    is not gated. *)
+
+val reduce_rules : ?thresholds:thresholds -> Gated_tree.t -> Gated_tree.t
+(** The paper's pass: apply the three removal rules on the fully gated
+    tree, then the forced-insertion sweep, then re-embed. *)
+
+val reduce_greedy : Gated_tree.t -> Gated_tree.t
+(** Remove gates one at a time, always the one with the most negative
+    {!removal_gain}, until no removal lowers [W]; then re-embed. *)
+
+val reduce_count : Gated_tree.t -> remove:int -> Gated_tree.t
+(** Remove exactly [remove] gates (or all of them if fewer exist) in
+    ascending-gain order, regardless of sign; then re-embed. The knob
+    behind the paper's "gate reduction %" sweeps. *)
+
+val reduce_fraction : Gated_tree.t -> fraction:float -> Gated_tree.t
+(** [reduce_fraction t ~fraction] removes [fraction] (in [0..1]) of the
+    tree's gates via {!reduce_count}. Raises [Invalid_argument] outside
+    [0..1]. *)
+
+val reduce_optimal : Gated_tree.t -> Gated_tree.t
+(** Exact optimal gate placement on the {e fixed} topology and embedding,
+    by dynamic programming: each edge's clock probability is the enable of
+    its lowest gated ancestor, so the only context a subtree's cost depends
+    on is that ancestor's probability — one of the O(depth) ancestor enable
+    values. Memoizing on (node, context) gives the global optimum of the
+    same estimate the greedy pass optimizes (wire lengths frozen at the
+    all-gated embedding; the final assignment is re-embedded exactly, like
+    every other reducer). Yardstick for how much the paper's heuristics
+    leave on the table. *)

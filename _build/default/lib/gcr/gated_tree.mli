@@ -1,0 +1,91 @@
+(** The gated clock tree: a zero-skew embedded topology plus per-edge
+    hardware (masking gate, always-on buffer, or bare wire) and per-node
+    enable statistics.
+
+    Hardware sits at the {e head} of each edge — "immediately after every
+    internal node" in the paper's words — so the edge above node [v] and
+    everything below it down to the next gates toggles with the signal
+    probability of the lowest gated ancestor-or-self of [v] (enables are
+    nested: a gate is on whenever any descendant gate is on). The same
+    type represents the paper's three configurations: fully gated trees,
+    the buffered baseline, and partially gated trees after reduction. *)
+
+type edge_kind =
+  | Plain  (** bare wire *)
+  | Buffered  (** always-on clock buffer *)
+  | Gated  (** masking AND gate driven by the node's enable *)
+
+type t = private {
+  config : Config.t;
+  profile : Activity.Profile.t;
+  sinks : Clocktree.Sink.t array;
+  topo : Clocktree.Topo.t;
+  embed : Clocktree.Embed.t;
+  enables : Enable.t array;  (** per node *)
+  kind : edge_kind array;  (** per node: hardware on the edge above it *)
+  governing : int array;
+      (** per node: the gated node whose enable controls the clock on the
+          edge above it, or [-1] when the clock is free-running there *)
+  skew_budget : float;
+      (** allowed source-to-sink skew (0 = exact zero skew) *)
+  scale : float array;
+      (** per-edge hardware size factor (transistor-width multiple applied
+          to the gate or buffer on the edge; 1 = unit size) *)
+}
+
+val build :
+  ?skew_budget:float ->
+  ?scale:(int -> float) ->
+  Config.t ->
+  Activity.Profile.t ->
+  Clocktree.Sink.t array ->
+  Clocktree.Topo.t ->
+  kind:(int -> edge_kind) ->
+  t
+(** Embeds the topology (DME with the given hardware assignment), computes
+    enables and governing gates. The root's kind is forced to [Plain] (it
+    has no edge above). A positive [skew_budget] (default 0) relaxes the
+    zero-skew constraint via bounded-skew merging ({!Clocktree.Bst}),
+    trading skew for wire. Raises [Invalid_argument] on mismatched sinks,
+    topology or profile universes, or a negative budget. *)
+
+val rebuild_with_kinds : t -> edge_kind array -> t
+(** Re-embed the same topology with a different hardware assignment (the
+    gate-reduction path); zero skew is re-established for the new
+    assignment. Sizes are preserved. *)
+
+val rebuild_with_scale : t -> float array -> t
+(** Re-embed the same topology and hardware with new per-edge size
+    factors (the {!Sizing} path). Raises [Invalid_argument] on a length
+    mismatch or a non-positive factor. *)
+
+val gate_on_edge : t -> int -> Clocktree.Tech.gate option
+(** Hardware on the edge above a node, as a {!Clocktree.Tech.gate}. *)
+
+val edge_probability : t -> int -> float
+(** Signal probability of the clock on the edge above the node: [P(EN)] of
+    its governing gate, or 1 when free-running. *)
+
+val node_probability : t -> int -> float
+(** Probability that the node's own electrical net toggles: equals
+    [edge_probability] for non-roots and 1 at the root. *)
+
+val node_load : t -> int -> float
+(** Capacitance hanging at the node itself: sink load at a leaf, plus the
+    input capacitance of gate/buffer hardware on child edges. *)
+
+val gate_count : t -> int
+
+val buffer_count : t -> int
+
+val gate_location : t -> int -> Geometry.Point.t
+(** Location of the hardware on the edge above the node (the head of the
+    edge). *)
+
+val is_gated : t -> int -> bool
+
+val kinds_copy : t -> edge_kind array
+
+val check_invariants : t -> unit
+(** Embedding consistency, nesting of enables along root paths, governing
+    correctness; raises [Failure] with a diagnostic on violation. *)

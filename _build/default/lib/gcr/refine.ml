@@ -1,0 +1,76 @@
+type stats = {
+  passes : int;
+  moves : int;
+  w_before : float;
+  w_after : float;
+}
+
+(* Rebuild the same kind-class of tree over a new topology. Node ids are
+   renumbered by the swap, so per-edge state cannot be carried across; NNI
+   therefore refines trees with a uniform hardware class (the usual case:
+   refine the fully gated tree, then reduce). *)
+let rebuild (tree : Gated_tree.t) topo =
+  let kind =
+    if Gated_tree.gate_count tree > 0 then Gated_tree.Gated
+    else if Gated_tree.buffer_count tree > 0 then Gated_tree.Buffered
+    else Gated_tree.Plain
+  in
+  Gated_tree.build
+    ~skew_budget:tree.Gated_tree.skew_budget
+    tree.Gated_tree.config tree.Gated_tree.profile tree.Gated_tree.sinks topo
+    ~kind:(fun _ -> kind)
+
+let nni ?(max_passes = 3) tree =
+  if max_passes < 1 then invalid_arg "Refine.nni: need at least one pass";
+  let w_before = Cost.w_total tree in
+  let current = ref tree in
+  let current_w = ref w_before in
+  let moves = ref 0 in
+  let passes = ref 0 in
+  let improved = ref true in
+  while !improved && !passes < max_passes do
+    incr passes;
+    improved := false;
+    let topo = !current.Gated_tree.topo in
+    let candidates = ref [] in
+    (* moves around each internal node p with children (x, y): exchange a
+       grandchild with the opposite child (classic NNI), or two grandchildren
+       across the split (cousin swap) *)
+    Clocktree.Topo.iter_bottom_up topo (fun p ->
+        match Clocktree.Topo.children topo p with
+        | None -> ()
+        | Some (x, y) ->
+          let kids v =
+            match Clocktree.Topo.children topo v with
+            | Some (a, b) -> [ a; b ]
+            | None -> []
+          in
+          List.iter (fun a -> candidates := (a, y) :: !candidates) (kids x);
+          List.iter (fun c -> candidates := (c, x) :: !candidates) (kids y);
+          List.iter
+            (fun a -> List.iter (fun c -> candidates := (a, c) :: !candidates) (kids y))
+            (kids x));
+    List.iter
+      (fun (y, c) ->
+        (* node ids shift after accepted moves; skip stale candidates *)
+        let topo = !current.Gated_tree.topo in
+        if
+          y < Clocktree.Topo.n_nodes topo
+          && c < Clocktree.Topo.n_nodes topo
+          && y <> Clocktree.Topo.root topo
+          && c <> Clocktree.Topo.root topo
+          && (not (Clocktree.Topo.is_ancestor topo y c))
+          && not (Clocktree.Topo.is_ancestor topo c y)
+        then begin
+          let candidate = rebuild !current (Clocktree.Topo.swap topo y c) in
+          let w = Cost.w_total candidate in
+          if w < !current_w -. 1e-9 then begin
+            current := candidate;
+            current_w := w;
+            incr moves;
+            improved := true
+          end
+        end)
+      !candidates
+  done;
+  (!current, { passes = !passes; moves = !moves; w_before; w_after = !current_w })

@@ -1,0 +1,25 @@
+(** Topology refinement by nearest-neighbor interchange (NNI).
+
+    The greedy bottom-up construction commits to each merge forever; NNI
+    hill-climbing repairs its local mistakes afterwards: around every
+    internal node, try exchanging a grandchild with the opposite child
+    (the classic interchange) or two grandchildren across the split
+    (cousin swap), keep a move whenever the total switched capacitance
+    drops, and sweep until a pass finds nothing (or the pass limit is
+    hit).
+
+    Each candidate move re-embeds and re-costs the whole tree, so a pass
+    is O(N^2)-ish — intended for final polish, not for the inner loop.
+    Gate assignment is preserved structurally (a fully gated tree stays
+    fully gated; run gate reduction after refinement). *)
+
+type stats = {
+  passes : int;  (** sweeps executed *)
+  moves : int;  (** accepted interchanges *)
+  w_before : float;
+  w_after : float;
+}
+
+val nni : ?max_passes:int -> Gated_tree.t -> Gated_tree.t * stats
+(** Hill-climb with at most [max_passes] sweeps (default 3). The returned
+    tree is never worse than the input ([w_after <= w_before]). *)

@@ -1,0 +1,85 @@
+type t = {
+  name : string;
+  n_sinks : int;
+  gate_count : int;
+  buffer_count : int;
+  w_clock : float;
+  w_ctrl : float;
+  w_total : float;
+  clock_wirelength : float;
+  control_wirelength : float;
+  area : Area.breakdown;
+  phase_delay : float;
+  skew : float;
+  avg_activity : float;
+}
+
+let of_tree ?(name = "tree") tree =
+  let elmore =
+    Clocktree.Elmore.evaluate tree.Gated_tree.config.Config.tech
+      tree.Gated_tree.embed
+      ~gate_on_edge:(Gated_tree.gate_on_edge tree)
+  in
+  {
+    name;
+    n_sinks = Array.length tree.Gated_tree.sinks;
+    gate_count = Gated_tree.gate_count tree;
+    buffer_count = Gated_tree.buffer_count tree;
+    w_clock = Cost.w_clock tree;
+    w_ctrl = Cost.w_ctrl tree;
+    w_total = Cost.w_total tree;
+    clock_wirelength = Cost.clock_wirelength tree;
+    control_wirelength = Cost.control_wirelength_total tree;
+    area = Area.of_tree tree;
+    phase_delay = Clocktree.Elmore.phase_delay elmore;
+    skew = elmore.Clocktree.Elmore.skew;
+    avg_activity = Activity.Profile.avg_activity tree.Gated_tree.profile;
+  }
+
+let comparison_table reports =
+  let open Util.Text_table in
+  let table =
+    create
+      [
+        ("method", Left);
+        ("sinks", Right);
+        ("gates", Right);
+        ("bufs", Right);
+        ("W(T) pF", Right);
+        ("W(S) pF", Right);
+        ("W pF", Right);
+        ("clk wire mm", Right);
+        ("ctl wire mm", Right);
+        ("area 10^3um^2", Right);
+        ("delay ps", Right);
+        ("skew fs", Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      add_row table
+        [
+          r.name;
+          string_of_int r.n_sinks;
+          string_of_int r.gate_count;
+          string_of_int r.buffer_count;
+          Printf.sprintf "%.3f" (r.w_clock /. 1000.0);
+          Printf.sprintf "%.3f" (r.w_ctrl /. 1000.0);
+          Printf.sprintf "%.3f" (r.w_total /. 1000.0);
+          Printf.sprintf "%.2f" (r.clock_wirelength /. 1000.0);
+          Printf.sprintf "%.2f" (r.control_wirelength /. 1000.0);
+          Printf.sprintf "%.1f" (r.area.Area.total /. 1000.0);
+          Printf.sprintf "%.1f" (r.phase_delay /. 1000.0);
+          Printf.sprintf "%.2f" r.skew;
+        ])
+    reports;
+  table
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: %d sinks, %d gates, %d buffers@ W = %.1f fF/cycle (clock %.1f + \
+     control %.1f)@ wire: clock %.0f um, control %.0f um@ %a@ phase delay %.1f ps, \
+     skew %.3g fs@ avg module activity %.3f@]"
+    r.name r.n_sinks r.gate_count r.buffer_count r.w_total r.w_clock r.w_ctrl
+    r.clock_wirelength r.control_wirelength Area.pp r.area (r.phase_delay /. 1000.0)
+    r.skew r.avg_activity

@@ -1,0 +1,32 @@
+(** Result records and table rendering for experiments.
+
+    Gathers every metric the paper reports — switched capacitance split
+    into clock and controller trees, wire lengths, gate counts, area
+    breakdown, phase delay and (verified) skew — from one tree. *)
+
+type t = {
+  name : string;
+  n_sinks : int;
+  gate_count : int;
+  buffer_count : int;
+  w_clock : float;  (** fF switched per cycle in the clock tree *)
+  w_ctrl : float;  (** fF switched per cycle in the controller tree *)
+  w_total : float;
+  clock_wirelength : float;  (** um *)
+  control_wirelength : float;  (** um *)
+  area : Area.breakdown;
+  phase_delay : float;  (** ohm x fF (fs) *)
+  skew : float;
+  avg_activity : float;  (** average module activity of the driving profile *)
+}
+
+val of_tree : ?name:string -> Gated_tree.t -> t
+(** Evaluates the tree (including an independent Elmore pass for phase
+    delay and skew). *)
+
+val comparison_table : t list -> Util.Text_table.t
+(** One row per report: the layout used for the paper's Figure 3 style
+    comparisons. Switched capacitance is printed in pF/cycle and area in
+    10^3 um^2 to match the paper's magnitudes. *)
+
+val pp : Format.formatter -> t -> unit

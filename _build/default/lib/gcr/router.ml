@@ -1,0 +1,38 @@
+let grow_and_merge (config : Config.t) profile sinks =
+  Clocktree.Sink.validate_array sinks;
+  let tech = config.Config.tech in
+  let n = Array.length sinks in
+  let grow =
+    Clocktree.Grow.create tech
+      ~edge_gate:(Some tech.Clocktree.Tech.and_gate)
+      sinks
+  in
+  (* Enables grow alongside the forest: entry v is node v's enable. *)
+  let enables = Array.make ((2 * n) - 1) None in
+  for v = 0 to n - 1 do
+    enables.(v) <- Some (Enable.of_sink profile sinks.(v))
+  done;
+  let enable v =
+    match enables.(v) with Some e -> e | None -> assert false
+  in
+  let cost a b =
+    let split = Clocktree.Grow.peek_split grow a b in
+    Cost.merge_sc config ~ea:split.Clocktree.Zskew.ea ~eb:split.Clocktree.Zskew.eb
+      ~mid_a:(Geometry.Rect.center_point (Clocktree.Grow.region grow a))
+      ~mid_b:(Geometry.Rect.center_point (Clocktree.Grow.region grow b))
+      ~enable_a:(enable a) ~enable_b:(enable b)
+  in
+  let merge a b =
+    let k = Clocktree.Grow.merge grow a b in
+    enables.(k) <- Some (Enable.merge profile (enable a) (enable b));
+    k
+  in
+  let _root = Clocktree.Greedy.merge_all ~n ~cost ~merge in
+  Clocktree.Grow.topology grow
+
+let route_topology_only config profile sinks = grow_and_merge config profile sinks
+
+let route ?skew_budget config profile sinks =
+  let topo = grow_and_merge config profile sinks in
+  Gated_tree.build ?skew_budget config profile sinks topo
+    ~kind:(fun _ -> Gated_tree.Gated)

@@ -1,0 +1,87 @@
+let driver_load t v =
+  if v = Clocktree.Topo.root t.Gated_tree.topo then 0.0
+  else
+    match Gated_tree.gate_on_edge t v with
+    | None -> 0.0
+    | Some _ ->
+      let tech = t.Gated_tree.config.Config.tech in
+      (tech.Clocktree.Tech.unit_cap
+      *. Clocktree.Embed.edge_len t.Gated_tree.embed v)
+      +. t.Gated_tree.embed.Clocktree.Embed.mseg.Clocktree.Mseg.cap.(v)
+
+let proportional ?(min_scale = 0.5) ?(max_scale = 8.0) ?reference t =
+  if min_scale <= 0.0 || max_scale < min_scale then
+    invalid_arg "Sizing.proportional: bad clamp range";
+  let topo = t.Gated_tree.topo in
+  let n = Clocktree.Topo.n_nodes topo in
+  let loads = ref [] in
+  for v = 0 to n - 1 do
+    let load = driver_load t v in
+    if load > 0.0 then loads := load :: !loads
+  done;
+  let reference =
+    match reference with
+    | Some r ->
+      if r <= 0.0 then invalid_arg "Sizing.proportional: non-positive reference";
+      r
+    | None -> (
+      match !loads with
+      | [] -> 1.0
+      | loads -> Util.Stats.median (Array.of_list loads))
+  in
+  let scale =
+    Array.init n (fun v ->
+        let load = driver_load t v in
+        if load <= 0.0 then 1.0
+        else Float.min max_scale (Float.max min_scale (load /. reference)))
+  in
+  Gated_tree.rebuild_with_scale t scale
+
+let tapered ?(min_scale = 0.5) ?(max_scale = 8.0) ?reference t =
+  if min_scale <= 0.0 || max_scale < min_scale then
+    invalid_arg "Sizing.tapered: bad clamp range";
+  let topo = t.Gated_tree.topo in
+  let n = Clocktree.Topo.n_nodes topo in
+  (* mean driver load per edge depth *)
+  let sums = Hashtbl.create 16 in
+  for v = 0 to n - 1 do
+    let load = driver_load t v in
+    if load > 0.0 then begin
+      let d = Clocktree.Topo.depth topo v in
+      let s, c = Option.value ~default:(0.0, 0) (Hashtbl.find_opt sums d) in
+      Hashtbl.replace sums d (s +. load, c + 1)
+    end
+  done;
+  let level_mean d =
+    match Hashtbl.find_opt sums d with
+    | Some (s, c) when c > 0 -> Some (s /. float_of_int c)
+    | Some _ | None -> None
+  in
+  let reference =
+    match reference with
+    | Some r ->
+      if r <= 0.0 then invalid_arg "Sizing.tapered: non-positive reference";
+      r
+    | None ->
+      (* mean of the level means, so mid-tree levels stay near unit size *)
+      let s, c =
+        Hashtbl.fold (fun _ (s, c) (acc_s, acc_c) -> (acc_s +. (s /. float_of_int c), acc_c + 1))
+          sums (0.0, 0)
+      in
+      if c = 0 then 1.0 else s /. float_of_int c
+  in
+  let scale =
+    Array.init n (fun v ->
+        if driver_load t v <= 0.0 then 1.0
+        else
+          match level_mean (Clocktree.Topo.depth topo v) with
+          | None -> 1.0
+          | Some mean -> Float.min max_scale (Float.max min_scale (mean /. reference)))
+  in
+  Gated_tree.rebuild_with_scale t scale
+
+let uniform t k =
+  if k <= 0.0 || not (Float.is_finite k) then
+    invalid_arg "Sizing.uniform: non-positive factor";
+  Gated_tree.rebuild_with_scale t
+    (Array.make (Clocktree.Topo.n_nodes t.Gated_tree.topo) k)

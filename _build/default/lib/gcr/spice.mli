@@ -1,0 +1,20 @@
+(** SPICE netlist export.
+
+    Renders a routed (gated) clock tree as a SPICE deck for external
+    electrical verification: every tree edge becomes a pi-model RC segment
+    (optionally split into multiple sections), every masking gate or
+    buffer an instance of a behavioural subcircuit (input capacitance +
+    drive resistance + ideal delay element comment), every sink a load
+    capacitor, and every enable star wire an RC to the controller node.
+
+    The deck is self-contained (units: ohms, farads, seconds; lengths are
+    converted from the library's um/fF convention) and deterministic, so
+    it can be golden-tested. *)
+
+val render : ?sections:int -> ?title:string -> Gated_tree.t -> string
+(** [render tree] is the SPICE deck. [sections] (default 1, max 16) is the
+    number of pi segments per wire. Raises [Invalid_argument] when
+    [sections] is outside [1..16]. *)
+
+val write_file : string -> string -> unit
+(** [write_file path deck] writes the deck to disk. *)

@@ -1,0 +1,100 @@
+let render ?(width = 800) ?(show_control = true) ?(show_regions = false) tree =
+  let die = tree.Gated_tree.config.Config.die in
+  let margin = 0.03 *. Float.max (Geometry.Bbox.width die) (Geometry.Bbox.height die) in
+  let view = Geometry.Bbox.expand die margin in
+  let scale = float_of_int width /. Geometry.Bbox.width view in
+  let height =
+    int_of_float (Float.round (Geometry.Bbox.height view *. scale))
+  in
+  let x (p : Geometry.Point.t) = (p.Geometry.Point.x -. view.Geometry.Bbox.xlo) *. scale in
+  (* SVG's y axis points down; chip coordinates point up. *)
+  let y (p : Geometry.Point.t) = (view.Geometry.Bbox.yhi -. p.Geometry.Point.y) *. scale in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\">\n"
+    width height width height;
+  out "<rect width=\"%d\" height=\"%d\" fill=\"#fcfcf8\"/>\n" width height;
+  (* die outline *)
+  let die_ll = Geometry.Point.make die.Geometry.Bbox.xlo die.Geometry.Bbox.ylo in
+  let die_ur = Geometry.Point.make die.Geometry.Bbox.xhi die.Geometry.Bbox.yhi in
+  out
+    "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"none\" \
+     stroke=\"#888\" stroke-width=\"1\"/>\n"
+    (x die_ll) (y die_ur)
+    (Geometry.Bbox.width die *. scale)
+    (Geometry.Bbox.height die *. scale);
+  let topo = tree.Gated_tree.topo in
+  let loc v = tree.Gated_tree.embed.Clocktree.Embed.loc.(v) in
+  (* control star wires first, underneath everything *)
+  if show_control then
+    Clocktree.Topo.iter_bottom_up topo (fun v ->
+        if Gated_tree.is_gated tree v then begin
+          let g = Gated_tree.gate_location tree v in
+          let s =
+            Controller.site_for tree.Gated_tree.config.Config.controller g
+          in
+          out
+            "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+             stroke=\"#8fc98f\" stroke-width=\"0.6\" opacity=\"0.6\"/>\n"
+            (x g) (y g) (x s) (y s)
+        end);
+  if show_regions then
+    Clocktree.Topo.iter_bottom_up topo (fun v ->
+        if not (Clocktree.Topo.is_leaf topo v) then begin
+          let region = tree.Gated_tree.embed.Clocktree.Embed.mseg.Clocktree.Mseg.region.(v) in
+          match Geometry.Rect.corner_points region with
+          | [ a; b ] ->
+            out
+              "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+               stroke=\"#c9a8e8\" stroke-width=\"1\" opacity=\"0.8\"/>\n"
+              (x a) (y a) (x b) (y b)
+          | [ _ ] -> ()
+          | corners ->
+            let pts =
+              String.concat " "
+                (List.map (fun p -> Printf.sprintf "%.1f,%.1f" (x p) (y p)) corners)
+            in
+            out
+              "<polygon points=\"%s\" fill=\"#c9a8e8\" opacity=\"0.3\"/>\n" pts
+        end);
+  (* clock wires as L-routes *)
+  Clocktree.Topo.iter_bottom_up topo (fun v ->
+      match Clocktree.Topo.parent topo v with
+      | None -> ()
+      | Some p ->
+        let a = loc p and b = loc v in
+        let elbow = Geometry.Point.make b.Geometry.Point.x a.Geometry.Point.y in
+        out
+          "<polyline points=\"%.1f,%.1f %.1f,%.1f %.1f,%.1f\" fill=\"none\" \
+           stroke=\"#3366aa\" stroke-width=\"1.2\"/>\n"
+          (x a) (y a) (x elbow) (y elbow) (x b) (y b));
+  (* sinks *)
+  Array.iter
+    (fun s ->
+      let p = s.Clocktree.Sink.loc in
+      out "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.2\" fill=\"#cc4444\"/>\n" (x p) (y p))
+    tree.Gated_tree.sinks;
+  (* gates *)
+  Clocktree.Topo.iter_bottom_up topo (fun v ->
+      if Gated_tree.is_gated tree v then begin
+        let g = Gated_tree.gate_location tree v in
+        out
+          "<rect x=\"%.1f\" y=\"%.1f\" width=\"4\" height=\"4\" fill=\"#226622\"/>\n"
+          (x g -. 2.0) (y g -. 2.0)
+      end);
+  (* controllers *)
+  List.iter
+    (fun s ->
+      out
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"8\" height=\"8\" fill=\"none\" \
+         stroke=\"#226622\" stroke-width=\"1.5\"/>\n"
+        (x s -. 4.0) (y s -. 4.0))
+    (Controller.sites tree.Gated_tree.config.Config.controller);
+  out "</svg>\n";
+  Buffer.contents buf
+
+let write_file path svg =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc svg)

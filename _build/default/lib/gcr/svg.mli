@@ -1,0 +1,17 @@
+(** SVG rendering of gated clock trees (die outline, L-routed clock wires,
+    masking gates, controller sites and enable star wires) — the visual
+    counterpart of the paper's Figures 1 and 2. *)
+
+val render :
+  ?width:int ->
+  ?show_control:bool ->
+  ?show_regions:bool ->
+  Gated_tree.t ->
+  string
+(** Render to an SVG document. [width] is the pixel width (default 800;
+    height follows the die aspect ratio). [show_control] (default true)
+    draws the enable star wires; [show_regions] (default false) overlays
+    the merging segments of internal nodes. *)
+
+val write_file : string -> string -> unit
+(** [write_file path svg] writes the document to disk. *)

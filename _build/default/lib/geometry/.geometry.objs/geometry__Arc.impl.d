@@ -1,0 +1,1 @@
+lib/geometry/arc.ml: Float Format Point Rect Rot

@@ -1,0 +1,1 @@
+lib/geometry/arc.mli: Format Point Rect

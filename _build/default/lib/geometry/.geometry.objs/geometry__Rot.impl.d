@@ -1,0 +1,1 @@
+lib/geometry/rot.ml: Float Format Point

@@ -1,0 +1,1 @@
+lib/geometry/rot.mli: Format Point

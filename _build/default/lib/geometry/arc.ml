@@ -1,0 +1,43 @@
+type t = { a : Point.t; b : Point.t }
+
+let degeneracy_eps = 1e-9
+
+let of_rect r =
+  let du = Rect.width_u r and dv = Rect.width_v r in
+  if du <= degeneracy_eps || dv <= degeneracy_eps then
+    let a = Rot.to_point { Rot.u = r.Rect.ulo; v = r.Rect.vlo } in
+    let b = Rot.to_point { Rot.u = r.Rect.uhi; v = r.Rect.vhi } in
+    Some { a; b }
+  else None
+
+let of_rect_exn r =
+  match of_rect r with
+  | Some arc -> arc
+  | None -> invalid_arg "Arc.of_rect_exn: two-dimensional rectangle"
+
+let of_endpoints a b =
+  let ra = Rot.of_point a and rb = Rot.of_point b in
+  if Float.abs (ra.u -. rb.u) > degeneracy_eps
+     && Float.abs (ra.v -. rb.v) > degeneracy_eps
+  then invalid_arg "Arc.of_endpoints: endpoints not on a slope +-1 line"
+  else { a; b }
+
+let endpoints arc = (arc.a, arc.b)
+
+let length arc = Point.manhattan arc.a arc.b
+
+let midpoint arc = Point.midpoint arc.a arc.b
+
+let point_at arc f = Point.lerp arc.a arc.b f
+
+let to_rect arc =
+  let ra = Rot.of_point arc.a and rb = Rot.of_point arc.b in
+  Rect.make
+    ~ulo:(Float.min ra.u rb.u)
+    ~uhi:(Float.max ra.u rb.u)
+    ~vlo:(Float.min ra.v rb.v)
+    ~vhi:(Float.max ra.v rb.v)
+
+let is_point ?(eps = 1e-9) arc = Point.equal ~eps arc.a arc.b
+
+let pp ppf arc = Format.fprintf ppf "[%a -- %a]" Point.pp arc.a Point.pp arc.b

@@ -1,0 +1,38 @@
+(** Manhattan arcs: slope +-1 segments in chip space, i.e. rectangles of
+    {!Rect} that are degenerate in at least one rotated-frame dimension.
+
+    Merging segments of zero-skew DME are Manhattan arcs; this module gives
+    them a chip-space view (endpoints, length, interpolation) for embedding,
+    rendering and tests. *)
+
+type t
+(** An arc with distinct or coincident endpoints. *)
+
+val of_rect : Rect.t -> t option
+(** [Some arc] when the rectangle is degenerate in at least one dimension
+    (a segment or a point); [None] for a two-dimensional rectangle. *)
+
+val of_rect_exn : Rect.t -> t
+(** Like {!of_rect}, raising [Invalid_argument] on a two-dimensional
+    rectangle. *)
+
+val of_endpoints : Point.t -> Point.t -> t
+(** Raises [Invalid_argument] if the two chip-space points do not lie on a
+    common slope +-1 line (or coincide). *)
+
+val endpoints : t -> Point.t * Point.t
+
+val length : t -> float
+(** Manhattan length of the arc (0 for a point). *)
+
+val midpoint : t -> Point.t
+
+val point_at : t -> float -> Point.t
+(** [point_at arc f] for [f] in [\[0,1\]] interpolates between the
+    endpoints. *)
+
+val to_rect : t -> Rect.t
+
+val is_point : ?eps:float -> t -> bool
+
+val pp : Format.formatter -> t -> unit

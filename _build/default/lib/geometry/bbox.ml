@@ -1,0 +1,70 @@
+type t = { xlo : float; xhi : float; ylo : float; yhi : float }
+
+let make ~xlo ~xhi ~ylo ~yhi =
+  let finite x = Float.is_finite x in
+  if not (finite xlo && finite xhi && finite ylo && finite yhi) then
+    invalid_arg "Bbox.make: non-finite bound";
+  if xlo > xhi || ylo > yhi then invalid_arg "Bbox.make: reversed interval";
+  { xlo; xhi; ylo; yhi }
+
+let square ~side = make ~xlo:0.0 ~xhi:side ~ylo:0.0 ~yhi:side
+
+let of_points points =
+  if Array.length points = 0 then invalid_arg "Bbox.of_points: empty array";
+  let p0 = points.(0) in
+  let box = ref { xlo = p0.Point.x; xhi = p0.Point.x; ylo = p0.Point.y; yhi = p0.Point.y } in
+  Array.iter
+    (fun (p : Point.t) ->
+      let b = !box in
+      box :=
+        {
+          xlo = Float.min b.xlo p.x;
+          xhi = Float.max b.xhi p.x;
+          ylo = Float.min b.ylo p.y;
+          yhi = Float.max b.yhi p.y;
+        })
+    points;
+  !box
+
+let expand b margin =
+  make ~xlo:(b.xlo -. margin) ~xhi:(b.xhi +. margin) ~ylo:(b.ylo -. margin)
+    ~yhi:(b.yhi +. margin)
+
+let center b = Point.make ((b.xlo +. b.xhi) /. 2.0) ((b.ylo +. b.yhi) /. 2.0)
+
+let width b = b.xhi -. b.xlo
+
+let height b = b.yhi -. b.ylo
+
+let contains ?(eps = 1e-9) b (p : Point.t) =
+  p.x >= b.xlo -. eps && p.x <= b.xhi +. eps && p.y >= b.ylo -. eps
+  && p.y <= b.yhi +. eps
+
+let clamp b (p : Point.t) =
+  Point.make
+    (Float.min b.xhi (Float.max b.xlo p.x))
+    (Float.min b.yhi (Float.max b.ylo p.y))
+
+let split_grid b g =
+  if g <= 0 then invalid_arg "Bbox.split_grid: non-positive grid";
+  let dx = width b /. float_of_int g and dy = height b /. float_of_int g in
+  Array.init (g * g) (fun idx ->
+      let col = idx mod g and row = idx / g in
+      make
+        ~xlo:(b.xlo +. (float_of_int col *. dx))
+        ~xhi:(b.xlo +. (float_of_int (col + 1) *. dx))
+        ~ylo:(b.ylo +. (float_of_int row *. dy))
+        ~yhi:(b.ylo +. (float_of_int (row + 1) *. dy)))
+
+let cell_index b g (p : Point.t) =
+  let bucket lo span coord =
+    if span <= 0.0 then 0
+    else
+      let f = (coord -. lo) /. span *. float_of_int g in
+      min (g - 1) (max 0 (int_of_float (Float.floor f)))
+  in
+  let col = bucket b.xlo (width b) p.x and row = bucket b.ylo (height b) p.y in
+  (row * g) + col
+
+let pp ppf b =
+  Format.fprintf ppf "{x:[%g,%g]; y:[%g,%g]}" b.xlo b.xhi b.ylo b.yhi

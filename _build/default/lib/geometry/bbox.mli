@@ -1,0 +1,38 @@
+(** Chip-space axis-aligned bounding boxes: die outlines and controller
+    partitions. *)
+
+type t = private { xlo : float; xhi : float; ylo : float; yhi : float }
+
+val make : xlo:float -> xhi:float -> ylo:float -> yhi:float -> t
+(** Raises [Invalid_argument] on a reversed or non-finite interval. *)
+
+val square : side:float -> t
+(** Axis-aligned square with its lower-left corner at the origin. *)
+
+val of_points : Point.t array -> t
+(** Tight bounding box. Raises [Invalid_argument] on an empty array. *)
+
+val expand : t -> float -> t
+(** Grow by a margin on every side. *)
+
+val center : t -> Point.t
+
+val width : t -> float
+
+val height : t -> float
+
+val contains : ?eps:float -> t -> Point.t -> bool
+
+val clamp : t -> Point.t -> Point.t
+(** Nearest point of the box. *)
+
+val split_grid : t -> int -> t array
+(** [split_grid box g] cuts the box into a [g x g] grid of equal cells,
+    returned row-major from the lower-left. Raises [Invalid_argument] when
+    [g <= 0]. *)
+
+val cell_index : t -> int -> Point.t -> int
+(** [cell_index box g p] is the row-major index of the grid cell containing
+    [p] (points outside the box are clamped to the border cells). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/check.ml: Activity Float Format Gate_sim Gcr Printf

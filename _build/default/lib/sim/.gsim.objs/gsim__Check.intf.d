@@ -1,0 +1,1 @@
+lib/sim/check.mli: Format Gcr

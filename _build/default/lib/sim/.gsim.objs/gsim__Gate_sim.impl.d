@@ -1,0 +1,1 @@
+lib/sim/gate_sim.ml: Activity Array Clocktree Gcr

@@ -1,0 +1,1 @@
+lib/sim/gate_sim.mli: Activity Gcr

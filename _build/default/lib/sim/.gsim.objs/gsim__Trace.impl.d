@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Activity Array Clocktree Gcr Util

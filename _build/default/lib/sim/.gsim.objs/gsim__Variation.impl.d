@@ -1,0 +1,1 @@
+lib/sim/variation.ml: Array Clocktree Float Gcr Util

@@ -1,0 +1,1 @@
+lib/sim/variation.mli: Clocktree Gcr

@@ -1,0 +1,46 @@
+type comparison = {
+  analytic_clock : float;
+  simulated_clock : float;
+  analytic_ctrl : float;
+  simulated_ctrl : float;
+  rel_error_clock : float;
+  rel_error_ctrl : float;
+}
+
+let rel a b = Float.abs (a -. b) /. (1.0 +. Float.max (Float.abs a) (Float.abs b))
+
+let compare tree =
+  let stream = Activity.Profile.stream tree.Gcr.Gated_tree.profile in
+  let sim = Gate_sim.run tree stream in
+  let analytic_clock = Gcr.Cost.w_clock tree in
+  let analytic_ctrl = Gcr.Cost.w_ctrl tree in
+  {
+    analytic_clock;
+    simulated_clock = sim.Gate_sim.clock_switched;
+    analytic_ctrl;
+    simulated_ctrl = sim.Gate_sim.ctrl_switched;
+    rel_error_clock = rel analytic_clock sim.Gate_sim.clock_switched;
+    rel_error_ctrl = rel analytic_ctrl sim.Gate_sim.ctrl_switched;
+  }
+
+let validate ?(tolerance = 1e-9) tree =
+  let c = compare tree in
+  if c.rel_error_clock > tolerance then
+    failwith
+      (Printf.sprintf
+         "Check.validate: clock switched capacitance mismatch (analytic %.9g, \
+          simulated %.9g)"
+         c.analytic_clock c.simulated_clock);
+  if c.rel_error_ctrl > tolerance then
+    failwith
+      (Printf.sprintf
+         "Check.validate: control switched capacitance mismatch (analytic %.9g, \
+          simulated %.9g)"
+         c.analytic_ctrl c.simulated_ctrl)
+
+let pp ppf c =
+  Format.fprintf ppf
+    "clock: analytic %.3f vs simulated %.3f (rel %.2g); control: analytic %.3f vs \
+     simulated %.3f (rel %.2g)"
+    c.analytic_clock c.simulated_clock c.rel_error_clock c.analytic_ctrl
+    c.simulated_ctrl c.rel_error_ctrl

@@ -1,0 +1,85 @@
+type result = {
+  cycles : int;
+  clock_switched : float;
+  ctrl_switched : float;
+  total_switched : float;
+  edge_active_cycles : int array;
+  enable_toggles : int array;
+}
+
+let run tree stream =
+  let topo = tree.Gcr.Gated_tree.topo in
+  let config = tree.Gcr.Gated_tree.config in
+  let tech = config.Gcr.Config.tech in
+  let b = Activity.Instr_stream.length stream in
+  if b < 2 then invalid_arg "Gate_sim.run: stream shorter than two cycles";
+  let n_mods = Activity.Rtl.n_modules (Activity.Instr_stream.rtl stream) in
+  if n_mods <> Activity.Profile.n_modules tree.Gcr.Gated_tree.profile then
+    invalid_arg "Gate_sim.run: stream module universe does not match the tree";
+  let n = Clocktree.Topo.n_nodes topo in
+  let root = Clocktree.Topo.root topo in
+  let c = tech.Clocktree.Tech.unit_cap in
+  let cg = tech.Clocktree.Tech.and_gate.Clocktree.Tech.input_cap in
+  (* Static per-edge capacitances. *)
+  let edge_cap =
+    Array.init n (fun v ->
+        if v = root then 0.0
+        else
+          (c *. Clocktree.Embed.edge_len tree.Gcr.Gated_tree.embed v)
+          +. Gcr.Gated_tree.node_load tree v)
+  in
+  let ctrl_cap =
+    Array.init n (fun v ->
+        if Gcr.Gated_tree.is_gated tree v then
+          let cap =
+            match Gcr.Gated_tree.gate_on_edge tree v with
+            | Some g -> g.Clocktree.Tech.input_cap
+            | None -> cg
+          in
+          (c *. Gcr.Cost.control_wire_length tree v) +. cap
+        else 0.0)
+  in
+  let root_load = Gcr.Gated_tree.node_load tree root in
+  let edge_active_cycles = Array.make n 0 in
+  let enable_toggles = Array.make n 0 in
+  let prev_enable = Array.make n false in
+  let mods v = tree.Gcr.Gated_tree.enables.(v).Gcr.Enable.mods in
+  for t = 0 to b - 1 do
+    let active = Activity.Instr_stream.active_modules stream t in
+    for v = 0 to n - 1 do
+      if v <> root then begin
+        (* clock on the edge above v: its governing gate's enable, if any *)
+        let gov = tree.Gcr.Gated_tree.governing.(v) in
+        let clock_on =
+          gov = -1 || Activity.Module_set.intersects (mods gov) active
+        in
+        if clock_on then edge_active_cycles.(v) <- edge_active_cycles.(v) + 1;
+        (* enable star wire toggles *)
+        if Gcr.Gated_tree.is_gated tree v then begin
+          let en = Activity.Module_set.intersects (mods v) active in
+          if t > 0 && en <> prev_enable.(v) then
+            enable_toggles.(v) <- enable_toggles.(v) + 1;
+          prev_enable.(v) <- en
+        end
+      end
+    done
+  done;
+  let clock_total = ref (root_load *. float_of_int b) in
+  let ctrl_total = ref 0.0 in
+  for v = 0 to n - 1 do
+    clock_total :=
+      !clock_total +. (edge_cap.(v) *. float_of_int edge_active_cycles.(v));
+    ctrl_total := !ctrl_total +. (ctrl_cap.(v) *. float_of_int enable_toggles.(v))
+  done;
+  let clock_switched = !clock_total /. float_of_int b in
+  let ctrl_switched =
+    !ctrl_total /. float_of_int (b - 1) *. config.Gcr.Config.control_weight
+  in
+  {
+    cycles = b;
+    clock_switched;
+    ctrl_switched;
+    total_switched = clock_switched +. ctrl_switched;
+    edge_active_cycles;
+    enable_toggles;
+  }

@@ -1,0 +1,28 @@
+(** Cycle-accurate simulation of a gated clock tree over an instruction
+    stream.
+
+    Replays the stream cycle by cycle: an edge of the clock tree receives
+    clock pulses in a cycle exactly when its governing gate's enable is
+    high (enables are nested, so the lowest governing gate decides); an
+    enable star wire toggles whenever its gate's enable changes between
+    consecutive cycles. This is the "RTL simulation" measurement the paper
+    deems too expensive to use during construction — here it serves as the
+    ground truth that validates the IFT/IMATT-based analytic cost. *)
+
+type result = {
+  cycles : int;
+  clock_switched : float;
+      (** average fF switched per cycle in the clock tree (wire + node
+          loads, root load included) *)
+  ctrl_switched : float;
+      (** average fF switched per cycle boundary in the enable star
+          (control-weight applied) *)
+  total_switched : float;
+  edge_active_cycles : int array;
+      (** per node: cycles in which the edge above it saw the clock *)
+  enable_toggles : int array;  (** per node: toggles of its enable star wire *)
+}
+
+val run : Gcr.Gated_tree.t -> Activity.Instr_stream.t -> result
+(** Raises [Invalid_argument] when the stream's RTL universe does not match
+    the tree's profile or the stream is shorter than two cycles. *)

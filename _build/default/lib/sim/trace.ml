@@ -1,0 +1,90 @@
+type t = {
+  window : int;
+  cycles : int array;
+  clock : float array;
+  ctrl : float array;
+  total : float array;
+}
+
+let power_trace tree stream ~window =
+  if window <= 0 then invalid_arg "Trace.power_trace: non-positive window";
+  let b = Activity.Instr_stream.length stream in
+  if b < 2 then invalid_arg "Trace.power_trace: stream shorter than two cycles";
+  let n_mods = Activity.Rtl.n_modules (Activity.Instr_stream.rtl stream) in
+  if n_mods <> Activity.Profile.n_modules tree.Gcr.Gated_tree.profile then
+    invalid_arg "Trace.power_trace: stream module universe does not match the tree";
+  let topo = tree.Gcr.Gated_tree.topo in
+  let tech = tree.Gcr.Gated_tree.config.Gcr.Config.tech in
+  let n = Clocktree.Topo.n_nodes topo in
+  let root = Clocktree.Topo.root topo in
+  let c = tech.Clocktree.Tech.unit_cap in
+  let edge_cap =
+    Array.init n (fun v ->
+        if v = root then 0.0
+        else
+          (c *. Clocktree.Embed.edge_len tree.Gcr.Gated_tree.embed v)
+          +. Gcr.Gated_tree.node_load tree v)
+  in
+  let ctrl_cap =
+    Array.init n (fun v ->
+        if Gcr.Gated_tree.is_gated tree v then
+          let cap =
+            match Gcr.Gated_tree.gate_on_edge tree v with
+            | Some g -> g.Clocktree.Tech.input_cap
+            | None -> 0.0
+          in
+          ((c *. Gcr.Cost.control_wire_length tree v) +. cap)
+          *. tree.Gcr.Gated_tree.config.Gcr.Config.control_weight
+        else 0.0)
+  in
+  let root_load = Gcr.Gated_tree.node_load tree root in
+  let mods v = tree.Gcr.Gated_tree.enables.(v).Gcr.Enable.mods in
+  let n_windows = (b + window - 1) / window in
+  let clock = Array.make n_windows 0.0 in
+  let ctrl = Array.make n_windows 0.0 in
+  let prev_enable = Array.make n false in
+  for t = 0 to b - 1 do
+    let w = t / window in
+    let active = Activity.Instr_stream.active_modules stream t in
+    clock.(w) <- clock.(w) +. root_load;
+    for v = 0 to n - 1 do
+      if v <> root then begin
+        let gov = tree.Gcr.Gated_tree.governing.(v) in
+        if gov = -1 || Activity.Module_set.intersects (mods gov) active then
+          clock.(w) <- clock.(w) +. edge_cap.(v);
+        if Gcr.Gated_tree.is_gated tree v then begin
+          let en = Activity.Module_set.intersects (mods v) active in
+          if t > 0 && en <> prev_enable.(v) then ctrl.(w) <- ctrl.(w) +. ctrl_cap.(v);
+          prev_enable.(v) <- en
+        end
+      end
+    done
+  done;
+  (* normalize each window by its actual cycle count *)
+  let cycles = Array.init n_windows (fun w -> min window (b - (w * window))) in
+  for w = 0 to n_windows - 1 do
+    clock.(w) <- clock.(w) /. float_of_int cycles.(w);
+    ctrl.(w) <- ctrl.(w) /. float_of_int cycles.(w)
+  done;
+  {
+    window;
+    cycles;
+    clock;
+    ctrl;
+    total = Array.init n_windows (fun w -> clock.(w) +. ctrl.(w));
+  }
+
+let peak t = snd (Util.Stats.min_max t.total)
+
+let mean t =
+  let sum = ref 0.0 and cycles = ref 0 in
+  Array.iteri
+    (fun w total ->
+      sum := !sum +. (total *. float_of_int t.cycles.(w));
+      cycles := !cycles + t.cycles.(w))
+    t.total;
+  if !cycles = 0 then 0.0 else !sum /. float_of_int !cycles
+
+let peak_to_average t =
+  let m = mean t in
+  if m = 0.0 then infinity else peak t /. m

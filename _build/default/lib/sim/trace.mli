@@ -1,0 +1,32 @@
+(** Windowed power traces: switched capacitance over time.
+
+    Averages (the paper's metric) hide bursts; this module replays the
+    stream and reports per-window switched capacitance, exposing the
+    peak-vs-average behaviour of a gated tree — idle phases draw almost
+    nothing, busy loops draw close to the buffered tree's constant power. *)
+
+type t = {
+  window : int;  (** nominal cycles per window *)
+  cycles : int array;  (** actual cycles covered by each window *)
+  clock : float array;  (** mean fF/cycle switched in the clock tree, per window *)
+  ctrl : float array;  (** mean fF/cycle switched in the enable star, per window *)
+  total : float array;
+}
+
+val power_trace : Gcr.Gated_tree.t -> Activity.Instr_stream.t -> window:int -> t
+(** Replay the stream; window [w >= 1] cycles (the last window may be
+    shorter and is averaged over its actual length). Raises
+    [Invalid_argument] on a non-positive window, a single-cycle stream or
+    a module-universe mismatch. *)
+
+val peak : t -> float
+(** Highest per-window total. *)
+
+val mean : t -> float
+(** Cycle-weighted mean of the per-window totals = overall average
+    switched capacitance per cycle (equals {!Gate_sim.run}'s clock+control
+    totals up to the control tree's per-boundary vs per-cycle
+    normalization). *)
+
+val peak_to_average : t -> float
+(** {!peak} / {!mean} (infinity when the mean is 0). *)

@@ -1,0 +1,97 @@
+type result = {
+  runs : int;
+  sigma : float;
+  skews : float array;
+  mean_skew : float;
+  max_skew : float;
+  p95_skew : float;
+  nominal_delay : float;
+}
+
+(* Elmore evaluation with per-edge r/c multipliers. Mirrors
+   Clocktree.Elmore.evaluate, which cannot take per-edge parasitics. *)
+let evaluate_perturbed (tree : Gcr.Gated_tree.t) ~r_scale ~c_scale =
+  let topo = tree.Gcr.Gated_tree.topo in
+  let embed = tree.Gcr.Gated_tree.embed in
+  let tech = tree.Gcr.Gated_tree.config.Gcr.Config.tech in
+  let n = Clocktree.Topo.n_nodes topo in
+  let n_sinks = Clocktree.Topo.n_sinks topo in
+  let r_unit = tech.Clocktree.Tech.unit_res and c_unit = tech.Clocktree.Tech.unit_cap in
+  let cap = Array.make n 0.0 in
+  Clocktree.Topo.iter_bottom_up topo (fun v ->
+      match Clocktree.Topo.children topo v with
+      | None -> cap.(v) <- tree.Gcr.Gated_tree.sinks.(v).Clocktree.Sink.cap
+      | Some (a, b) ->
+        let side c =
+          match Gcr.Gated_tree.gate_on_edge tree c with
+          | Some g -> g.Clocktree.Tech.input_cap
+          | None ->
+            (c_scale c *. c_unit *. Clocktree.Embed.edge_len embed c) +. cap.(c)
+        in
+        cap.(v) <- side a +. side b);
+  let delay_to = Array.make n 0.0 in
+  Clocktree.Topo.iter_top_down topo (fun v ->
+      match Clocktree.Topo.parent topo v with
+      | None -> delay_to.(v) <- 0.0
+      | Some p ->
+        let e = Clocktree.Embed.edge_len embed v in
+        let r = r_scale v *. r_unit and c = c_scale v *. c_unit in
+        let wire_cap = c *. e in
+        let through =
+          match Gcr.Gated_tree.gate_on_edge tree v with
+          | Some g ->
+            g.Clocktree.Tech.intrinsic_delay
+            +. (g.Clocktree.Tech.drive_res *. (wire_cap +. cap.(v)))
+            +. (r *. e *. ((wire_cap /. 2.0) +. cap.(v)))
+          | None -> r *. e *. ((wire_cap /. 2.0) +. cap.(v))
+        in
+        delay_to.(v) <- delay_to.(p) +. through);
+  let sink_delay = Array.init n_sinks (fun s -> delay_to.(s)) in
+  let min_delay, max_delay = Util.Stats.min_max sink_delay in
+  {
+    Clocktree.Elmore.sink_delay;
+    max_delay;
+    min_delay;
+    skew = max_delay -. min_delay;
+  }
+
+(* Box-Muller Gaussian from the deterministic PRNG. *)
+let gaussian prng =
+  let u1 = Float.max 1e-12 (Util.Prng.float prng 1.0) in
+  let u2 = Util.Prng.float prng 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let monte_carlo ?(seed = 1) ?(sigma = 0.05) ~runs tree =
+  if runs <= 0 then invalid_arg "Variation.monte_carlo: runs must be positive";
+  if sigma < 0.0 || not (Float.is_finite sigma) then
+    invalid_arg "Variation.monte_carlo: negative sigma";
+  let prng = Util.Prng.create seed in
+  let n = Clocktree.Topo.n_nodes tree.Gcr.Gated_tree.topo in
+  let nominal =
+    evaluate_perturbed tree ~r_scale:(fun _ -> 1.0) ~c_scale:(fun _ -> 1.0)
+  in
+  let draw () =
+    (* clamp at 5 sigma and away from zero to keep the physics sane *)
+    Float.max 0.2 (Float.min (1.0 +. (5.0 *. sigma)) (1.0 +. (sigma *. gaussian prng)))
+  in
+  let skews =
+    Array.init runs (fun _ ->
+        let r_mult = Array.init n (fun _ -> draw ()) in
+        let c_mult = Array.init n (fun _ -> draw ()) in
+        let report =
+          evaluate_perturbed tree
+            ~r_scale:(fun v -> r_mult.(v))
+            ~c_scale:(fun v -> c_mult.(v))
+        in
+        report.Clocktree.Elmore.skew)
+  in
+  Array.sort compare skews;
+  {
+    runs;
+    sigma;
+    skews;
+    mean_skew = Util.Stats.mean skews;
+    max_skew = (if runs = 0 then 0.0 else skews.(runs - 1));
+    p95_skew = Util.Stats.percentile skews 95.0;
+    nominal_delay = Clocktree.Elmore.phase_delay nominal;
+  }

@@ -1,0 +1,35 @@
+(** Process-variation Monte Carlo on the zero-skew guarantee.
+
+    A zero-skew tree is zero-skew only at nominal parasitics; fabrication
+    perturbs every wire's resistance and capacitance, and the balanced
+    delays drift apart. This module re-evaluates the Elmore sink delays
+    with independent per-edge multiplicative perturbations (Gaussian,
+    relative sigma) on wire r and c, many times, and reports the skew
+    distribution — the robustness counterpart of the paper's nominal-only
+    evaluation, and the quantity a bounded-skew budget must leave margin
+    for. Gate parameters are held nominal: wire variation is the dominant
+    and the interesting term for routing. *)
+
+type result = {
+  runs : int;
+  sigma : float;
+  skews : float array;  (** per-run skew (ohm x fF), ascending *)
+  mean_skew : float;
+  max_skew : float;
+  p95_skew : float;
+  nominal_delay : float;  (** unperturbed phase delay, for scale *)
+}
+
+val monte_carlo :
+  ?seed:int -> ?sigma:float -> runs:int -> Gcr.Gated_tree.t -> result
+(** [monte_carlo ~runs tree] with relative [sigma] (default 0.05) on each
+    edge's r and c (independent draws, clamped to [0.2, 5] sigma-wise).
+    Deterministic in [seed] (default 1). Raises [Invalid_argument] when
+    [runs <= 0] or [sigma < 0]. *)
+
+val evaluate_perturbed :
+  Gcr.Gated_tree.t -> r_scale:(int -> float) -> c_scale:(int -> float) ->
+  Clocktree.Elmore.report
+(** One deterministic evaluation with explicit per-edge multipliers
+    (indexed by the edge's child node) — the kernel behind the Monte
+    Carlo, exposed for tests and custom corner analyses. *)

@@ -1,0 +1,76 @@
+type t = {
+  mutable keys : float array;
+  mutable payloads : int array;
+  mutable size : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { keys = Array.make capacity 0.0; payloads = Array.make capacity 0; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h =
+  let cap = Array.length h.keys in
+  let keys = Array.make (cap * 2) 0.0 in
+  let payloads = Array.make (cap * 2) 0 in
+  Array.blit h.keys 0 keys 0 h.size;
+  Array.blit h.payloads 0 payloads 0 h.size;
+  h.keys <- keys;
+  h.payloads <- payloads
+
+let push h key payload =
+  if h.size = Array.length h.keys then grow h;
+  (* Sift the new entry up from the first free slot. *)
+  let rec up i =
+    if i = 0 then i
+    else
+      let parent = (i - 1) / 2 in
+      if h.keys.(parent) <= key then i
+      else begin
+        h.keys.(i) <- h.keys.(parent);
+        h.payloads.(i) <- h.payloads.(parent);
+        up parent
+      end
+  in
+  let i = up h.size in
+  h.keys.(i) <- key;
+  h.payloads.(i) <- payload;
+  h.size <- h.size + 1
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let key = h.keys.(0) and payload = h.payloads.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      let last_key = h.keys.(h.size) and last_payload = h.payloads.(h.size) in
+      (* Sift the former last element down from the root. *)
+      let rec down i =
+        let left = (2 * i) + 1 in
+        if left >= h.size then i
+        else
+          let right = left + 1 in
+          let child =
+            if right < h.size && h.keys.(right) < h.keys.(left) then right
+            else left
+          in
+          if h.keys.(child) >= last_key then i
+          else begin
+            h.keys.(i) <- h.keys.(child);
+            h.payloads.(i) <- h.payloads.(child);
+            down child
+          end
+      in
+      let i = down 0 in
+      h.keys.(i) <- last_key;
+      h.payloads.(i) <- last_payload
+    end;
+    Some (key, payload)
+  end
+
+let peek h = if h.size = 0 then None else Some (h.keys.(0), h.payloads.(0))
+
+let clear h = h.size <- 0

@@ -1,0 +1,29 @@
+(** Growable binary min-heap with [float] keys and [int] payloads.
+
+    Used by the greedy merge engines, which push O(N^2) candidate pairs and
+    rely on lazy deletion: stale entries are simply skipped by the caller
+    when popped. The heap therefore never removes by key; it only supports
+    push and pop-min. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty heap. [capacity] pre-sizes the backing arrays. *)
+
+val length : t -> int
+(** Number of entries currently stored. *)
+
+val is_empty : t -> bool
+
+val push : t -> float -> int -> unit
+(** [push h key payload] inserts an entry. Amortized O(log n). *)
+
+val pop : t -> (float * int) option
+(** Remove and return the entry with the smallest key, or [None] when
+    empty. Ties are broken arbitrarily. *)
+
+val peek : t -> (float * int) option
+(** Smallest entry without removing it. *)
+
+val clear : t -> unit
+(** Drop all entries, keeping the allocated capacity. *)

@@ -1,0 +1,59 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64 finalizer (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g = { state = bits64 g }
+
+let int g n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (bits64 g) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int n))
+
+let float g x =
+  (* 53 high-quality bits mapped to [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. x
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let range g lo hi = lo +. float g (hi -. lo)
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int g (Array.length a))
+
+let choose_weighted g w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Prng.choose_weighted: empty weights";
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0.0 then invalid_arg "Prng.choose_weighted: non-positive total";
+  let target = float g total in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the library (benchmark generators,
+    instruction streams, property-test inputs) draws from this splitmix64
+    generator so that experiments are reproducible bit-for-bit from a seed.
+    The state is mutable but local to each [t]; independent streams are
+    obtained with {!split}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. Equal seeds give
+    equal streams. *)
+
+val split : t -> t
+(** [split g] derives a fresh generator whose stream is independent of the
+    subsequent outputs of [g]. Advances [g]. *)
+
+val copy : t -> t
+(** [copy g] is an exact snapshot of [g]: both produce the same stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)]. Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val range : t -> float -> float -> float
+(** [range g lo hi] is uniform in [\[lo, hi)]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)
+
+val choose_weighted : t -> float array -> int
+(** [choose_weighted g w] samples an index with probability proportional to
+    the non-negative weights [w]. Raises [Invalid_argument] if the weights
+    are empty or sum to a non-positive value. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,76 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title cols =
+  { title; headers = List.map fst cols; aligns = List.map snd cols; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Text_table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_float_row t ?(decimals = 3) label xs =
+  add_row t (label :: List.map (fun x -> Printf.sprintf "%.*f" decimals x) xs)
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun widths row ->
+        match row with
+        | Separator -> widths
+        | Cells cells -> List.map2 (fun w c -> max w (String.length c)) widths cells)
+      (List.map String.length t.headers)
+      rows
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  let rule () =
+    List.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "-+-";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    let rec go i cells widths aligns =
+      match (cells, widths, aligns) with
+      | [], [], [] -> ()
+      | c :: cells, w :: widths, a :: aligns ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad a w c);
+        go (i + 1) cells widths aligns
+      | _ -> assert false
+    in
+    go 0 cells widths t.aligns;
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  rule ();
+  List.iter (function Cells cells -> emit cells | Separator -> rule ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,30 @@
+(** Plain-text table rendering for experiment reports.
+
+    The bench harness and CLI print every reproduced paper table/figure as an
+    aligned text table; this module owns the formatting so the output is
+    uniform everywhere. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table with the given column headers and
+    alignments. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Raises [Invalid_argument] if the arity differs from the
+    header. *)
+
+val add_float_row : t -> ?decimals:int -> string -> float list -> unit
+(** [add_float_row t label xs] appends a row whose first cell is [label] and
+    remaining cells are [xs] printed with [decimals] (default 3) digits. *)
+
+val add_separator : t -> unit
+(** Insert a horizontal rule between the rows added before and after. *)
+
+val render : t -> string
+(** Render the table, ending with a newline. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

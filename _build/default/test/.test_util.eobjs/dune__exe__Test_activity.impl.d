@@ -1,0 +1,1 @@
+test/test_activity.ml: Activity Alcotest Array Float List QCheck QCheck_alcotest Util

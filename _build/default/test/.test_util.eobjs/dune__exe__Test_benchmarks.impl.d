@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Activity Alcotest Array Astring Benchmarks Clocktree Float Fun Geometry List Printf Util

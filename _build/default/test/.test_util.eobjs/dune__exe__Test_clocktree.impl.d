@@ -1,0 +1,1 @@
+test/test_clocktree.ml: Alcotest Array Clocktree Float Fun Geometry List Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_formats.ml: Activity Alcotest Array Astring Clocktree Filename Formats Fun Gcr Geometry List Printf String Sys Util

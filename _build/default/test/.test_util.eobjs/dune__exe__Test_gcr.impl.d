@@ -1,0 +1,1 @@
+test/test_gcr.ml: Activity Alcotest Array Astring Benchmarks Clocktree Float Fun Gcr Geometry Gsim List Printf QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Activity Alcotest Array Benchmarks Clocktree Gcr Geometry Gsim Printf QCheck QCheck_alcotest Util

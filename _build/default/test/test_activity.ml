@@ -1,0 +1,536 @@
+(* Tests for the activity substrate: module bitsets, RTL descriptions,
+   instruction streams, the IFT/IMATT tables and the brute-force oracle.
+   Includes the paper's Section 3 worked example (Tables 1-3) as golden
+   values and qcheck properties establishing that the table-driven
+   computation agrees exactly with rescanning the stream. *)
+
+let check_float = Alcotest.(check (float 1e-12))
+
+module Ms = Activity.Module_set
+
+(* ------------------------------------------------------------------ *)
+(* Module_set                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ms_empty_full () =
+  let e = Ms.empty 10 and f = Ms.full 10 in
+  Alcotest.(check bool) "empty" true (Ms.is_empty e);
+  Alcotest.(check int) "empty card" 0 (Ms.cardinal e);
+  Alcotest.(check int) "full card" 10 (Ms.cardinal f);
+  Alcotest.(check bool) "full not empty" false (Ms.is_empty f);
+  Alcotest.(check int) "universe" 10 (Ms.universe_size e)
+
+let test_ms_add_mem () =
+  let s = Ms.of_list 8 [ 0; 3; 7 ] in
+  Alcotest.(check bool) "mem 0" true (Ms.mem s 0);
+  Alcotest.(check bool) "mem 3" true (Ms.mem s 3);
+  Alcotest.(check bool) "mem 7" true (Ms.mem s 7);
+  Alcotest.(check bool) "not mem 1" false (Ms.mem s 1);
+  Alcotest.(check (list int)) "to_list ascending" [ 0; 3; 7 ] (Ms.to_list s)
+
+let test_ms_add_immutable () =
+  let s = Ms.empty 4 in
+  let s' = Ms.add s 2 in
+  Alcotest.(check bool) "original unchanged" true (Ms.is_empty s);
+  Alcotest.(check bool) "new has member" true (Ms.mem s' 2)
+
+let test_ms_bounds () =
+  Alcotest.check_raises "singleton out of range"
+    (Invalid_argument "Module_set.singleton: module 6 outside [0,6)") (fun () ->
+      ignore (Ms.singleton 6 6));
+  Alcotest.check_raises "negative universe"
+    (Invalid_argument "Module_set.empty: negative universe") (fun () ->
+      ignore (Ms.empty (-1)))
+
+let test_ms_set_ops () =
+  let a = Ms.of_list 8 [ 0; 1; 2 ] and b = Ms.of_list 8 [ 2; 3 ] in
+  Alcotest.(check (list int)) "union" [ 0; 1; 2; 3 ] (Ms.to_list (Ms.union a b));
+  Alcotest.(check (list int)) "inter" [ 2 ] (Ms.to_list (Ms.inter a b));
+  Alcotest.(check (list int)) "diff" [ 0; 1 ] (Ms.to_list (Ms.diff a b));
+  Alcotest.(check bool) "intersects" true (Ms.intersects a b);
+  Alcotest.(check bool) "disjoint" false (Ms.intersects a (Ms.of_list 8 [ 5; 6 ]));
+  Alcotest.(check bool) "subset" true (Ms.subset (Ms.of_list 8 [ 1 ]) a);
+  Alcotest.(check bool) "not subset" false (Ms.subset b a)
+
+let test_ms_universe_mismatch () =
+  let a = Ms.empty 4 and b = Ms.empty 5 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Module_set.union: universe mismatch (4 vs 5)") (fun () ->
+      ignore (Ms.union a b))
+
+let test_ms_large_universe () =
+  (* exercises multi-word bitsets (universe > 62) *)
+  let n = 200 in
+  let members = [ 0; 61; 62; 63; 123; 199 ] in
+  let s = Ms.of_list n members in
+  Alcotest.(check (list int)) "members" members (Ms.to_list s);
+  Alcotest.(check int) "cardinal" (List.length members) (Ms.cardinal s);
+  let t = Ms.of_list n [ 62; 150 ] in
+  Alcotest.(check bool) "intersects across words" true (Ms.intersects s t);
+  Alcotest.(check (list int)) "inter" [ 62 ] (Ms.to_list (Ms.inter s t))
+
+let test_ms_equal_hash () =
+  let a = Ms.of_list 100 [ 1; 99 ] and b = Ms.of_list 100 [ 99; 1 ] in
+  Alcotest.(check bool) "equal" true (Ms.equal a b);
+  Alcotest.(check int) "hash equal" (Ms.hash a) (Ms.hash b);
+  Alcotest.(check int) "compare" 0 (Ms.compare a b)
+
+let ms_gen n =
+  QCheck.map (fun l -> Ms.of_list n (List.filter (fun x -> x < n) l))
+    QCheck.(small_list (int_bound (n - 1)))
+
+let prop_ms_union_cardinal =
+  QCheck.Test.make ~name:"inclusion-exclusion on cardinals" ~count:300
+    QCheck.(pair (ms_gen 70) (ms_gen 70))
+    (fun (a, b) ->
+      Ms.cardinal (Ms.union a b) + Ms.cardinal (Ms.inter a b)
+      = Ms.cardinal a + Ms.cardinal b)
+
+let prop_ms_intersects_consistent =
+  QCheck.Test.make ~name:"intersects = not (is_empty inter)" ~count:300
+    QCheck.(pair (ms_gen 70) (ms_gen 70))
+    (fun (a, b) -> Ms.intersects a b = not (Ms.is_empty (Ms.inter a b)))
+
+let prop_ms_diff_disjoint =
+  QCheck.Test.make ~name:"diff is disjoint from subtrahend" ~count:300
+    QCheck.(pair (ms_gen 70) (ms_gen 70))
+    (fun (a, b) -> not (Ms.intersects (Ms.diff a b) b))
+
+(* ------------------------------------------------------------------ *)
+(* Rtl                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rtl_paper_example () =
+  let rtl = Activity.Rtl.paper_example in
+  Alcotest.(check int) "modules" 6 (Activity.Rtl.n_modules rtl);
+  Alcotest.(check int) "instructions" 4 (Activity.Rtl.n_instructions rtl);
+  (* Table 1: I1 -> M1 M2 M3 M5 *)
+  Alcotest.(check (list int)) "I1 uses" [ 0; 1; 2; 4 ]
+    (Ms.to_list (Activity.Rtl.uses rtl 0));
+  Alcotest.(check (list int)) "I4 uses" [ 2; 3 ] (Ms.to_list (Activity.Rtl.uses rtl 3));
+  Alcotest.(check string) "default names" "M1" (Activity.Rtl.module_name rtl 0);
+  Alcotest.(check string) "instr names" "I3" (Activity.Rtl.instr_name rtl 2)
+
+let test_rtl_instructions_using () =
+  let rtl = Activity.Rtl.paper_example in
+  (* M5 or M6 is used by I1 and I3 only (paper Section 3.2) *)
+  let set = Ms.of_list 6 [ 4; 5 ] in
+  Alcotest.(check (list int)) "I1 and I3" [ 0; 2 ]
+    (Activity.Rtl.instructions_using rtl set)
+
+let test_rtl_validation () =
+  Alcotest.check_raises "no instructions"
+    (Invalid_argument "Rtl.make: need at least one instruction") (fun () ->
+      ignore (Activity.Rtl.make ~n_modules:3 ~uses:[||] ()));
+  Alcotest.check_raises "wrong universe"
+    (Invalid_argument "Rtl.make: used-module set over wrong universe") (fun () ->
+      ignore (Activity.Rtl.make ~n_modules:3 ~uses:[| Ms.empty 4 |] ()))
+
+let test_rtl_avg_usage () =
+  (* paper example: (4 + 2 + 3 + 2) / (4 * 6) = 11/24 *)
+  check_float "avg usage" (11.0 /. 24.0)
+    (Activity.Rtl.avg_usage_fraction Activity.Rtl.paper_example)
+
+(* ------------------------------------------------------------------ *)
+(* Instr_stream                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_basics () =
+  let s = Activity.Instr_stream.paper_example in
+  Alcotest.(check int) "20 cycles" 20 (Activity.Instr_stream.length s);
+  let counts = Activity.Instr_stream.counts s in
+  Alcotest.(check (array int)) "counts" [| 10; 5; 1; 4 |] counts
+
+let test_stream_of_names_unknown () =
+  Alcotest.check_raises "unknown name"
+    (Invalid_argument "Instr_stream.of_names: unknown instruction I9") (fun () ->
+      ignore (Activity.Instr_stream.of_names Activity.Rtl.paper_example [ "I9" ]))
+
+let test_stream_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Instr_stream.make: empty stream")
+    (fun () -> ignore (Activity.Instr_stream.make Activity.Rtl.paper_example [||]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Instr_stream.make: instruction 7 out of range") (fun () ->
+      ignore (Activity.Instr_stream.make Activity.Rtl.paper_example [| 7 |]))
+
+let test_stream_active_modules () =
+  let s = Activity.Instr_stream.paper_example in
+  (* cycle 0 executes I1 *)
+  Alcotest.(check (list int)) "cycle 0" [ 0; 1; 2; 4 ]
+    (Ms.to_list (Activity.Instr_stream.active_modules s 0))
+
+let test_stream_concat_slice_repeat () =
+  let s = Activity.Instr_stream.paper_example in
+  let doubled = Activity.Instr_stream.concat [ s; s ] in
+  Alcotest.(check int) "concat length" 40 (Activity.Instr_stream.length doubled);
+  Alcotest.(check int) "second copy aligned" (Activity.Instr_stream.get s 3)
+    (Activity.Instr_stream.get doubled 23);
+  let mid = Activity.Instr_stream.slice s ~pos:5 ~len:10 in
+  Alcotest.(check int) "slice length" 10 (Activity.Instr_stream.length mid);
+  Alcotest.(check int) "slice content" (Activity.Instr_stream.get s 5)
+    (Activity.Instr_stream.get mid 0);
+  let tripled = Activity.Instr_stream.repeat s 3 in
+  Alcotest.(check int) "repeat length" 60 (Activity.Instr_stream.length tripled);
+  (* statistics are invariant under repetition *)
+  Alcotest.(check (float 1e-12)) "activity preserved"
+    (Activity.Instr_stream.avg_active_fraction s)
+    (Activity.Instr_stream.avg_active_fraction tripled)
+
+let test_stream_utils_validation () =
+  let s = Activity.Instr_stream.paper_example in
+  Alcotest.check_raises "empty concat"
+    (Invalid_argument "Instr_stream.concat: no streams") (fun () ->
+      ignore (Activity.Instr_stream.concat []));
+  Alcotest.check_raises "bad slice"
+    (Invalid_argument "Instr_stream.slice: range outside the stream") (fun () ->
+      ignore (Activity.Instr_stream.slice s ~pos:15 ~len:10));
+  Alcotest.check_raises "zero repeat"
+    (Invalid_argument "Instr_stream.repeat: need at least one copy") (fun () ->
+      ignore (Activity.Instr_stream.repeat s 0))
+
+(* ------------------------------------------------------------------ *)
+(* Ift: paper Section 3.2 golden values                               *)
+(* ------------------------------------------------------------------ *)
+
+let paper_profile = Activity.Profile.paper_example
+
+let test_ift_p_m1 () =
+  (* "M1 appears in I1 and I2, and these two instructions occur 15 times in
+     the stream, so P(M1) = 15/20 = 0.75" *)
+  check_float "P(M1)" 0.75 (Activity.Profile.p_module paper_profile 0)
+
+let test_ift_p_en_m5_m6 () =
+  (* "I1 and I3 are such instructions, so P(EN) = P(M5 or M6) = 11/20 = 0.55" *)
+  let set = Ms.of_list 6 [ 4; 5 ] in
+  check_float "P(M5 or M6)" 0.55 (Activity.Profile.p paper_profile set)
+
+let test_ift_probs_sum_to_one () =
+  let ift = Activity.Profile.ift paper_profile in
+  let total = ref 0.0 in
+  for i = 0 to 3 do
+    total := !total +. Activity.Ift.prob ift i
+  done;
+  check_float "sum" 1.0 !total
+
+let test_ift_full_set () =
+  (* every instruction uses some module, so P(any module) = 1 *)
+  check_float "P(all)" 1.0 (Activity.Profile.p paper_profile (Ms.full 6))
+
+let test_ift_empty_set () =
+  check_float "P(none)" 0.0 (Activity.Profile.p paper_profile (Ms.empty 6))
+
+let test_ift_of_counts_validation () =
+  let rtl = Activity.Rtl.paper_example in
+  Alcotest.check_raises "negative" (Invalid_argument "Ift.of_counts: negative count")
+    (fun () -> ignore (Activity.Ift.of_counts rtl [| 1; -1; 0; 0 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Ift.of_counts: empty table")
+    (fun () -> ignore (Activity.Ift.of_counts rtl [| 0; 0; 0; 0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Imatt                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_imatt_total_pairs () =
+  let imatt = Activity.Profile.imatt paper_profile in
+  Alcotest.(check int) "B-1 pairs" 19 (Activity.Imatt.total_pairs imatt)
+
+let test_imatt_counts_sum () =
+  let imatt = Activity.Profile.imatt paper_profile in
+  let total =
+    Array.fold_left (fun acc r -> acc + r.Activity.Imatt.count) 0
+      (Activity.Imatt.rows imatt)
+  in
+  Alcotest.(check int) "rows sum to B-1" 19 total
+
+let test_imatt_activation_tags () =
+  let rtl = Activity.Rtl.paper_example in
+  (* across I2 -> I3: M1 used by I2 only -> "10"; M5 used by I3 only -> "01";
+     M4 used by I2 only -> "10"; M3 by neither -> "00" *)
+  Alcotest.(check string) "M1 tag" "10"
+    (Activity.Imatt.activation_tag rtl ~first:1 ~second:2 0);
+  Alcotest.(check string) "M5 tag" "01"
+    (Activity.Imatt.activation_tag rtl ~first:1 ~second:2 4);
+  Alcotest.(check string) "M3 tag" "00"
+    (Activity.Imatt.activation_tag rtl ~first:1 ~second:2 2);
+  (* across I1 -> I1 every used module stays active *)
+  Alcotest.(check string) "M1 stays" "11"
+    (Activity.Imatt.activation_tag rtl ~first:0 ~second:0 0)
+
+let test_imatt_toggles () =
+  let rtl = Activity.Rtl.paper_example in
+  let m56 = Ms.of_list 6 [ 4; 5 ] in
+  (* I1 uses M5, I2 uses neither: the enable falls -> toggle *)
+  Alcotest.(check bool) "I1->I2 toggles" true
+    (Activity.Imatt.toggles rtl ~first:0 ~second:1 m56);
+  (* I1 -> I3 both keep the enable high -> no toggle *)
+  Alcotest.(check bool) "I1->I3 no toggle" false
+    (Activity.Imatt.toggles rtl ~first:0 ~second:2 m56);
+  (* I2 -> I4 both keep it low *)
+  Alcotest.(check bool) "I2->I4 no toggle" false
+    (Activity.Imatt.toggles rtl ~first:1 ~second:3 m56)
+
+let test_imatt_ptr_paper_set () =
+  (* golden value computed by hand from our concrete 20-cycle stream: the
+     EN(M5,M6) waveform over instruction classes is high exactly on I1/I3
+     cycles. Our stream: 1 2 4 1 3 1 2 1 1 2 4 1 2 4 1 1 2 1 4 1 ->
+     high:  H L L H H H L H H L L H L L H H L H L H -> count boundaries
+     where the level changes: positions (1,2):no ... count = 12 *)
+  let imatt = Activity.Profile.imatt paper_profile in
+  let stream = Activity.Profile.stream paper_profile in
+  let m56 = Ms.of_list 6 [ 4; 5 ] in
+  let expected = Activity.Brute.ptr stream m56 in
+  check_float "ptr matches brute" expected (Activity.Imatt.ptr imatt m56);
+  Alcotest.(check int) "transition count" 12
+    (Activity.Brute.transition_count stream m56)
+
+let test_imatt_single_cycle_rejected () =
+  let s = Activity.Instr_stream.make Activity.Rtl.paper_example [| 0 |] in
+  Alcotest.check_raises "too short"
+    (Invalid_argument "Imatt.build: stream shorter than two cycles") (fun () ->
+      ignore (Activity.Imatt.build s))
+
+(* ------------------------------------------------------------------ *)
+(* Table-driven = brute-force (the paper's key claim in Sec. 3.3)     *)
+(* ------------------------------------------------------------------ *)
+
+let random_rtl prng ~n_modules ~n_instr =
+  let uses =
+    Array.init n_instr (fun _ ->
+        let s = ref (Ms.empty n_modules) in
+        (* ensure non-empty usage and ~40% density *)
+        s := Ms.add !s (Util.Prng.int prng n_modules);
+        for m = 0 to n_modules - 1 do
+          if Util.Prng.float prng 1.0 < 0.4 then s := Ms.add !s m
+        done;
+        !s)
+  in
+  Activity.Rtl.make ~n_modules ~uses ()
+
+let random_set prng n =
+  let s = ref (Ms.empty n) in
+  for m = 0 to n - 1 do
+    if Util.Prng.bool prng then s := Ms.add !s m
+  done;
+  !s
+
+let prop_tables_match_brute =
+  QCheck.Test.make ~name:"IFT/IMATT agree exactly with stream rescans" ~count:60
+    QCheck.(pair (int_range 2 6) (int_range 1 1000))
+    (fun (seed, len) ->
+      let prng = Util.Prng.create seed in
+      let rtl = random_rtl prng ~n_modules:10 ~n_instr:5 in
+      let model = Activity.Cpu_model.make ~locality:0.3 rtl in
+      let stream = Activity.Cpu_model.generate model prng (len + 1) in
+      let profile = Activity.Profile.of_stream stream in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let set = random_set prng 10 in
+        let p_table = Activity.Profile.p profile set in
+        let p_brute = Activity.Brute.p_any stream set in
+        let ptr_table = Activity.Profile.ptr profile set in
+        let ptr_brute = Activity.Brute.ptr stream set in
+        if p_table <> p_brute || ptr_table <> ptr_brute then ok := false
+      done;
+      !ok)
+
+let prop_p_monotone_in_set =
+  QCheck.Test.make ~name:"P(EN) is monotone under set inclusion" ~count:100
+    (QCheck.int_range 1 10_000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let rtl = random_rtl prng ~n_modules:12 ~n_instr:6 in
+      let model = Activity.Cpu_model.make rtl in
+      let profile =
+        Activity.Profile.of_stream (Activity.Cpu_model.generate model prng 200)
+      in
+      let a = random_set prng 12 in
+      let b = Ms.union a (random_set prng 12) in
+      Activity.Profile.p profile a <= Activity.Profile.p profile b +. 1e-12)
+
+let prop_ptr_bounded_by_2min =
+  (* A signal with duty cycle p toggles at most min(2p, 2(1-p)) of the
+     boundaries (each high interval contributes at most 2 toggles). *)
+  QCheck.Test.make ~name:"Ptr(EN) <= 2 min(P, 1-P) + edge slack" ~count:100
+    (QCheck.int_range 1 10_000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let rtl = random_rtl prng ~n_modules:8 ~n_instr:5 in
+      let model = Activity.Cpu_model.make rtl in
+      let stream = Activity.Cpu_model.generate model prng 400 in
+      let profile = Activity.Profile.of_stream stream in
+      let set = random_set prng 8 in
+      let p = Activity.Profile.p profile set in
+      let ptr = Activity.Profile.ptr profile set in
+      let b = float_of_int (Activity.Instr_stream.length stream) in
+      ptr <= (2.0 *. Float.min p (1.0 -. p)) +. (2.0 /. b) +. 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Cpu_model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_cpu_model_deterministic () =
+  let rtl = Activity.Rtl.paper_example in
+  let model = Activity.Cpu_model.make ~locality:0.5 rtl in
+  let a = Activity.Cpu_model.generate model (Util.Prng.create 7) 100 in
+  let b = Activity.Cpu_model.generate model (Util.Prng.create 7) 100 in
+  let eq = ref true in
+  for i = 0 to 99 do
+    if Activity.Instr_stream.get a i <> Activity.Instr_stream.get b i then eq := false
+  done;
+  Alcotest.(check bool) "same seed, same stream" true !eq
+
+let test_cpu_model_weights () =
+  let rtl = Activity.Rtl.paper_example in
+  let model = Activity.Cpu_model.make ~weights:[| 1.0; 0.0; 0.0; 0.0 |] rtl in
+  let s = Activity.Cpu_model.generate model (Util.Prng.create 3) 50 in
+  let counts = Activity.Instr_stream.counts s in
+  Alcotest.(check (array int)) "only I1" [| 50; 0; 0; 0 |] counts
+
+let test_cpu_model_locality_lowers_ptr () =
+  let rtl = Activity.Rtl.paper_example in
+  let loose = Activity.Cpu_model.make ~locality:0.0 rtl in
+  let tight = Activity.Cpu_model.make ~locality:0.9 rtl in
+  let set = Ms.of_list 6 [ 4; 5 ] in
+  let ptr_of model =
+    let stream = Activity.Cpu_model.generate model (Util.Prng.create 11) 5000 in
+    Activity.Brute.ptr stream set
+  in
+  Alcotest.(check bool) "locality lowers transition probability" true
+    (ptr_of tight < ptr_of loose)
+
+let test_cpu_model_validation () =
+  let rtl = Activity.Rtl.paper_example in
+  Alcotest.check_raises "bad locality"
+    (Invalid_argument "Cpu_model.make: locality outside [0,1)") (fun () ->
+      ignore (Activity.Cpu_model.make ~locality:1.0 rtl));
+  Alcotest.check_raises "bad weights"
+    (Invalid_argument "Cpu_model.make: weights length mismatch") (fun () ->
+      ignore (Activity.Cpu_model.make ~weights:[| 1.0 |] rtl))
+
+let test_zipf_weights () =
+  let w = Activity.Cpu_model.zipf_weights Activity.Rtl.paper_example ~s:1.0 in
+  check_float "first" 1.0 w.(0);
+  check_float "second" 0.5 w.(1);
+  check_float "fourth" 0.25 w.(3)
+
+(* ------------------------------------------------------------------ *)
+(* Markov: closed-form probabilities vs sampling                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_markov_stationary () =
+  let rtl = Activity.Rtl.paper_example in
+  let model = Activity.Cpu_model.make ~weights:[| 2.0; 1.0; 1.0; 4.0 |] rtl in
+  check_float "p(I1)" 0.25 (Activity.Markov.p_instruction model 0);
+  check_float "p(I4)" 0.5 (Activity.Markov.p_instruction model 3)
+
+let test_markov_p_any () =
+  let rtl = Activity.Rtl.paper_example in
+  let model = Activity.Cpu_model.make ~weights:[| 2.0; 1.0; 1.0; 4.0 |] rtl in
+  (* M5 or M6 used by I1 (0.25) and I3 (0.125) *)
+  let m56 = Ms.of_list 6 [ 4; 5 ] in
+  check_float "P(M5|M6)" 0.375 (Activity.Markov.p_any model m56);
+  check_float "P(all)" 1.0 (Activity.Markov.p_any model (Ms.full 6));
+  check_float "P(none)" 0.0 (Activity.Markov.p_any model (Ms.empty 6))
+
+let test_markov_ptr_closed_form () =
+  let rtl = Activity.Rtl.paper_example in
+  let model = Activity.Cpu_model.make ~locality:0.6 ~weights:[| 2.0; 1.0; 1.0; 4.0 |] rtl in
+  let m56 = Ms.of_list 6 [ 4; 5 ] in
+  (* 2 (1-lambda) q (1-q) with q = 0.375 *)
+  check_float "Ptr" (2.0 *. 0.4 *. 0.375 *. 0.625) (Activity.Markov.ptr model m56);
+  (* an always-on enable never toggles *)
+  check_float "Ptr(all)" 0.0 (Activity.Markov.ptr model (Ms.full 6))
+
+let test_markov_avg_activity () =
+  let rtl = Activity.Rtl.paper_example in
+  let model = Activity.Cpu_model.make rtl in
+  (* uniform mix: mean of |uses|/6 = (4+2+3+2)/(4*6) *)
+  check_float "avg activity" (11.0 /. 24.0) (Activity.Markov.avg_activity model)
+
+let prop_markov_matches_sampling =
+  QCheck.Test.make ~name:"sampled tables converge to the closed forms" ~count:10
+    (QCheck.int_range 1 1000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let rtl = random_rtl prng ~n_modules:8 ~n_instr:5 in
+      let locality = Util.Prng.float prng 0.8 in
+      let weights = Array.init 5 (fun _ -> 0.2 +. Util.Prng.float prng 1.0) in
+      let model = Activity.Cpu_model.make ~locality ~weights rtl in
+      let stream = Activity.Cpu_model.generate model (Util.Prng.create (seed + 1)) 60_000 in
+      let profile = Activity.Profile.of_stream stream in
+      let set = random_set prng 8 in
+      let dp = Float.abs (Activity.Profile.p profile set -. Activity.Markov.p_any model set) in
+      let dptr = Float.abs (Activity.Profile.ptr profile set -. Activity.Markov.ptr model set) in
+      dp < 0.02 && dptr < 0.02)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "activity"
+    [
+      ( "module_set",
+        [
+          Alcotest.test_case "empty/full" `Quick test_ms_empty_full;
+          Alcotest.test_case "add/mem" `Quick test_ms_add_mem;
+          Alcotest.test_case "immutability" `Quick test_ms_add_immutable;
+          Alcotest.test_case "bounds" `Quick test_ms_bounds;
+          Alcotest.test_case "set ops" `Quick test_ms_set_ops;
+          Alcotest.test_case "universe mismatch" `Quick test_ms_universe_mismatch;
+          Alcotest.test_case "large universe" `Quick test_ms_large_universe;
+          Alcotest.test_case "equal/hash" `Quick test_ms_equal_hash;
+          qt prop_ms_union_cardinal;
+          qt prop_ms_intersects_consistent;
+          qt prop_ms_diff_disjoint;
+        ] );
+      ( "rtl",
+        [
+          Alcotest.test_case "paper example" `Quick test_rtl_paper_example;
+          Alcotest.test_case "instructions_using" `Quick test_rtl_instructions_using;
+          Alcotest.test_case "validation" `Quick test_rtl_validation;
+          Alcotest.test_case "avg usage" `Quick test_rtl_avg_usage;
+        ] );
+      ( "instr_stream",
+        [
+          Alcotest.test_case "basics" `Quick test_stream_basics;
+          Alcotest.test_case "unknown name" `Quick test_stream_of_names_unknown;
+          Alcotest.test_case "validation" `Quick test_stream_validation;
+          Alcotest.test_case "active modules" `Quick test_stream_active_modules;
+          Alcotest.test_case "concat/slice/repeat" `Quick test_stream_concat_slice_repeat;
+          Alcotest.test_case "utils validation" `Quick test_stream_utils_validation;
+        ] );
+      ( "ift",
+        [
+          Alcotest.test_case "P(M1)=0.75 (paper)" `Quick test_ift_p_m1;
+          Alcotest.test_case "P(M5|M6)=0.55 (paper)" `Quick test_ift_p_en_m5_m6;
+          Alcotest.test_case "probs sum to 1" `Quick test_ift_probs_sum_to_one;
+          Alcotest.test_case "full set" `Quick test_ift_full_set;
+          Alcotest.test_case "empty set" `Quick test_ift_empty_set;
+          Alcotest.test_case "of_counts validation" `Quick test_ift_of_counts_validation;
+        ] );
+      ( "imatt",
+        [
+          Alcotest.test_case "total pairs" `Quick test_imatt_total_pairs;
+          Alcotest.test_case "counts sum" `Quick test_imatt_counts_sum;
+          Alcotest.test_case "activation tags" `Quick test_imatt_activation_tags;
+          Alcotest.test_case "toggles" `Quick test_imatt_toggles;
+          Alcotest.test_case "ptr golden" `Quick test_imatt_ptr_paper_set;
+          Alcotest.test_case "single cycle rejected" `Quick test_imatt_single_cycle_rejected;
+        ] );
+      ( "tables_vs_brute",
+        [ qt prop_tables_match_brute; qt prop_p_monotone_in_set; qt prop_ptr_bounded_by_2min ] );
+      ( "markov",
+        [
+          Alcotest.test_case "stationary" `Quick test_markov_stationary;
+          Alcotest.test_case "p_any" `Quick test_markov_p_any;
+          Alcotest.test_case "ptr closed form" `Quick test_markov_ptr_closed_form;
+          Alcotest.test_case "avg activity" `Quick test_markov_avg_activity;
+          qt prop_markov_matches_sampling;
+        ] );
+      ( "cpu_model",
+        [
+          Alcotest.test_case "deterministic" `Quick test_cpu_model_deterministic;
+          Alcotest.test_case "weights" `Quick test_cpu_model_weights;
+          Alcotest.test_case "locality lowers ptr" `Quick test_cpu_model_locality_lowers_ptr;
+          Alcotest.test_case "validation" `Quick test_cpu_model_validation;
+          Alcotest.test_case "zipf" `Quick test_zipf_weights;
+        ] );
+    ]

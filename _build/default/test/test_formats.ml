@@ -1,0 +1,241 @@
+(* Tests for the plain-text file formats: sinks, RTL descriptions,
+   instruction streams and report CSVs — roundtrips and located parse
+   errors. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let expect_parse_error ~substring f =
+  match f () with
+  | exception Formats.Parse.Error { msg; line; _ } ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error at line %d mentions %S: %s" line substring msg)
+      true
+      (Astring.String.is_infix ~affix:substring msg)
+  | _ -> Alcotest.fail "expected a parse error"
+
+(* ------------------------------------------------------------------ *)
+(* Parse helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_significant_lines () =
+  let lines =
+    Formats.Parse.significant_lines "a b\n# comment only\n\n  \nc # trailing\n"
+  in
+  Alcotest.(check int) "two lines" 2 (List.length lines);
+  Alcotest.(check int) "line numbers" 1 (fst (List.nth lines 0));
+  Alcotest.(check int) "c at line 5" 5 (fst (List.nth lines 1))
+
+let test_fields () =
+  Alcotest.(check (list string)) "tabs and spaces" [ "a"; "b"; "c" ]
+    (Formats.Parse.fields " a\tb  c ")
+
+let test_field_errors () =
+  expect_parse_error ~substring:"invalid x" (fun () ->
+      Formats.Parse.float_field ~source:"t" ~line:3 ~what:"x" "abc");
+  expect_parse_error ~substring:"invalid n" (fun () ->
+      Formats.Parse.int_field ~source:"t" ~line:3 ~what:"n" "1.5")
+
+let test_error_to_string () =
+  let e = Formats.Parse.Error { source = "f.txt"; line = 7; msg = "boom" } in
+  Alcotest.(check (option string)) "formats" (Some "f.txt:7: boom")
+    (Formats.Parse.error_to_string e);
+  Alcotest.(check (option string)) "other exn" None
+    (Formats.Parse.error_to_string Exit)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_sinks =
+  [|
+    Clocktree.Sink.make ~id:0 ~loc:(Geometry.Point.make 10.5 20.25) ~cap:12.0 ~module_id:0;
+    Clocktree.Sink.make ~id:1 ~loc:(Geometry.Point.make 0.0 100.0) ~cap:30.5 ~module_id:1;
+    Clocktree.Sink.make ~id:2 ~loc:(Geometry.Point.make 55.0 5.0) ~cap:7.25 ~module_id:0;
+  |]
+
+let test_sinks_roundtrip () =
+  let parsed = Formats.Sinks_format.parse (Formats.Sinks_format.render sample_sinks) in
+  Alcotest.(check int) "count" 3 (Array.length parsed);
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check bool) "loc" true
+        (Geometry.Point.equal s.Clocktree.Sink.loc sample_sinks.(i).Clocktree.Sink.loc);
+      check_float "cap" sample_sinks.(i).Clocktree.Sink.cap s.Clocktree.Sink.cap;
+      Alcotest.(check int) "module" sample_sinks.(i).Clocktree.Sink.module_id
+        s.Clocktree.Sink.module_id)
+    parsed
+
+let test_sinks_parse_basic () =
+  let sinks = Formats.Sinks_format.parse "# c\n0 1.0 2.0 3.0 4\n1 5 6 7 8\n" in
+  Alcotest.(check int) "two" 2 (Array.length sinks);
+  check_float "x" 5.0 sinks.(1).Clocktree.Sink.loc.Geometry.Point.x
+
+let test_sinks_errors () =
+  expect_parse_error ~substring:"expected 5 fields" (fun () ->
+      Formats.Sinks_format.parse "0 1.0 2.0\n");
+  expect_parse_error ~substring:"dense" (fun () ->
+      Formats.Sinks_format.parse "1 1.0 2.0 3.0 0\n");
+  expect_parse_error ~substring:"no sinks" (fun () ->
+      Formats.Sinks_format.parse "# nothing\n");
+  expect_parse_error ~substring:"capacitance must be positive" (fun () ->
+      Formats.Sinks_format.parse "0 1.0 2.0 0.0 0\n");
+  expect_parse_error ~substring:"invalid x coordinate" (fun () ->
+      Formats.Sinks_format.parse "0 oops 2.0 3.0 0\n")
+
+let test_sinks_file_io () =
+  let path = Filename.temp_file "gcr_sinks" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Formats.Sinks_format.save path sample_sinks;
+      let loaded = Formats.Sinks_format.load path in
+      Alcotest.(check int) "count" 3 (Array.length loaded))
+
+(* ------------------------------------------------------------------ *)
+(* Rtl                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rtl_roundtrip_paper () =
+  let rtl = Activity.Rtl.paper_example in
+  let parsed = Formats.Rtl_format.parse (Formats.Rtl_format.render rtl) in
+  Alcotest.(check int) "modules" 6 (Activity.Rtl.n_modules parsed);
+  Alcotest.(check int) "instructions" 4 (Activity.Rtl.n_instructions parsed);
+  for i = 0 to 3 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "uses of I%d" (i + 1))
+      (Activity.Module_set.to_list (Activity.Rtl.uses rtl i))
+      (Activity.Module_set.to_list (Activity.Rtl.uses parsed i))
+  done
+
+let test_rtl_parse_named () =
+  let rtl =
+    Formats.Rtl_format.parse "modules alu fpu mem\nload: mem\nfadd: fpu alu\n"
+  in
+  Alcotest.(check string) "module name" "fpu" (Activity.Rtl.module_name rtl 1);
+  Alcotest.(check string) "instr name" "fadd" (Activity.Rtl.instr_name rtl 1);
+  Alcotest.(check (list int)) "fadd uses" [ 0; 1 ]
+    (Activity.Module_set.to_list (Activity.Rtl.uses rtl 1))
+
+let test_rtl_parse_counted () =
+  let rtl = Formats.Rtl_format.parse "modules 4\nI1: 0 2\nI2: 1 3\n" in
+  Alcotest.(check int) "modules" 4 (Activity.Rtl.n_modules rtl);
+  Alcotest.(check (list int)) "indices" [ 0; 2 ]
+    (Activity.Module_set.to_list (Activity.Rtl.uses rtl 0))
+
+let test_rtl_errors () =
+  expect_parse_error ~substring:"header" (fun () ->
+      Formats.Rtl_format.parse "I1: M1\n");
+  expect_parse_error ~substring:"unknown module" (fun () ->
+      Formats.Rtl_format.parse "modules M1\nI1: M9\n");
+  expect_parse_error ~substring:"out of range" (fun () ->
+      Formats.Rtl_format.parse "modules 2\nI1: 5\n");
+  expect_parse_error ~substring:"duplicate instruction" (fun () ->
+      Formats.Rtl_format.parse "modules 2\nI1: 0\nI1: 1\n");
+  expect_parse_error ~substring:"no modules" (fun () ->
+      Formats.Rtl_format.parse "modules 2\nI1:\n");
+  expect_parse_error ~substring:"no instructions" (fun () ->
+      Formats.Rtl_format.parse "modules 2\n");
+  expect_parse_error ~substring:"empty RTL" (fun () -> Formats.Rtl_format.parse "")
+
+(* ------------------------------------------------------------------ *)
+(* Stream                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_roundtrip_paper () =
+  let stream = Activity.Instr_stream.paper_example in
+  let rtl = Activity.Instr_stream.rtl stream in
+  let parsed =
+    Formats.Stream_format.parse rtl (Formats.Stream_format.render ~per_line:7 stream)
+  in
+  Alcotest.(check int) "length" 20 (Activity.Instr_stream.length parsed);
+  for t = 0 to 19 do
+    Alcotest.(check int)
+      (Printf.sprintf "cycle %d" t)
+      (Activity.Instr_stream.get stream t)
+      (Activity.Instr_stream.get parsed t)
+  done
+
+let test_stream_errors () =
+  let rtl = Activity.Rtl.paper_example in
+  expect_parse_error ~substring:"unknown instruction" (fun () ->
+      Formats.Stream_format.parse rtl "I1 I9\n");
+  expect_parse_error ~substring:"empty instruction stream" (fun () ->
+      Formats.Stream_format.parse rtl "# nothing here\n")
+
+let test_rtl_and_stream_file_io () =
+  let rtl_path = Filename.temp_file "gcr_rtl" ".txt" in
+  let stm_path = Filename.temp_file "gcr_stm" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove rtl_path;
+      Sys.remove stm_path)
+    (fun () ->
+      Formats.Rtl_format.save rtl_path Activity.Rtl.paper_example;
+      let rtl = Formats.Rtl_format.load rtl_path in
+      Alcotest.(check int) "rtl modules" 6 (Activity.Rtl.n_modules rtl);
+      Formats.Stream_format.save stm_path Activity.Instr_stream.paper_example;
+      let stream = Formats.Stream_format.load rtl stm_path in
+      Alcotest.(check int) "stream length" 20 (Activity.Instr_stream.length stream);
+      (* the profile built from the round-tripped pair reproduces the
+         paper's probabilities *)
+      let profile = Activity.Profile.of_stream stream in
+      Alcotest.(check (float 1e-12)) "P(M1)" 0.75 (Activity.Profile.p_module profile 0))
+
+(* ------------------------------------------------------------------ *)
+(* Report CSV                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_render () =
+  let prng = Util.Prng.create 3 in
+  let sinks =
+    Array.init 6 (fun id ->
+        Clocktree.Sink.make ~id
+          ~loc:
+            (Geometry.Point.make
+               (Util.Prng.range prng 0.0 500.0)
+               (Util.Prng.range prng 0.0 500.0))
+          ~cap:20.0 ~module_id:id)
+  in
+  let config = Gcr.Config.make ~die:(Geometry.Bbox.square ~side:500.0) () in
+  let tree = Gcr.Router.route config Activity.Profile.paper_example sinks in
+  let report = Gcr.Report.of_tree ~name:"paper, 6 sinks" tree in
+  let csv = Formats.Report_csv.render [ report ] in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 1 row" 2 (List.length lines);
+  Alcotest.(check bool) "quoted name (contains comma)" true
+    (Astring.String.is_infix ~affix:"\"paper, 6 sinks\"" csv);
+  let cols = String.split_on_char ',' (List.nth lines 0) in
+  Alcotest.(check int) "17 columns" 17 (List.length cols)
+
+let () =
+  Alcotest.run "formats"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "significant lines" `Quick test_significant_lines;
+          Alcotest.test_case "fields" `Quick test_fields;
+          Alcotest.test_case "field errors" `Quick test_field_errors;
+          Alcotest.test_case "error_to_string" `Quick test_error_to_string;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_sinks_roundtrip;
+          Alcotest.test_case "basic" `Quick test_sinks_parse_basic;
+          Alcotest.test_case "errors" `Quick test_sinks_errors;
+          Alcotest.test_case "file io" `Quick test_sinks_file_io;
+        ] );
+      ( "rtl",
+        [
+          Alcotest.test_case "roundtrip paper" `Quick test_rtl_roundtrip_paper;
+          Alcotest.test_case "named" `Quick test_rtl_parse_named;
+          Alcotest.test_case "counted" `Quick test_rtl_parse_counted;
+          Alcotest.test_case "errors" `Quick test_rtl_errors;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "roundtrip paper" `Quick test_stream_roundtrip_paper;
+          Alcotest.test_case "errors" `Quick test_stream_errors;
+          Alcotest.test_case "rtl+stream file io" `Quick test_rtl_and_stream_file_io;
+        ] );
+      ("csv", [ Alcotest.test_case "render" `Quick test_csv_render ]);
+    ]

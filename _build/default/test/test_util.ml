@@ -1,0 +1,248 @@
+(* Tests for the Util support library: PRNG determinism, the binary heap
+   used by the greedy merge engines, statistics and table rendering. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Util.Prng.create 42 and b = Util.Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Prng.bits64 a) (Util.Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Util.Prng.create 1 and b = Util.Prng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Util.Prng.bits64 a <> Util.Prng.bits64 b)
+
+let test_prng_copy () =
+  let a = Util.Prng.create 7 in
+  let _ = Util.Prng.bits64 a in
+  let b = Util.Prng.copy a in
+  Alcotest.(check int64) "copy continues stream" (Util.Prng.bits64 a)
+    (Util.Prng.bits64 b)
+
+let test_prng_split_independent () =
+  let a = Util.Prng.create 9 in
+  let b = Util.Prng.split a in
+  Alcotest.(check bool) "split differs from parent" true
+    (Util.Prng.bits64 a <> Util.Prng.bits64 b)
+
+let test_prng_int_range () =
+  let g = Util.Prng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Util.Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_prng_int_invalid () =
+  let g = Util.Prng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Util.Prng.int g 0))
+
+let test_prng_float_range () =
+  let g = Util.Prng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Util.Prng.float g 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_prng_float_mean () =
+  let g = Util.Prng.create 5 in
+  let xs = Array.init 20_000 (fun _ -> Util.Prng.float g 1.0) in
+  let m = Util.Stats.mean xs in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (m -. 0.5) < 0.01)
+
+let test_prng_choose_weighted () =
+  let g = Util.Prng.create 6 in
+  let w = [| 1.0; 0.0; 3.0 |] in
+  let counts = [| 0; 0; 0 |] in
+  for _ = 1 to 10_000 do
+    let i = Util.Prng.choose_weighted g w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight index never drawn" 0 counts.(1);
+  let ratio = float_of_int counts.(2) /. float_of_int counts.(0) in
+  Alcotest.(check bool) "3:1 ratio approximately" true (ratio > 2.6 && ratio < 3.4)
+
+let test_prng_choose_weighted_invalid () =
+  let g = Util.Prng.create 6 in
+  Alcotest.check_raises "all-zero weights"
+    (Invalid_argument "Prng.choose_weighted: non-positive total") (fun () ->
+      ignore (Util.Prng.choose_weighted g [| 0.0; 0.0 |]))
+
+let test_prng_shuffle_permutation () =
+  let g = Util.Prng.create 8 in
+  let a = Array.init 50 Fun.id in
+  Util.Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Bin_heap                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_empty () =
+  let h = Util.Bin_heap.create () in
+  Alcotest.(check bool) "empty" true (Util.Bin_heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Util.Bin_heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Util.Bin_heap.peek h = None)
+
+let test_heap_single () =
+  let h = Util.Bin_heap.create () in
+  Util.Bin_heap.push h 3.14 42;
+  Alcotest.(check int) "length" 1 (Util.Bin_heap.length h);
+  (match Util.Bin_heap.peek h with
+  | Some (k, p) ->
+    check_float "peek key" 3.14 k;
+    Alcotest.(check int) "peek payload" 42 p
+  | None -> Alcotest.fail "expected peek");
+  (match Util.Bin_heap.pop h with
+  | Some (k, p) ->
+    check_float "pop key" 3.14 k;
+    Alcotest.(check int) "pop payload" 42 p
+  | None -> Alcotest.fail "expected pop");
+  Alcotest.(check bool) "empty after pop" true (Util.Bin_heap.is_empty h)
+
+let test_heap_ordering () =
+  let h = Util.Bin_heap.create ~capacity:2 () in
+  List.iter (fun (k, p) -> Util.Bin_heap.push h k p)
+    [ (5.0, 5); (1.0, 1); (4.0, 4); (2.0, 2); (3.0, 3) ];
+  let order = List.init 5 (fun _ ->
+      match Util.Bin_heap.pop h with Some (_, p) -> p | None -> -1)
+  in
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] order
+
+let test_heap_clear () =
+  let h = Util.Bin_heap.create () in
+  Util.Bin_heap.push h 1.0 1;
+  Util.Bin_heap.push h 2.0 2;
+  Util.Bin_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Util.Bin_heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops keys in nondecreasing order" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.0) small_nat))
+    (fun entries ->
+      let h = Util.Bin_heap.create () in
+      List.iter (fun (k, p) -> Util.Bin_heap.push h k p) entries;
+      let rec drain acc =
+        match Util.Bin_heap.pop h with
+        | Some (k, _) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      let keys = drain [] in
+      List.length keys = List.length entries
+      && keys = List.sort compare keys)
+
+let prop_heap_multiset =
+  QCheck.Test.make ~name:"heap preserves the pushed multiset" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 100.0) small_nat))
+    (fun entries ->
+      let h = Util.Bin_heap.create () in
+      List.iter (fun (k, p) -> Util.Bin_heap.push h k p) entries;
+      let rec drain acc =
+        match Util.Bin_heap.pop h with
+        | Some kp -> drain (kp :: acc)
+        | None -> acc
+      in
+      let out = drain [] in
+      List.sort compare out = List.sort compare entries)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_mean () =
+  check_float "mean" 2.5 (Util.Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "empty mean" 0.0 (Util.Stats.mean [||])
+
+let test_stats_variance () =
+  check_float "variance" 1.25 (Util.Stats.variance [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "constant" 0.0 (Util.Stats.variance [| 5.0; 5.0; 5.0 |])
+
+let test_stats_median () =
+  check_float "odd" 2.0 (Util.Stats.median [| 3.0; 1.0; 2.0 |]);
+  check_float "even" 2.5 (Util.Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_stats_min_max () =
+  let lo, hi = Util.Stats.min_max [| 3.0; -1.0; 7.0 |] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.0 hi
+
+let test_stats_percentile () =
+  let a = [| 0.0; 10.0 |] in
+  check_float "p0" 0.0 (Util.Stats.percentile a 0.0);
+  check_float "p50" 5.0 (Util.Stats.percentile a 50.0);
+  check_float "p100" 10.0 (Util.Stats.percentile a 100.0)
+
+let test_stats_geometric_mean () =
+  check_float "gmean" 2.0 (Util.Stats.geometric_mean [| 1.0; 2.0; 4.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Text_table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let t = Util.Text_table.create ~title:"T" [ ("name", Util.Text_table.Left); ("v", Util.Text_table.Right) ] in
+  Util.Text_table.add_row t [ "alpha"; "1" ];
+  Util.Text_table.add_float_row t ~decimals:1 "beta" [ 2.25 ];
+  let s = Util.Text_table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool) "mentions alpha" true
+    (Astring.String.is_infix ~affix:"alpha" s);
+  Alcotest.(check bool) "rounds beta" true
+    (Astring.String.is_infix ~affix:"2.2" s || Astring.String.is_infix ~affix:"2.3" s)
+
+let test_table_arity () =
+  let t = Util.Text_table.create [ ("a", Util.Text_table.Left) ] in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Text_table.add_row: arity mismatch") (fun () ->
+      Util.Text_table.add_row t [ "x"; "y" ])
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "int invalid" `Quick test_prng_int_invalid;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "float mean" `Quick test_prng_float_mean;
+          Alcotest.test_case "choose_weighted" `Quick test_prng_choose_weighted;
+          Alcotest.test_case "choose_weighted invalid" `Quick test_prng_choose_weighted_invalid;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+        ] );
+      ( "bin_heap",
+        [
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "single" `Quick test_heap_single;
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          qt prop_heap_sorts;
+          qt prop_heap_multiset;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "variance" `Quick test_stats_variance;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "min_max" `Quick test_stats_min_max;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
+        ] );
+      ( "text_table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+        ] );
+    ]
