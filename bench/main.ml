@@ -645,6 +645,170 @@ let scaling () =
     sizes;
   print table
 
+(* ------------------------------------------------------------------ *)
+(* Greedy-merge scaling: NN-heap (+ spatial grid) vs all-pairs heap   *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-optimization activity-only merge, replicated inline as the
+   baseline: a fresh Module_set.union + Profile.p per candidate
+   evaluation (no memoization, no scratch buffers) on the all-pairs
+   heap. *)
+let old_activity_topology (config : Gcr.Config.t) profile sinks =
+  let tech = config.Gcr.Config.tech in
+  let n = Array.length sinks in
+  let grow =
+    Clocktree.Grow.create tech ~edge_gate:(Some tech.Clocktree.Tech.and_gate) sinks
+  in
+  let enables = Array.make ((2 * n) - 1) None in
+  for v = 0 to n - 1 do
+    enables.(v) <- Some (Gcr.Enable.of_sink profile sinks.(v))
+  done;
+  let enable v = match enables.(v) with Some e -> e | None -> assert false in
+  let tie = 1e-6 /. (1.0 +. Geometry.Bbox.width config.Gcr.Config.die) in
+  let cost a b =
+    let u =
+      Activity.Module_set.union (enable a).Gcr.Enable.mods (enable b).Gcr.Enable.mods
+    in
+    Activity.Profile.p profile u +. (tie *. Clocktree.Grow.dist grow a b)
+  in
+  let merge a b =
+    let k = Clocktree.Grow.merge grow a b in
+    enables.(k) <- Some (Gcr.Enable.merge profile (enable a) (enable b));
+    k
+  in
+  let _root = Clocktree.Greedy.merge_all_dense ~n ~cost ~merge in
+  Clocktree.Grow.topology grow
+
+let greedy_scaling () =
+  section "Greedy-merge scaling: NN-heap (+ spatial grid) vs all-pairs heap";
+  let geo_sizes = if quick then [ 100; 250 ] else [ 250; 500; 1000; 2000; 3101; 6000 ] in
+  let act_sizes = if quick then [ 100 ] else [ 250; 500; 1000; 2000 ] in
+  let geo_dense_cap = if quick then 250 else 3101 in
+  let act_dense_cap = if quick then 100 else 2000 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let js = Buffer.create 1024 in
+  Buffer.add_string js "{\n";
+  Buffer.add_string js (Printf.sprintf "  \"quick\": %b,\n" quick);
+  let open Util.Text_table in
+  (* geometric: Nn spatial grid vs dense all-pairs heap *)
+  let geo =
+    create ~title:"Geometric merge (Grow.dist cost)"
+      [ ("sinks", Right); ("spatial (s)", Right); ("all-pairs (s)", Right);
+        ("speedup", Right); ("wirelength rel err", Right) ]
+  in
+  Buffer.add_string js "  \"geometric\": [\n";
+  let first = ref true in
+  List.iter
+    (fun n ->
+      let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n in
+      let sinks = Benchmarks.Rbench.sinks spec in
+      let tech = Clocktree.Tech.default in
+      let wirelength topo =
+        Clocktree.Mseg.total_wirelength
+          (Clocktree.Mseg.build tech topo ~sinks ~gate_on_edge:(fun _ -> None))
+      in
+      let fast_topo, fast_t =
+        time (fun () -> Clocktree.Nn.topology tech ~edge_gate:None sinks)
+      in
+      let dense =
+        if n <= geo_dense_cap then begin
+          let dense_topo, dense_t =
+            time (fun () -> Clocktree.Nn.topology_dense tech ~edge_gate:None sinks)
+          in
+          let wf = wirelength fast_topo and wd = wirelength dense_topo in
+          Some (dense_t, Float.abs (wf -. wd) /. (1.0 +. Float.abs wd))
+        end
+        else None
+      in
+      (match dense with
+      | Some (dense_t, err) ->
+        add_row geo
+          [ string_of_int n; Printf.sprintf "%.3f" fast_t; Printf.sprintf "%.3f" dense_t;
+            Printf.sprintf "%.1fx" (dense_t /. fast_t); Printf.sprintf "%.2e" err ];
+        if not !first then Buffer.add_string js ",\n";
+        Buffer.add_string js
+          (Printf.sprintf
+             "    {\"n\": %d, \"spatial_s\": %.6f, \"dense_s\": %.6f, \"speedup\": \
+              %.2f, \"wirelength_rel_err\": %.3e}"
+             n fast_t dense_t (dense_t /. fast_t) err)
+      | None ->
+        add_row geo
+          [ string_of_int n; Printf.sprintf "%.3f" fast_t; "-"; "-"; "-" ];
+        if not !first then Buffer.add_string js ",\n";
+        Buffer.add_string js
+          (Printf.sprintf
+             "    {\"n\": %d, \"spatial_s\": %.6f, \"dense_s\": null, \"speedup\": \
+              null, \"wirelength_rel_err\": null}"
+             n fast_t));
+      first := false)
+    geo_sizes;
+  Buffer.add_string js "\n  ],\n";
+  print geo;
+  print_newline ();
+  (* activity: memoized scan engine vs unmemoized all-pairs baseline *)
+  let act =
+    create ~title:"Activity-only merge (P(union) cost, Tellez-style)"
+      [ ("sinks", Right); ("memoized (s)", Right); ("old dense (s)", Right);
+        ("speedup", Right); ("W_total rel err", Right) ]
+  in
+  Buffer.add_string js "  \"activity\": [\n";
+  first := true;
+  List.iter
+    (fun n ->
+      let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n in
+      let { Benchmarks.Suite.config; profile; sinks; _ } =
+        Benchmarks.Suite.case ~stream_length:1_000 spec
+      in
+      let w topo =
+        Gcr.Cost.w_total
+          (Gcr.Gated_tree.build config profile sinks topo ~kind:(fun _ ->
+               Gcr.Gated_tree.Gated))
+      in
+      let fast_topo, fast_t =
+        time (fun () -> Gcr.Activity_router.topology config profile sinks)
+      in
+      if n <= act_dense_cap then begin
+        let old_topo, old_t = time (fun () -> old_activity_topology config profile sinks) in
+        let wf = w fast_topo and wo = w old_topo in
+        let err = Float.abs (wf -. wo) /. (1.0 +. Float.abs wo) in
+        add_row act
+          [ string_of_int n; Printf.sprintf "%.3f" fast_t; Printf.sprintf "%.3f" old_t;
+            Printf.sprintf "%.1fx" (old_t /. fast_t); Printf.sprintf "%.2e" err ];
+        if not !first then Buffer.add_string js ",\n";
+        Buffer.add_string js
+          (Printf.sprintf
+             "    {\"n\": %d, \"memoized_s\": %.6f, \"old_dense_s\": %.6f, \
+              \"speedup\": %.2f, \"w_total_rel_err\": %.3e}"
+             n fast_t old_t (old_t /. fast_t) err)
+      end
+      else begin
+        add_row act
+          [ string_of_int n; Printf.sprintf "%.3f" fast_t; "-"; "-"; "-" ];
+        if not !first then Buffer.add_string js ",\n";
+        Buffer.add_string js
+          (Printf.sprintf
+             "    {\"n\": %d, \"memoized_s\": %.6f, \"old_dense_s\": null, \
+              \"speedup\": null, \"w_total_rel_err\": null}"
+             n fast_t)
+      end;
+      first := false)
+    act_sizes;
+  Buffer.add_string js "\n  ]\n}\n";
+  print act;
+  let out =
+    match Sys.getenv_opt "GCR_BENCH_OUT" with Some p -> p | None -> "BENCH_greedy.json"
+  in
+  let oc = open_out out in
+  output_string oc (Buffer.contents js);
+  close_out oc;
+  pf "\nWrote %s. The all-pairs heap seeds n(n-1)/2 entries (~4.8M at 3101\n" out;
+  pf "sinks); the NN-heap keeps one entry per active root and asks the grid\n";
+  pf "(geometric) or a memoized scan (activity) for each root's best partner.\n"
+
 let () =
   pf "Gated Clock Routing Minimizing the Switched Capacitance (DATE'98)\n";
   pf "Reproduction harness%s\n" (if quick then " [quick mode]" else "");
@@ -663,5 +827,6 @@ let () =
   variation_study ();
   validation ();
   scaling ();
+  greedy_scaling ();
   run_bechamel ();
   pf "\nDone. See EXPERIMENTS.md for the paper-vs-measured record.\n"

@@ -25,15 +25,22 @@ let total_pairs t = t.total_pairs
 
 let rows t = Array.copy t.rows
 
+(* Rows are built in ascending packed-index order (first * k + second), so
+   the pair lookup is a binary search on that lexicographic key. *)
 let pair_count t ~first ~second =
-  let n = Array.length t.rows in
-  let rec find i =
-    if i = n then 0
+  let rec go lo hi =
+    if lo >= hi then 0
     else
-      let r = t.rows.(i) in
-      if r.first = first && r.second = second then r.count else find (i + 1)
+      let mid = (lo + hi) / 2 in
+      let r = t.rows.(mid) in
+      let c =
+        match Int.compare r.first first with
+        | 0 -> Int.compare r.second second
+        | c -> c
+      in
+      if c = 0 then r.count else if c < 0 then go (mid + 1) hi else go lo mid
   in
-  find 0
+  go 0 (Array.length t.rows)
 
 let pair_prob t ~first ~second =
   float_of_int (pair_count t ~first ~second) /. float_of_int t.total_pairs

@@ -1,0 +1,109 @@
+(* Bounded memo table: an array of short bucket lists keyed by the scratch
+   hash. Probing compares the scratch buffer against frozen keys
+   word-by-word, so a cache hit allocates nothing — the common case during
+   greedy merging when module sets repeat across candidates (sinks sharing
+   modules, grouped workloads).
+
+   The table is deliberately bounded: bucket count stops doubling at
+   [max_buckets] and each chain keeps at most [chain_cap] entries; once a
+   chain is full, further misses in that bucket are computed directly from
+   the scratch buffer and NOT inserted. On workloads where nearly every
+   queried union is distinct (one module per sink: ~n^2 distinct candidate
+   sets) an unbounded table would retain gigabytes of frozen bitsets and
+   drown the run in GC work — worse than not memoizing at all. Here a
+   steady-state miss allocates nothing at all (no union set, no frozen
+   key): it costs one hash plus a short probe on top of the direct
+   computation, while repeat-heavy workloads still hit. First-in wins over
+   eviction because the sets that repeat (sink singletons, early unions)
+   are exactly the ones seen first.
+
+   Even the hash + probe can be a net loss when the key space is
+   effectively distinct per query, so the table watches its own hit rate:
+   after every [bypass_window] misses, if hits are below 1/16 of misses,
+   it stops probing for good and answers every further query directly
+   from the scratch buffer. *)
+
+type entry = { key : Module_set.t; h : int; p : float }
+
+type t = {
+  profile : Profile.t;
+  buf : Module_set.scratch;
+  mutable buckets : entry list array; (* length is a power of two *)
+  mutable size : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable bypass : bool;
+}
+
+let max_buckets = 1 lsl 15
+
+let chain_cap = 4
+
+let bypass_window = 1 lsl 14
+
+let create profile =
+  {
+    profile;
+    buf = Module_set.scratch (Profile.n_modules profile);
+    buckets = Array.make 256 [];
+    size = 0;
+    hits = 0;
+    misses = 0;
+    bypass = false;
+  }
+
+let profile t = t.profile
+
+let resize t =
+  let old = t.buckets in
+  let cap = 2 * Array.length old in
+  let buckets = Array.make cap [] in
+  Array.iter
+    (List.iter (fun e ->
+         let i = e.h land (cap - 1) in
+         buckets.(i) <- e :: buckets.(i)))
+    old;
+  t.buckets <- buckets
+
+(* Look up the probability of the set currently held by [t.buf]. *)
+let lookup t =
+  if t.bypass then begin
+    t.misses <- t.misses + 1;
+    Profile.p_scratch t.profile t.buf
+  end
+  else begin
+  let h = Module_set.scratch_hash t.buf in
+  let i = h land (Array.length t.buckets - 1) in
+  let rec find len = function
+    | [] ->
+      t.misses <- t.misses + 1;
+      if t.misses land (bypass_window - 1) = 0 && t.hits * 16 < t.misses then
+        t.bypass <- true;
+      let p = Profile.p_scratch t.profile t.buf in
+      if len < chain_cap then begin
+        let key = Module_set.freeze t.buf in
+        t.buckets.(i) <- { key; h; p } :: t.buckets.(i);
+        t.size <- t.size + 1;
+        if t.size > 2 * Array.length t.buckets && Array.length t.buckets < max_buckets
+        then resize t
+      end;
+      p
+    | e :: tl ->
+      if e.h = h && Module_set.scratch_equal t.buf e.key then begin
+        t.hits <- t.hits + 1;
+        e.p
+      end
+      else find (len + 1) tl
+  in
+  find 0 t.buckets.(i)
+  end
+
+let p_union t a b =
+  Module_set.union_into t.buf a b;
+  lookup t
+
+let p t s =
+  Module_set.blit_into t.buf s;
+  lookup t
+
+let stats t = (t.hits, t.misses)

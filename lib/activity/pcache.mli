@@ -1,0 +1,33 @@
+(** Memoized signal-probability queries.
+
+    [Profile.p] scans the whole IFT (every instruction's used-module set)
+    per call; the activity-aware greedy merge asks for the probability of
+    the same candidate unions over and over while a pair sits in the
+    frontier. This cache keys probabilities by module set in a hash table
+    and evaluates candidate unions in a reusable scratch buffer, so a
+    repeated query costs one O(words) union + lookup and allocates
+    nothing.
+
+    The table is bounded (capped bucket count, short per-bucket chains
+    that stop admitting entries when full), so on adversarial workloads
+    where every queried set is distinct the cache degrades to an
+    allocation-free direct computation with a small constant probe
+    overhead, instead of retaining an unbounded set of frozen keys. *)
+
+type t
+
+val create : Profile.t -> t
+(** Fresh, empty cache over the profile's module universe. *)
+
+val profile : t -> Profile.t
+
+val p : t -> Module_set.t -> float
+(** Memoized {!Profile.p}. *)
+
+val p_union : t -> Module_set.t -> Module_set.t -> float
+(** [p_union c a b] = [Profile.p profile (union a b)] without allocating
+    the union (except on the first query for that set). Raises
+    [Invalid_argument] on a universe mismatch. *)
+
+val stats : t -> int * int
+(** [(hits, misses)] since creation. *)

@@ -1,6 +1,5 @@
 (* Pairs are packed into one heap payload: ids stay below 2^20, well within
-   a 63-bit immediate. Stale pairs (either endpoint already merged) are
-   skipped on pop — lazy deletion. *)
+   a 63-bit immediate. *)
 
 let id_bits = 21
 
@@ -10,14 +9,152 @@ let pack a b = (a lsl id_bits) lor b
 
 let unpack p = (p lsr id_bits, p land ((1 lsl id_bits) - 1))
 
-let merge_all ~n ~cost ~merge =
+let validate n =
   if n <= 0 then invalid_arg "Greedy.merge_all: no elements";
-  if n > max_ids / 2 then invalid_arg "Greedy.merge_all: too many elements";
+  if n > max_ids / 2 then invalid_arg "Greedy.merge_all: too many elements"
+
+(* ------------------------------------------------------------------ *)
+(* Pluggable candidate sources                                        *)
+(* ------------------------------------------------------------------ *)
+
+type view = {
+  n : int;
+  cost : int -> int -> float;
+  is_active : int -> bool;
+  iter_active : (int -> unit) -> unit;
+}
+
+type candidates = {
+  best : int -> (int * float) option;
+  merged : a:int -> b:int -> k:int -> unit;
+}
+
+type source = view -> candidates
+
+(* Each root is responsible only for partners with a smaller id: every
+   unordered pair is then owned by exactly one entry (the larger id), which
+   halves the cost evaluations without weakening the coverage invariant —
+   a fresh node k sees all other roots (their ids are smaller), and when a
+   root's entry is revalidated its smaller-id partners are all rescanned. *)
+let scan view =
+  let best v =
+    let best_id = ref (-1) and best_cost = ref infinity in
+    view.iter_active (fun u ->
+        if u < v then begin
+          let c = view.cost v u in
+          if c < !best_cost then begin
+            best_cost := c;
+            best_id := u
+          end
+        end);
+    if !best_id < 0 then None else Some (!best_id, !best_cost)
+  in
+  { best; merged = (fun ~a:_ ~b:_ ~k:_ -> ()) }
+
+(* ------------------------------------------------------------------ *)
+(* Nearest-neighbor heap engine                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One heap entry per root: (cost, (v, partner)) where partner was v's
+   best partner when the entry was pushed. Lazy revalidation: popping an
+   entry whose partner has died recomputes v's best and re-pushes.
+
+   Soundness sketch. An entry's key is the exact cost of a concrete pair,
+   so any both-alive entry keys >= the true global minimum m. Conversely
+   the heap always holds an entry with key <= m: for the minimizing pair
+   (u, v), whichever endpoint was created (or last revalidated) latest
+   computed its best over a set containing the other, so its key <= m.
+   Hence the first both-alive pop is exactly a minimum-cost pair. *)
+let merge_all_with source ~n ~cost ~merge =
+  validate n;
   if n = 1 then 0
   else begin
     let size = (2 * n) - 1 in
     let alive = Array.init size (fun v -> v < n) in
-    (* Active roots in a swap-remove array for O(active) neighbor pushes. *)
+    (* Active roots in a swap-remove array for O(1) removal. *)
+    let active = Array.init size (fun v -> v) in
+    let pos = Array.init size (fun v -> v) in
+    let n_active = ref n in
+    let view =
+      {
+        n;
+        cost;
+        is_active = (fun v -> v >= 0 && v < size && alive.(v));
+        iter_active =
+          (fun f ->
+            for i = 0 to !n_active - 1 do
+              f active.(i)
+            done);
+      }
+    in
+    let cands = source view in
+    let heap = Util.Bin_heap.create ~capacity:(2 * n) () in
+    let push_best v =
+      match cands.best v with
+      | None -> ()
+      | Some (u, c) -> Util.Bin_heap.push heap c (pack v u)
+    in
+    for v = 0 to n - 1 do
+      push_best v
+    done;
+    let remove_from_active v =
+      let i = pos.(v) in
+      let last = active.(!n_active - 1) in
+      active.(i) <- last;
+      pos.(last) <- i;
+      decr n_active
+    in
+    let add_active v =
+      active.(!n_active) <- v;
+      pos.(v) <- !n_active;
+      incr n_active
+    in
+    let rec loop () =
+      if !n_active = 1 then active.(0)
+      else
+        match Util.Bin_heap.pop heap with
+        | None -> failwith "Greedy.merge_all: heap exhausted with roots remaining"
+        | Some (_, payload) ->
+          let v, u = unpack payload in
+          if not alive.(v) then loop ()
+          else if not alive.(u) then begin
+            (* stale partner: revalidate v and retry *)
+            push_best v;
+            loop ()
+          end
+          else begin
+            (* merge (smaller, larger), as the dense engine always did *)
+            let a = min v u and b = max v u in
+            let k = merge a b in
+            alive.(a) <- false;
+            alive.(b) <- false;
+            alive.(k) <- true;
+            remove_from_active a;
+            remove_from_active b;
+            add_active k;
+            cands.merged ~a ~b ~k;
+            push_best k;
+            loop ()
+          end
+    in
+    loop ()
+  end
+
+let merge_all ~n ~cost ~merge = merge_all_with scan ~n ~cost ~merge
+
+(* ------------------------------------------------------------------ *)
+(* All-pairs reference oracle                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The original engine: seed a lazy-deletion heap with all n(n-1)/2 pairs.
+   O(n^2 log n) time and O(n^2) heap memory — kept as the reference the
+   accelerated path is validated against. *)
+let merge_all_dense ~n ~cost ~merge =
+  validate n;
+  if n = 1 then 0
+  else begin
+    let size = (2 * n) - 1 in
+    let alive = Array.init size (fun v -> v < n) in
     let active = Array.init size (fun v -> v) in
     let n_active = ref n in
     let heap = Util.Bin_heap.create ~capacity:(n * n / 2) () in

@@ -6,18 +6,73 @@
     style) and of the paper's min-switched-capacitance ordering (cost =
     Eq. (3)).
 
-    Complexity: O(n^2 log n) heap operations with lazy deletion — the
-    structure behind the paper's O(K^2 N^2) bound, where the probability
-    work multiplies in. *)
+    The engine keeps one heap entry per active root — (root, its current
+    best partner) — and lazily revalidates an entry when its partner has
+    been consumed. Candidate generation is pluggable: the default
+    {!scan} source recomputes a root's best partner by scanning the
+    active set (O(n) per query, O(n^2) total cost evaluations but O(n)
+    heap memory); a spatial source (see {!Spatial} and {!Nn}) answers the
+    query from a grid index, bringing geometric topology construction to
+    ~O(n log n). The original all-pairs seeding survives as
+    {!merge_all_dense}, the reference oracle the accelerated paths are
+    validated against. *)
+
+type view = {
+  n : int;  (** initial element count; merged ids are [n], [n+1], ... *)
+  cost : int -> int -> float;  (** the engine's symmetric cost function *)
+  is_active : int -> bool;
+  iter_active : (int -> unit) -> unit;  (** visit every active root *)
+}
+(** What the engine exposes to a candidate source. *)
+
+type candidates = {
+  best : int -> (int * float) option;
+      (** [best v] = a minimum-cost partner of active root [v], with its
+          exact cost. The source may restrict its search to active
+          partners with ids [< v] (every unordered pair is then owned by
+          its larger id — the {!scan} source does this); it must never
+          return a dead partner, an inexact cost, or a non-minimal
+          candidate over the set it owns. [None] iff that set is empty. *)
+  merged : a:int -> b:int -> k:int -> unit;
+      (** Notification that [a] and [b] were consumed into the fresh
+          root [k] (already active when called). *)
+}
+
+type source = view -> candidates
+(** A candidate source, instantiated once per [merge_all] run. *)
+
+val scan : source
+(** Exhaustive per-query scan of the active set: exact for any cost
+    function, O(n) memory. The default. *)
+
+val merge_all_with :
+  source ->
+  n:int ->
+  cost:(int -> int -> float) ->
+  merge:(int -> int -> int) ->
+  int
+(** [merge_all_with src ~n ~cost ~merge] starts from active elements
+    [0..n-1]. [merge a b] must consume both arguments and return a fresh
+    id, denser ids first: the engine requires ids to be allocated
+    consecutively ([n], [n+1], ...). Returns the final surviving id.
+    [cost] must be symmetric and stable (two fixed ids always cost the
+    same). Merge decisions are identical to {!merge_all_dense} up to
+    ties. Raises [Invalid_argument] when [n <= 0] or exceeds the 2^20 id
+    budget. *)
 
 val merge_all :
   n:int ->
   cost:(int -> int -> float) ->
   merge:(int -> int -> int) ->
   int
-(** [merge_all ~n ~cost ~merge] starts from active elements [0..n-1].
-    [merge a b] must consume both arguments and return a fresh id, denser
-    ids first: the engine requires ids to be allocated consecutively
-    ([n], [n+1], ...). Returns the final surviving id. [cost] must be
-    symmetric; it is consulted once per unordered candidate pair. Raises
-    [Invalid_argument] when [n <= 0] or exceeds the 2^20 id budget. *)
+(** [merge_all_with scan]. *)
+
+val merge_all_dense :
+  n:int ->
+  cost:(int -> int -> float) ->
+  merge:(int -> int -> int) ->
+  int
+(** Reference oracle: the original engine seeding a lazy-deletion heap
+    with all n(n-1)/2 candidate pairs — O(n^2 log n) time, O(n^2) heap
+    memory, [cost] consulted once per unordered candidate pair. Use only
+    for validation and baseline benchmarking. *)

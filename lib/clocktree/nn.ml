@@ -1,12 +1,53 @@
-let topology tech ~edge_gate sinks =
+(* Cell side for the grid: the sink cloud's rotated span divided by
+   sqrt n puts O(1) sinks per cell at constant density. *)
+let cell_for sinks =
+  let n = Array.length sinks in
+  let ulo = ref infinity and uhi = ref neg_infinity in
+  let vlo = ref infinity and vhi = ref neg_infinity in
+  Array.iter
+    (fun s ->
+      let r = Geometry.Rot.of_point s.Sink.loc in
+      if r.Geometry.Rot.u < !ulo then ulo := r.Geometry.Rot.u;
+      if r.Geometry.Rot.u > !uhi then uhi := r.Geometry.Rot.u;
+      if r.Geometry.Rot.v < !vlo then vlo := r.Geometry.Rot.v;
+      if r.Geometry.Rot.v > !vhi then vhi := r.Geometry.Rot.v)
+    sinks;
+  let span = Float.max (!uhi -. !ulo) (!vhi -. !vlo) in
+  Float.max (span /. sqrt (float_of_int (max n 1))) 1e-3
+
+let spatial_source grow sinks (view : Greedy.view) =
+  let n = view.Greedy.n in
+  let idx = Spatial.create ~capacity:((2 * n) - 1) ~cell:(cell_for sinks) () in
+  for v = 0 to n - 1 do
+    Spatial.insert idx v (Grow.region grow v)
+  done;
+  {
+    (* Grow.dist is the region distance the index was built for, so the
+       ring-pruning contract of Spatial.nearest holds exactly. *)
+    Greedy.best = (fun v -> Spatial.nearest idx v ~dist:(view.Greedy.cost v));
+    merged =
+      (fun ~a ~b ~k ->
+        Spatial.remove idx a;
+        Spatial.remove idx b;
+        Spatial.insert idx k (Grow.region grow k));
+  }
+
+let build ~engine tech ~edge_gate sinks =
   let grow = Grow.create tech ~edge_gate sinks in
+  let n = Array.length sinks in
+  let cost a b = Grow.dist grow a b in
+  let merge a b = Grow.merge grow a b in
   let root =
-    Greedy.merge_all ~n:(Array.length sinks)
-      ~cost:(fun a b -> Grow.dist grow a b)
-      ~merge:(fun a b -> Grow.merge grow a b)
+    match engine with
+    | `Spatial -> Greedy.merge_all_with (spatial_source grow sinks) ~n ~cost ~merge
+    | `Dense -> Greedy.merge_all_dense ~n ~cost ~merge
   in
   ignore root;
   Grow.topology grow
+
+let topology tech ~edge_gate sinks = build ~engine:`Spatial tech ~edge_gate sinks
+
+let topology_dense tech ~edge_gate sinks = build ~engine:`Dense tech ~edge_gate sinks
 
 let embed tech ~edge_gate ~root_anchor sinks =
   let topo = topology tech ~edge_gate sinks in

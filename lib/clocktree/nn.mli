@@ -3,11 +3,26 @@
 
     Greedily merges the two subtree roots whose merging sectors are
     geometrically closest; with [edge_gate = Some tech.buffer] this yields
-    the paper's "buffered clock tree" construction. *)
+    the paper's "buffered clock tree" construction.
+
+    Candidate pairs come from a {!Spatial} grid index over merging-region
+    centers (~O(n log n) construction); {!topology_dense} runs the same
+    greedy on the all-pairs reference oracle instead. *)
 
 val topology : Tech.t -> edge_gate:Tech.gate option -> Sink.t array -> Topo.t
-(** Build the complete topology. Raises [Invalid_argument] on an empty or
-    mis-indexed sink array. *)
+(** Build the complete topology (spatially accelerated). Raises
+    [Invalid_argument] on an empty or mis-indexed sink array. *)
+
+val topology_dense :
+  Tech.t -> edge_gate:Tech.gate option -> Sink.t array -> Topo.t
+(** Same construction on {!Greedy.merge_all_dense} — the O(n^2)-memory
+    all-pairs path, kept as the validation oracle and benchmark baseline.
+    Identical merge decisions up to cost ties. *)
+
+val spatial_source : Grow.t -> Sink.t array -> Greedy.source
+(** The grid-backed candidate source used by {!topology}, exposed for
+    engines that drive {!Greedy.merge_all} themselves with a purely
+    geometric cost ([Grow.dist] of the same forest). *)
 
 val embed :
   Tech.t ->

@@ -1,0 +1,176 @@
+(* Uniform grid over merging-region centers in the rotated (u, v) plane —
+   the plane in which Rect lives and in which Rect.distance is the max of
+   per-axis interval gaps (an L-inf geometry). Cells are addressed by
+   integer coordinates with no fixed bounds: buckets live in a hash table,
+   so regions that drift outside the initial sink hull (snaking inflates
+   merging regions) need no clamping and the nearest-neighbor pruning
+   bound stays exact. *)
+
+type t = {
+  cell : float; (* cell side, in rotated coordinates *)
+  buckets : (int, int list) Hashtbl.t; (* packed cell coords -> member ids *)
+  cu : float array; (* region center, u *)
+  cv : float array; (* region center, v *)
+  half : float array; (* L-inf half-extent of the region *)
+  key : int array; (* packed cell key per id; -1 = absent *)
+  members : int array; (* swap-remove array of present ids *)
+  pos : int array; (* id -> index in [members] *)
+  mutable count : int;
+  mutable max_half : float; (* max half-extent ever inserted (monotone) *)
+  mutable clo : int; (* occupied cell bounding box, u axis *)
+  mutable chi : int;
+  mutable dlo : int; (* occupied cell bounding box, v axis *)
+  mutable dhi : int;
+}
+
+(* Cell coordinates stay small (die span / cell size), but pack with a
+   generous offset so even far-flung regions cannot collide. *)
+let offset = 1 lsl 25
+
+let pack_cell cu cv = ((cu + offset) lsl 27) lor (cv + offset)
+
+let create ~capacity ~cell () =
+  if capacity <= 0 then invalid_arg "Spatial.create: non-positive capacity";
+  if not (Float.is_finite cell && cell > 0.0) then
+    invalid_arg "Spatial.create: cell side must be positive and finite";
+  {
+    cell;
+    buckets = Hashtbl.create (4 * capacity);
+    cu = Array.make capacity 0.0;
+    cv = Array.make capacity 0.0;
+    half = Array.make capacity 0.0;
+    key = Array.make capacity (-1);
+    members = Array.make capacity 0;
+    pos = Array.make capacity (-1);
+    count = 0;
+    max_half = 0.0;
+    clo = max_int;
+    chi = min_int;
+    dlo = max_int;
+    dhi = min_int;
+  }
+
+let cardinal t = t.count
+
+let mem t id = id >= 0 && id < Array.length t.key && t.key.(id) >= 0
+
+let check_id name t id =
+  if id < 0 || id >= Array.length t.key then
+    invalid_arg (Printf.sprintf "Spatial.%s: id %d outside capacity" name id)
+
+let cell_coord t x = int_of_float (Float.floor (x /. t.cell))
+
+let insert t id (r : Geometry.Rect.t) =
+  check_id "insert" t id;
+  if t.key.(id) >= 0 then invalid_arg "Spatial.insert: id already present";
+  let c = Geometry.Rect.center r in
+  let half =
+    0.5 *. Float.max (Geometry.Rect.width_u r) (Geometry.Rect.width_v r)
+  in
+  t.cu.(id) <- c.Geometry.Rot.u;
+  t.cv.(id) <- c.Geometry.Rot.v;
+  t.half.(id) <- half;
+  if half > t.max_half then t.max_half <- half;
+  let ku = cell_coord t c.Geometry.Rot.u and kv = cell_coord t c.Geometry.Rot.v in
+  if ku < t.clo then t.clo <- ku;
+  if ku > t.chi then t.chi <- ku;
+  if kv < t.dlo then t.dlo <- kv;
+  if kv > t.dhi then t.dhi <- kv;
+  let key = pack_cell ku kv in
+  t.key.(id) <- key;
+  let prev = Option.value (Hashtbl.find_opt t.buckets key) ~default:[] in
+  Hashtbl.replace t.buckets key (id :: prev);
+  t.members.(t.count) <- id;
+  t.pos.(id) <- t.count;
+  t.count <- t.count + 1
+
+let remove t id =
+  check_id "remove" t id;
+  let key = t.key.(id) in
+  if key < 0 then invalid_arg "Spatial.remove: id not present";
+  (match Hashtbl.find_opt t.buckets key with
+  | None -> assert false
+  | Some ids -> (
+    match List.filter (fun j -> j <> id) ids with
+    | [] -> Hashtbl.remove t.buckets key
+    | rest -> Hashtbl.replace t.buckets key rest));
+  t.key.(id) <- (-1);
+  let i = t.pos.(id) in
+  let last = t.members.(t.count - 1) in
+  t.members.(i) <- last;
+  t.pos.(last) <- i;
+  t.pos.(id) <- (-1);
+  t.count <- t.count - 1
+
+let iter t f =
+  for i = 0 to t.count - 1 do
+    f t.members.(i)
+  done
+
+(* Below this population a straight scan beats ring enumeration; it also
+   bounds the cost of the late merges, whose huge regions make the
+   geometric pruning slack useless anyway. *)
+let scan_threshold = 48
+
+let nearest t id ~dist =
+  check_id "nearest" t id;
+  if t.key.(id) < 0 then invalid_arg "Spatial.nearest: id not present";
+  if t.count <= 1 then None
+  else begin
+    let best_id = ref (-1) and best = ref infinity in
+    let consider j =
+      if j <> id then begin
+        let c = dist j in
+        if c < !best then begin
+          best := c;
+          best_id := j
+        end
+      end
+    in
+    if t.count <= scan_threshold then iter t consider
+    else begin
+      let qu = t.cu.(id) and qv = t.cv.(id) in
+      let ku = cell_coord t qu and kv = cell_coord t qv in
+      (* [dist j] >= chebyshev(center id, center j) - slack: the pruning
+         contract (see the mli). *)
+      let slack = t.half.(id) +. t.max_half in
+      let visit cu cv =
+        if cu >= t.clo && cu <= t.chi && cv >= t.dlo && cv <= t.dhi then
+          match Hashtbl.find_opt t.buckets (pack_cell cu cv) with
+          | None -> ()
+          | Some ids -> List.iter consider ids
+      in
+      let d = ref 0 in
+      let finished = ref false in
+      while not !finished do
+        let dd = !d in
+        (* Any point in a cell at ring distance dd is at least
+           (dd - 1) * cell away from the query center. *)
+        if
+          !best_id >= 0
+          && (float_of_int (dd - 1) *. t.cell) -. slack > !best
+        then finished := true
+        else begin
+          if dd = 0 then visit ku kv
+          else begin
+            for cu = ku - dd to ku + dd do
+              visit cu (kv - dd);
+              visit cu (kv + dd)
+            done;
+            for cv = kv - dd + 1 to kv + dd - 1 do
+              visit (ku - dd) cv;
+              visit (ku + dd) cv
+            done
+          end;
+          (* Once the ring box swallows the occupied bounding box, every
+             bucket has been visited. *)
+          if
+            ku - dd <= t.clo && ku + dd >= t.chi && kv - dd <= t.dlo
+            && kv + dd >= t.dhi
+          then finished := true
+          else incr d
+        end
+      done
+    end;
+    if !best_id < 0 then None else Some (!best_id, !best)
+  end

@@ -1,0 +1,47 @@
+(** Uniform-grid spatial index over merging-region centers.
+
+    The greedy merge needs, for an active root, its minimum-cost partner.
+    When the cost is the merging-region distance ({!Grow.dist}, an L-inf
+    gap in the rotated plane), candidates can be enumerated in expanding
+    rings of grid cells around the query and the search cut off once no
+    unvisited cell can possibly beat the best candidate found — turning
+    the O(n) scan per query into a near-O(1) neighborhood probe on
+    realistic sink placements.
+
+    The grid is unbounded (cells live in a hash table keyed by integer
+    cell coordinates), so regions inflated beyond the initial sink hull by
+    wire snaking are handled without any loss of exactness. *)
+
+type t
+
+val create : capacity:int -> cell:float -> unit -> t
+(** [create ~capacity ~cell ()] indexes ids in [0..capacity-1] with grid
+    cells of side [cell] (rotated coordinates). A good [cell] is the sink
+    cloud's span divided by [sqrt n]. Raises [Invalid_argument] on a
+    non-positive capacity or cell. *)
+
+val insert : t -> int -> Geometry.Rect.t -> unit
+(** Index a region under the given id: stores its center and L-inf
+    half-extent. Raises [Invalid_argument] if the id is out of range or
+    already present. *)
+
+val remove : t -> int -> unit
+(** Raises [Invalid_argument] if the id is not present. *)
+
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+
+val iter : t -> (int -> unit) -> unit
+(** Visit every present id (unspecified order). *)
+
+val nearest : t -> int -> dist:(int -> float) -> (int * float) option
+(** [nearest t id ~dist] returns the present id [j <> id] minimizing
+    [dist j], with that minimal value, or [None] when [id] is alone.
+
+    Exactness contract: [dist j] must satisfy
+    [dist j >= chebyshev (center id) (center j) - half id - max_half]
+    where the centers and half-extents are the ones registered at insert
+    time and [max_half] is the largest half-extent ever inserted.
+    {!Grow.dist} (= [Rect.distance] of the indexed regions) satisfies
+    this. Raises [Invalid_argument] if [id] is not present. *)

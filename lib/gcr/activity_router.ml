@@ -1,20 +1,26 @@
-let topology (config : Config.t) profile sinks =
+let build_topology ~dense (config : Config.t) profile sinks =
   Clocktree.Sink.validate_array sinks;
   let tech = config.Config.tech in
   let n = Array.length sinks in
   let grow =
     Clocktree.Grow.create tech ~edge_gate:(Some tech.Clocktree.Tech.and_gate) sinks
   in
+  (* Per-root enable sets, grown alongside the forest: repeated candidate
+     evaluations read this array instead of re-deriving sets from sinks. *)
   let mods = Array.make ((2 * n) - 1) None in
   for v = 0 to n - 1 do
     mods.(v) <- Some (Enable.of_sink profile sinks.(v)).Enable.mods
   done;
   let mods_of v = match mods.(v) with Some m -> m | None -> assert false in
+  (* Candidate unions are evaluated in the cache's scratch buffer and
+     their probabilities memoized by module set: a repeated evaluation is
+     an O(words) union + hash lookup, not an IFT scan + allocation. *)
+  let cache = Activity.Pcache.create profile in
   (* scale so the geometric tie-breaker cannot override an activity
      difference: probabilities differ by >= 1/B when they differ at all *)
   let tie = 1e-6 /. (1.0 +. Geometry.Bbox.width config.Config.die) in
   let cost a b =
-    let p = Activity.Profile.p profile (Activity.Module_set.union (mods_of a) (mods_of b)) in
+    let p = Activity.Pcache.p_union cache (mods_of a) (mods_of b) in
     p +. (tie *. Clocktree.Grow.dist grow a b)
   in
   let merge a b =
@@ -22,8 +28,16 @@ let topology (config : Config.t) profile sinks =
     mods.(k) <- Some (Activity.Module_set.union (mods_of a) (mods_of b));
     k
   in
-  let _root = Clocktree.Greedy.merge_all ~n ~cost ~merge in
+  let _root =
+    if dense then Clocktree.Greedy.merge_all_dense ~n ~cost ~merge
+    else Clocktree.Greedy.merge_all ~n ~cost ~merge
+  in
   Clocktree.Grow.topology grow
+
+let topology config profile sinks = build_topology ~dense:false config profile sinks
+
+let topology_dense config profile sinks =
+  build_topology ~dense:true config profile sinks
 
 let route ?skew_budget config profile sinks =
   let topo = topology config profile sinks in

@@ -13,7 +13,15 @@
 val topology :
   Config.t -> Activity.Profile.t -> Clocktree.Sink.t array -> Clocktree.Topo.t
 (** Merge ordering by minimum merged-enable probability (geometric
-    distance breaks ties at 1e-6 weight). Raises like {!Router.route}. *)
+    distance breaks ties at 1e-6 weight). Candidate probabilities are
+    memoized ({!Activity.Pcache}) and the greedy runs on the O(n)-memory
+    nearest-neighbor engine. Raises like {!Router.route}. *)
+
+val topology_dense :
+  Config.t -> Activity.Profile.t -> Clocktree.Sink.t array -> Clocktree.Topo.t
+(** Same ordering on {!Clocktree.Greedy.merge_all_dense} — the all-pairs
+    reference oracle, identical merge decisions up to cost ties. For
+    validation and baseline benchmarking only. *)
 
 val route :
   ?skew_budget:float ->

@@ -27,6 +27,9 @@ let grow_and_merge (config : Config.t) profile sinks =
     enables.(k) <- Some (Enable.merge profile (enable a) (enable b));
     k
   in
+  (* Eq. (3) mixes probability and star terms, so there is no spatial
+     lower bound to prune with; the scan-source engine still replaces the
+     O(n^2)-entry pair heap with one entry per active root. *)
   let _root = Clocktree.Greedy.merge_all ~n ~cost ~merge in
   Clocktree.Grow.topology grow
 

@@ -365,6 +365,116 @@ let prop_ptr_bounded_by_2min =
       ptr <= (2.0 *. Float.min p (1.0 -. p)) +. (2.0 /. b) +. 1e-12)
 
 (* ------------------------------------------------------------------ *)
+(* Scratch buffers, popcount, pair_count, Pcache                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_ms_popcount =
+  (* Kernighan-loop cardinal vs. counting members one by one *)
+  QCheck.Test.make ~name:"cardinal = membership count" ~count:200
+    (QCheck.int_range 1 100_000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let n = 1 + Util.Prng.int prng 200 in
+      let s = ref (Ms.empty n) in
+      for m = 0 to n - 1 do
+        if Util.Prng.bool prng then s := Ms.add !s m
+      done;
+      let by_mem = ref 0 in
+      for m = 0 to n - 1 do
+        if Ms.mem !s m then incr by_mem
+      done;
+      Ms.cardinal !s = !by_mem)
+
+let test_ms_scratch_union () =
+  let a = Ms.of_list 70 [ 0; 3; 64; 69 ] and b = Ms.of_list 70 [ 3; 5; 68 ] in
+  let buf = Ms.scratch 70 in
+  Ms.union_into buf a b;
+  let u = Ms.freeze buf in
+  Alcotest.(check bool) "freeze = union" true (Ms.equal u (Ms.union a b));
+  Alcotest.(check bool) "scratch_equal true" true (Ms.scratch_equal buf u);
+  Alcotest.(check bool) "scratch_equal false" false (Ms.scratch_equal buf a);
+  let h_union = Ms.scratch_hash buf in
+  Ms.blit_into buf u;
+  Alcotest.(check int) "scratch_hash matches re-blit" h_union (Ms.scratch_hash buf);
+  Alcotest.(check int) "universe" 70 (Ms.scratch_universe buf)
+
+let prop_ms_scratch_hash_consistent =
+  QCheck.Test.make ~name:"scratch_equal sets have equal scratch_hash" ~count:200
+    (QCheck.int_range 1 100_000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let n = 1 + Util.Prng.int prng 150 in
+      let a = random_set prng n and b = random_set prng n in
+      let buf = Ms.scratch n in
+      Ms.union_into buf a b;
+      let frozen = Ms.freeze buf in
+      let h1 = Ms.scratch_hash buf in
+      Ms.blit_into buf frozen;
+      Ms.scratch_equal buf frozen && h1 = Ms.scratch_hash buf)
+
+let prop_imatt_pair_count_matches_rows =
+  (* binary search over the sorted rows vs. a linear scan *)
+  QCheck.Test.make ~name:"pair_count = linear row scan" ~count:60
+    (QCheck.int_range 1 100_000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let rtl = random_rtl prng ~n_modules:6 ~n_instr:7 in
+      let model = Activity.Cpu_model.make rtl in
+      let stream = Activity.Cpu_model.generate model prng 300 in
+      let imatt = Activity.Imatt.build stream in
+      let rows = Activity.Imatt.rows imatt in
+      let linear first second =
+        Array.fold_left
+          (fun acc r ->
+            if r.Activity.Imatt.first = first && r.Activity.Imatt.second = second
+            then acc + r.Activity.Imatt.count
+            else acc)
+          0 rows
+      in
+      let ok = ref true in
+      for first = 0 to 6 do
+        for second = 0 to 6 do
+          if Activity.Imatt.pair_count imatt ~first ~second <> linear first second
+          then ok := false
+        done
+      done;
+      !ok)
+
+let test_pcache_matches_profile () =
+  let cache = Activity.Pcache.create paper_profile in
+  let m56 = Ms.of_list 6 [ 4; 5 ] in
+  check_float "p via cache" 0.55 (Activity.Pcache.p cache m56);
+  check_float "p again (cached)" 0.55 (Activity.Pcache.p cache m56);
+  let hits, misses = Activity.Pcache.stats cache in
+  Alcotest.(check int) "one miss" 1 misses;
+  Alcotest.(check int) "one hit" 1 hits;
+  let m5 = Ms.singleton 6 4 and m6 = Ms.singleton 6 5 in
+  check_float "p_union = p of union" 0.55 (Activity.Pcache.p_union cache m5 m6);
+  let hits2, misses2 = Activity.Pcache.stats cache in
+  (* the union M5|M6 is the already-cached set *)
+  Alcotest.(check int) "union hits cache" (hits + 1) hits2;
+  Alcotest.(check int) "no new miss" misses misses2
+
+let prop_pcache_matches_profile =
+  QCheck.Test.make ~name:"Pcache.p_union = Profile.p of the union" ~count:60
+    (QCheck.int_range 1 100_000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let rtl = random_rtl prng ~n_modules:10 ~n_instr:5 in
+      let model = Activity.Cpu_model.make rtl in
+      let stream = Activity.Cpu_model.generate model prng 200 in
+      let profile = Activity.Profile.of_stream stream in
+      let cache = Activity.Pcache.create profile in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let a = random_set prng 10 and b = random_set prng 10 in
+        let via_cache = Activity.Pcache.p_union cache a b in
+        let direct = Activity.Profile.p profile (Ms.union a b) in
+        if via_cache <> direct then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
 (* Cpu_model                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -480,6 +590,9 @@ let () =
           qt prop_ms_union_cardinal;
           qt prop_ms_intersects_consistent;
           qt prop_ms_diff_disjoint;
+          qt prop_ms_popcount;
+          Alcotest.test_case "scratch union" `Quick test_ms_scratch_union;
+          qt prop_ms_scratch_hash_consistent;
         ] );
       ( "rtl",
         [
@@ -514,6 +627,12 @@ let () =
           Alcotest.test_case "toggles" `Quick test_imatt_toggles;
           Alcotest.test_case "ptr golden" `Quick test_imatt_ptr_paper_set;
           Alcotest.test_case "single cycle rejected" `Quick test_imatt_single_cycle_rejected;
+          qt prop_imatt_pair_count_matches_rows;
+        ] );
+      ( "pcache",
+        [
+          Alcotest.test_case "paper values" `Quick test_pcache_matches_profile;
+          qt prop_pcache_matches_profile;
         ] );
       ( "tables_vs_brute",
         [ qt prop_tables_match_brute; qt prop_p_monotone_in_set; qt prop_ptr_bounded_by_2min ] );

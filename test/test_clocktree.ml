@@ -643,6 +643,93 @@ let prop_greedy_matches_reference =
       List.rev !engine_log = List.rev !ref_log)
 
 (* ------------------------------------------------------------------ *)
+(* Spatial                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rect_at u v =
+  Geometry.Rect.make ~ulo:u ~uhi:u ~vlo:v ~vhi:v
+
+let test_spatial_basic () =
+  let idx = Clocktree.Spatial.create ~capacity:8 ~cell:10.0 () in
+  Clocktree.Spatial.insert idx 0 (rect_at 0.0 0.0);
+  Clocktree.Spatial.insert idx 1 (rect_at 3.0 0.0);
+  Clocktree.Spatial.insert idx 2 (rect_at 100.0 100.0);
+  Alcotest.(check int) "cardinal" 3 (Clocktree.Spatial.cardinal idx);
+  Alcotest.(check bool) "mem" true (Clocktree.Spatial.mem idx 1);
+  Alcotest.(check bool) "not mem" false (Clocktree.Spatial.mem idx 3);
+  let regions = [| rect_at 0.0 0.0; rect_at 3.0 0.0; rect_at 100.0 100.0 |] in
+  let dist i j = Geometry.Rect.distance regions.(i) regions.(j) in
+  (match Clocktree.Spatial.nearest idx 0 ~dist:(dist 0) with
+  | Some (1, d) -> check_float "nearest dist" 3.0 d
+  | _ -> Alcotest.fail "expected nearest of 0 to be 1");
+  Clocktree.Spatial.remove idx 1;
+  Alcotest.(check bool) "removed" false (Clocktree.Spatial.mem idx 1);
+  (match Clocktree.Spatial.nearest idx 0 ~dist:(dist 0) with
+  | Some (2, _) -> ()
+  | _ -> Alcotest.fail "expected nearest of 0 to be 2 after removal");
+  Clocktree.Spatial.remove idx 0;
+  Alcotest.(check (option (pair int (float 0.0)))) "alone" None
+    (Clocktree.Spatial.nearest idx 2 ~dist:(dist 2))
+
+let test_spatial_validation () =
+  Alcotest.check_raises "bad cell"
+    (Invalid_argument "Spatial.create: cell side must be positive and finite")
+    (fun () -> ignore (Clocktree.Spatial.create ~capacity:4 ~cell:0.0 ()));
+  let idx = Clocktree.Spatial.create ~capacity:4 ~cell:1.0 () in
+  Clocktree.Spatial.insert idx 0 (rect_at 0.0 0.0);
+  Alcotest.check_raises "double insert"
+    (Invalid_argument "Spatial.insert: id already present") (fun () ->
+      Clocktree.Spatial.insert idx 0 (rect_at 1.0 1.0));
+  Alcotest.check_raises "remove absent"
+    (Invalid_argument "Spatial.remove: id not present") (fun () ->
+      Clocktree.Spatial.remove idx 2)
+
+let prop_spatial_nearest_matches_scan =
+  (* nearest over random rects, with interleaved removals, must return the
+     same minimal distance as a brute-force scan (ids may differ on ties) *)
+  QCheck.Test.make ~name:"spatial nearest = brute-force scan" ~count:80
+    QCheck.(pair (int_range 2 60) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let prng = Util.Prng.create (seed + 1) in
+      let rect _ =
+        let u = Util.Prng.range prng 0.0 500.0 in
+        let v = Util.Prng.range prng 0.0 500.0 in
+        let wu = Util.Prng.range prng 0.0 40.0 in
+        let wv = Util.Prng.range prng 0.0 40.0 in
+        Geometry.Rect.make ~ulo:u ~uhi:(u +. wu) ~vlo:v ~vhi:(v +. wv)
+      in
+      let regions = Array.init n rect in
+      let cell = 500.0 /. sqrt (float_of_int n) in
+      let idx = Clocktree.Spatial.create ~capacity:n ~cell () in
+      Array.iteri (fun i r -> Clocktree.Spatial.insert idx i r) regions;
+      let alive = Array.make n true in
+      (* drop a third of the ids to exercise removal paths *)
+      for _ = 1 to n / 3 do
+        let i = Util.Prng.int prng n in
+        if alive.(i) then begin
+          alive.(i) <- false;
+          Clocktree.Spatial.remove idx i
+        end
+      done;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if alive.(i) then begin
+          let dist j = Geometry.Rect.distance regions.(i) regions.(j) in
+          let best = ref infinity in
+          for j = 0 to n - 1 do
+            if alive.(j) && j <> i && dist j < !best then best := dist j
+          done;
+          match Clocktree.Spatial.nearest idx i ~dist with
+          | Some (j, d) ->
+            if not (alive.(j) && j <> i) then ok := false;
+            if Float.abs (d -. !best) > 1e-9 then ok := false;
+            if Float.abs (d -. dist j) > 1e-12 then ok := false
+          | None -> if !best < infinity then ok := false
+        end
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
 (* Nn                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -673,6 +760,25 @@ let test_nn_embed_end_to_end () =
   Clocktree.Embed.check_consistency embed;
   Alcotest.(check bool) "positive wirelength" true
     (Clocktree.Embed.total_wirelength embed > 0.0)
+
+let prop_nn_spatial_matches_dense =
+  (* The ISSUE acceptance oracle: the spatial-accelerated greedy must
+     produce a tree whose total wirelength matches the all-pairs reference
+     within float tolerance (random costs are tie-free almost surely, so
+     the merge sequences coincide). *)
+  QCheck.Test.make ~name:"spatial topology = dense reference (wirelength)"
+    ~count:25
+    QCheck.(pair (int_range 2 200) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let prng = Util.Prng.create (seed + 7) in
+      let sinks = random_sinks prng n in
+      let wirelength topo =
+        let mseg = Clocktree.Mseg.build tech topo ~sinks ~gate_on_edge:no_gate in
+        Clocktree.Mseg.total_wirelength mseg
+      in
+      let fast = wirelength (Clocktree.Nn.topology tech ~edge_gate:None sinks) in
+      let ref_ = wirelength (Clocktree.Nn.topology_dense tech ~edge_gate:None sinks) in
+      Float.abs (fast -. ref_) <= 1e-6 *. (1.0 +. Float.abs ref_))
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in
@@ -816,10 +922,17 @@ let () =
                 (m.Clocktree.Metrics.detour_wirelength > 0.0);
               Alcotest.(check int) "one snaked edge" 1 m.Clocktree.Metrics.snaked_edges);
         ] );
+      ( "spatial",
+        [
+          Alcotest.test_case "basic" `Quick test_spatial_basic;
+          Alcotest.test_case "validation" `Quick test_spatial_validation;
+          qt prop_spatial_nearest_matches_scan;
+        ] );
       ( "nn",
         [
           Alcotest.test_case "valid topology" `Quick test_nn_topology_valid;
           Alcotest.test_case "closest pair first" `Quick test_nn_merges_closest_pair_first;
           Alcotest.test_case "embed end to end" `Quick test_nn_embed_end_to_end;
+          qt prop_nn_spatial_matches_dense;
         ] );
     ]

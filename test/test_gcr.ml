@@ -684,6 +684,23 @@ let test_activity_router_groups_by_activity () =
   Alcotest.(check bool) "correlated sinks merged first" true
     (Clocktree.Topo.children topo 4 = Some (0, 1))
 
+let prop_activity_router_matches_dense =
+  (* memoized scan engine vs. the all-pairs reference: same merge decisions
+     (the 1e-6 distance tie-breaker makes costs tie-free on random sinks),
+     so the gated trees must have equal switched capacitance *)
+  QCheck.Test.make ~name:"activity topology = dense reference (W_total)" ~count:12
+    QCheck.(pair (int_range 2 60) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let config, profile, sinks = setup ~n ~seed:(seed land 0xffff) () in
+      let w topo =
+        Gcr.Cost.w_total
+          (Gcr.Gated_tree.build config profile sinks topo ~kind:(fun _ ->
+               Gcr.Gated_tree.Gated))
+      in
+      let fast = w (Gcr.Activity_router.topology config profile sinks) in
+      let ref_ = w (Gcr.Activity_router.topology_dense config profile sinks) in
+      Float.abs (fast -. ref_) <= 1e-6 *. (1.0 +. Float.abs ref_))
+
 let test_activity_router_usually_worse_geometry () =
   let config, profile, sinks = setup ~n:24 () in
   let act = Gcr.Activity_router.route config profile sinks in
@@ -1045,6 +1062,7 @@ let () =
         [
           Alcotest.test_case "end to end" `Quick test_activity_router_end_to_end;
           Alcotest.test_case "groups by activity" `Quick test_activity_router_groups_by_activity;
+          qt prop_activity_router_matches_dense;
           Alcotest.test_case "pays wirelength" `Quick test_activity_router_usually_worse_geometry;
         ] );
       ( "refine",
