@@ -571,6 +571,24 @@ let bechamel_tests () =
       (Staged.stage (fun () ->
            let config = Gcr.Config.make ~controller:distributed ~die () in
            ignore (Gcr.Router.route config profile sinks)));
+    (* probability-kernel micro-benchmarks: table scans vs the
+       instruction-hit signature kernel, same set *)
+    Test.make ~name:"micro/sig-p"
+      (let kern =
+         match Activity.Profile.signature_kernel profile with
+         | Some k -> k
+         | None -> assert false
+       in
+       let s = Activity.Signature.of_set kern big_set in
+       Staged.stage (fun () -> ignore (Activity.Signature.p kern s)));
+    Test.make ~name:"micro/sig-ptr"
+      (let kern =
+         match Activity.Profile.signature_kernel profile with
+         | Some k -> k
+         | None -> assert false
+       in
+       let s = Activity.Signature.of_set kern big_set in
+       Staged.stage (fun () -> ignore (Activity.Signature.ptr kern s)));
     (* substrate micro-benchmarks *)
     Test.make ~name:"micro/zskew-split"
       (Staged.stage (fun () -> ignore (Clocktree.Zskew.split tech branch branch ~dist:300.0)));
@@ -682,7 +700,7 @@ let old_activity_topology (config : Gcr.Config.t) profile sinks =
 let greedy_scaling () =
   section "Greedy-merge scaling: NN-heap (+ spatial grid) vs all-pairs heap";
   let geo_sizes = if quick then [ 100; 250 ] else [ 250; 500; 1000; 2000; 3101; 6000 ] in
-  let act_sizes = if quick then [ 100 ] else [ 250; 500; 1000; 2000 ] in
+  let act_sizes = if quick then [ 100 ] else [ 250; 500; 1000; 2000; 4000; 6000 ] in
   let geo_dense_cap = if quick then 250 else 3101 in
   let act_dense_cap = if quick then 100 else 2000 in
   let time f =
@@ -749,10 +767,11 @@ let greedy_scaling () =
   Buffer.add_string js "\n  ],\n";
   print geo;
   print_newline ();
-  (* activity: memoized scan engine vs unmemoized all-pairs baseline *)
+  (* activity: signature kernel + bound-pruned NN-heap vs the unmemoized
+     all-pairs baseline *)
   let act =
     create ~title:"Activity-only merge (P(union) cost, Tellez-style)"
-      [ ("sinks", Right); ("memoized (s)", Right); ("old dense (s)", Right);
+      [ ("sinks", Right); ("signature (s)", Right); ("old dense (s)", Right);
         ("speedup", Right); ("W_total rel err", Right) ]
   in
   Buffer.add_string js "  \"activity\": [\n";
@@ -781,7 +800,7 @@ let greedy_scaling () =
         if not !first then Buffer.add_string js ",\n";
         Buffer.add_string js
           (Printf.sprintf
-             "    {\"n\": %d, \"memoized_s\": %.6f, \"old_dense_s\": %.6f, \
+             "    {\"n\": %d, \"signature_s\": %.6f, \"old_dense_s\": %.6f, \
               \"speedup\": %.2f, \"w_total_rel_err\": %.3e}"
              n fast_t old_t (old_t /. fast_t) err)
       end
@@ -791,14 +810,88 @@ let greedy_scaling () =
         if not !first then Buffer.add_string js ",\n";
         Buffer.add_string js
           (Printf.sprintf
-             "    {\"n\": %d, \"memoized_s\": %.6f, \"old_dense_s\": null, \
+             "    {\"n\": %d, \"signature_s\": %.6f, \"old_dense_s\": null, \
               \"speedup\": null, \"w_total_rel_err\": null}"
              n fast_t)
       end;
       first := false)
     act_sizes;
-  Buffer.add_string js "\n  ]\n}\n";
+  Buffer.add_string js "\n  ],\n";
   print act;
+  print_newline ();
+  (* probability-kernel microbench: per-query cost of the raw table
+     scans vs the signature kernel, identical random sets *)
+  let micro_n = if quick then 100 else 2000 in
+  let spec =
+    Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:micro_n
+  in
+  let { Benchmarks.Suite.profile; _ } =
+    Benchmarks.Suite.case ~stream_length:1_000 spec
+  in
+  let ift = Activity.Profile.ift profile and imatt = Activity.Profile.imatt profile in
+  let kern =
+    match Activity.Profile.signature_kernel profile with
+    | Some k -> k
+    | None -> assert false
+  in
+  let n_mods = Activity.Profile.n_modules profile in
+  let prng = Util.Prng.create 42 in
+  let n_sets = 256 in
+  let sets =
+    Array.init n_sets (fun _ ->
+        let s = ref (Activity.Module_set.empty n_mods) in
+        for _ = 1 to 16 do
+          s := Activity.Module_set.add !s (Util.Prng.int prng n_mods)
+        done;
+        !s)
+  in
+  let sigs = Array.map (Activity.Signature.of_set kern) sets in
+  let iters = if quick then 2_000 else 200_000 in
+  let per_query f =
+    let sink = ref 0.0 in
+    for i = 0 to n_sets - 1 do
+      sink := !sink +. f i
+    done;
+    let t0 = Unix.gettimeofday () in
+    for it = 0 to iters - 1 do
+      sink := !sink +. f (it land (n_sets - 1))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Sys.opaque_identity !sink |> ignore;
+    1e9 *. dt /. float_of_int iters
+  in
+  let next i = (i + 1) land (n_sets - 1) in
+  let kernel_rows =
+    [
+      ("p_any_ns", "Ift.p_any (scan)",
+       per_query (fun i -> Activity.Ift.p_any ift sets.(i)));
+      ("sig_p_ns", "Signature.p",
+       per_query (fun i -> Activity.Signature.p kern sigs.(i)));
+      ("ptr_ns", "Imatt.ptr (scan)",
+       per_query (fun i -> Activity.Imatt.ptr imatt sets.(i)));
+      ("sig_ptr_ns", "Signature.ptr",
+       per_query (fun i -> Activity.Signature.ptr kern sigs.(i)));
+      ("sig_p_union_ns", "Signature.p_union",
+       per_query (fun i -> Activity.Signature.p_union kern sigs.(i) sigs.(next i)));
+    ]
+  in
+  let micro =
+    create
+      ~title:
+        (Printf.sprintf "Probability kernels (%d-module universe, ns/query)"
+           n_mods)
+      [ ("kernel", Left); ("ns/query", Right) ]
+  in
+  List.iter
+    (fun (_, label, ns) -> add_row micro [ label; Printf.sprintf "%.0f" ns ])
+    kernel_rows;
+  print micro;
+  Buffer.add_string js
+    (Printf.sprintf "  \"kernel_micro\": {\"n_modules\": %d" n_mods);
+  List.iter
+    (fun (key, _, ns) -> Buffer.add_string js (Printf.sprintf ", \"%s\": %.1f" key ns))
+    kernel_rows;
+  Buffer.add_string js "}\n}\n";
   let out =
     match Sys.getenv_opt "GCR_BENCH_OUT" with Some p -> p | None -> "BENCH_greedy.json"
   in
@@ -807,7 +900,8 @@ let greedy_scaling () =
   close_out oc;
   pf "\nWrote %s. The all-pairs heap seeds n(n-1)/2 entries (~4.8M at 3101\n" out;
   pf "sinks); the NN-heap keeps one entry per active root and asks the grid\n";
-  pf "(geometric) or a memoized scan (activity) for each root's best partner.\n"
+  pf "(geometric) or a bound-pruned signature scan (activity) for each\n";
+  pf "root's best partner.\n"
 
 let () =
   pf "Gated Clock Routing Minimizing the Switched Capacitance (DATE'98)\n";

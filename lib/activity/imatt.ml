@@ -7,17 +7,27 @@ let build stream =
   if b < 2 then invalid_arg "Imatt.build: stream shorter than two cycles";
   let rtl = Instr_stream.rtl stream in
   let k = Rtl.n_instructions rtl in
-  let counts = Array.make (k * k) 0 in
+  (* Pair counts accumulate in a hashtable keyed by the packed index
+     [first * k + second]: at most min(B - 1, k^2) distinct pairs occur,
+     so memory tracks the observed pairs instead of a dense k*k array
+     (quadratic in the instruction-alphabet size). *)
+  let counts : (int, int ref) Hashtbl.t = Hashtbl.create (min (b - 1) 1024) in
   for t = 0 to b - 2 do
     let idx = (Instr_stream.get stream t * k) + Instr_stream.get stream (t + 1) in
-    counts.(idx) <- counts.(idx) + 1
+    match Hashtbl.find_opt counts idx with
+    | Some c -> incr c
+    | None -> Hashtbl.add counts idx (ref 1)
   done;
-  let rows = ref [] in
-  for idx = (k * k) - 1 downto 0 do
-    if counts.(idx) > 0 then
-      rows := { first = idx / k; second = idx mod k; count = counts.(idx) } :: !rows
-  done;
-  { rtl; rows = Array.of_list !rows; total_pairs = b - 1 }
+  let rows =
+    Hashtbl.fold
+      (fun idx c acc -> { first = idx / k; second = idx mod k; count = !c } :: acc)
+      counts []
+  in
+  let rows = Array.of_list rows in
+  (* Same ascending packed-index order the dense scan emitted, so
+     [pair_count]'s binary search is unchanged. *)
+  Array.sort (fun a b -> Int.compare ((a.first * k) + a.second) ((b.first * k) + b.second)) rows;
+  { rtl; rows; total_pairs = b - 1 }
 
 let rtl t = t.rtl
 

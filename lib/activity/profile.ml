@@ -1,9 +1,14 @@
 type t =
-  | Sampled of { stream : Instr_stream.t; ift : Ift.t; imatt : Imatt.t }
+  | Sampled of {
+      stream : Instr_stream.t;
+      ift : Ift.t;
+      imatt : Imatt.t;
+      mutable kernel : Signature.kernel option; (* built on first demand *)
+    }
   | Analytic of Cpu_model.t
 
 let of_stream stream =
-  Sampled { stream; ift = Ift.build stream; imatt = Imatt.build stream }
+  Sampled { stream; ift = Ift.build stream; imatt = Imatt.build stream; kernel = None }
 
 let of_model model = Analytic model
 
@@ -48,6 +53,16 @@ let p_scratch t buf =
   | Analytic model -> Markov.p_any model (Module_set.freeze buf)
 
 let p_module t m = p t (Module_set.singleton (n_modules t) m)
+
+let signature_kernel = function
+  | Analytic _ -> None
+  | Sampled s -> (
+    match s.kernel with
+    | Some _ as k -> k
+    | None ->
+      let k = Signature.kernel s.ift s.imatt in
+      s.kernel <- Some k;
+      Some k)
 
 let avg_activity = function
   | Sampled { stream; _ } -> Instr_stream.avg_active_fraction stream

@@ -53,6 +53,12 @@ val p_scratch : t -> Module_set.scratch -> float
 
 val p_module : t -> int -> float
 
+val signature_kernel : t -> Signature.kernel option
+(** The {!Signature} kernel over this profile's tables — the fast path
+    for repeated [P]/[Ptr] queries over unions of known sets. Built on
+    first demand and cached; [None] for analytic profiles, whose
+    closed-form queries have no tables to index. *)
+
 val avg_activity : t -> float
 (** Average module activity (the x-axis of the paper's Figure 4); the
     expectation under the model for analytic profiles. *)

@@ -1,0 +1,162 @@
+(* Bit layout mirrors Module_set: 62 bits per word, clear of the tag bit
+   and sign. Weighted popcounts go through per-byte count-sum tables —
+   [sum.(((word * 8) + byte) * 256 + v)] is the total count of the bits
+   set in byte value [v] at that byte position — so a query is 8 table
+   adds per word instead of a loop over set bits. Sums are integers; the
+   final division is the same [hits / total] the table scans perform, so
+   results are bit-for-bit identical to Ift.p_any / Imatt.ptr. *)
+
+let bits_per_word = 62
+
+let bytes_per_word = 8 (* bits 0..61: 7 full bytes + 6 bits *)
+
+let words_for n = max 1 ((n + bits_per_word - 1) / bits_per_word)
+
+type kernel = {
+  rtl : Rtl.t;
+  k : int; (* instructions *)
+  n_rows : int; (* IMATT rows with positive count *)
+  hwords : int;
+  rwords : int;
+  row_first : int array;
+  row_second : int array;
+  total : int; (* IFT cycles *)
+  total_pairs : int; (* IMATT pairs *)
+  psum : int array; (* instruction-count byte tables, hwords * 8 * 256 *)
+  rsum : int array; (* row-count byte tables, rwords * 8 * 256 *)
+}
+
+type t = { hits : int array; now : int array; next : int array }
+
+let set_bit words i = words.(i / bits_per_word) <- words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+
+let get_bit words i = words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+(* Add [weight] to every table entry whose byte value has bit [i] set. *)
+let table_add sum i weight =
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  let base = ((w * bytes_per_word) + (b / 8)) * 256 in
+  let bit = 1 lsl (b mod 8) in
+  for v = 0 to 255 do
+    if v land bit <> 0 then sum.(base + v) <- sum.(base + v) + weight
+  done
+
+let same_rtl a b =
+  a == b
+  || Rtl.n_modules a = Rtl.n_modules b
+     && Rtl.n_instructions a = Rtl.n_instructions b
+     && (let rec eq i =
+           i >= Rtl.n_instructions a
+           || (Module_set.equal (Rtl.uses a i) (Rtl.uses b i) && eq (i + 1))
+         in
+         eq 0)
+
+let kernel ift imatt =
+  let rtl = Ift.rtl ift in
+  if not (same_rtl rtl (Imatt.rtl imatt)) then
+    invalid_arg "Signature.kernel: IFT and IMATT built from different RTLs";
+  let k = Rtl.n_instructions rtl in
+  let rows = Imatt.rows imatt in
+  let n_rows = Array.length rows in
+  let hwords = words_for k and rwords = words_for n_rows in
+  let psum = Array.make (hwords * bytes_per_word * 256) 0 in
+  for i = 0 to k - 1 do
+    table_add psum i (Ift.count ift i)
+  done;
+  let rsum = Array.make (rwords * bytes_per_word * 256) 0 in
+  Array.iteri (fun r row -> table_add rsum r row.Imatt.count) rows;
+  {
+    rtl;
+    k;
+    n_rows;
+    hwords;
+    rwords;
+    row_first = Array.map (fun r -> r.Imatt.first) rows;
+    row_second = Array.map (fun r -> r.Imatt.second) rows;
+    total = Ift.total_cycles ift;
+    total_pairs = Imatt.total_pairs imatt;
+    psum;
+    rsum;
+  }
+
+let create kern =
+  {
+    hits = Array.make kern.hwords 0;
+    now = Array.make kern.rwords 0;
+    next = Array.make kern.rwords 0;
+  }
+
+let of_set kern set =
+  if Module_set.universe_size set <> Rtl.n_modules kern.rtl then
+    invalid_arg "Signature.of_set: universe mismatch";
+  let s = create kern in
+  for i = 0 to kern.k - 1 do
+    if Module_set.intersects (Rtl.uses kern.rtl i) set then set_bit s.hits i
+  done;
+  (* Row bits are instruction-hit lookups, not module-set scans. *)
+  for r = 0 to kern.n_rows - 1 do
+    if get_bit s.hits kern.row_first.(r) then set_bit s.now r;
+    if get_bit s.hits kern.row_second.(r) then set_bit s.next r
+  done;
+  s
+
+let or_words dst a b =
+  for w = 0 to Array.length dst - 1 do
+    dst.(w) <- a.(w) lor b.(w)
+  done
+
+let union_into dst a b =
+  or_words dst.hits a.hits b.hits;
+  or_words dst.now a.now b.now;
+  or_words dst.next a.next b.next
+
+let union a b =
+  {
+    hits = Array.init (Array.length a.hits) (fun w -> a.hits.(w) lor b.hits.(w));
+    now = Array.init (Array.length a.now) (fun w -> a.now.(w) lor b.now.(w));
+    next = Array.init (Array.length a.next) (fun w -> a.next.(w) lor b.next.(w));
+  }
+
+(* Count-weighted popcount of word [x] at word position [w]. *)
+let[@inline] word_sum sum w x =
+  let base = w * bytes_per_word * 256 in
+  sum.(base + (x land 0xff))
+  + sum.(base + 256 + ((x lsr 8) land 0xff))
+  + sum.(base + 512 + ((x lsr 16) land 0xff))
+  + sum.(base + 768 + ((x lsr 24) land 0xff))
+  + sum.(base + 1024 + ((x lsr 32) land 0xff))
+  + sum.(base + 1280 + ((x lsr 40) land 0xff))
+  + sum.(base + 1536 + ((x lsr 48) land 0xff))
+  + sum.(base + 1792 + (x lsr 56))
+
+let p kern s =
+  let acc = ref 0 in
+  for w = 0 to kern.hwords - 1 do
+    let x = s.hits.(w) in
+    if x <> 0 then acc := !acc + word_sum kern.psum w x
+  done;
+  float_of_int !acc /. float_of_int kern.total
+
+let p_union kern a b =
+  let acc = ref 0 in
+  for w = 0 to kern.hwords - 1 do
+    let x = a.hits.(w) lor b.hits.(w) in
+    if x <> 0 then acc := !acc + word_sum kern.psum w x
+  done;
+  float_of_int !acc /. float_of_int kern.total
+
+let ptr kern s =
+  let acc = ref 0 in
+  for w = 0 to kern.rwords - 1 do
+    let x = s.now.(w) lxor s.next.(w) in
+    if x <> 0 then acc := !acc + word_sum kern.rsum w x
+  done;
+  float_of_int !acc /. float_of_int kern.total_pairs
+
+let ptr_union kern a b =
+  let acc = ref 0 in
+  for w = 0 to kern.rwords - 1 do
+    let x = (a.now.(w) lor b.now.(w)) lxor (a.next.(w) lor b.next.(w)) in
+    if x <> 0 then acc := !acc + word_sum kern.rsum w x
+  done;
+  float_of_int !acc /. float_of_int kern.total_pairs

@@ -1,0 +1,66 @@
+(** Instruction-hit signature kernels: word-parallel [P]/[Ptr] queries.
+
+    {!Ift.p_any} answers [P(EN_S)] by testing every instruction's
+    used-module set against [S] — O(K · words(modules)) per query — and
+    {!Imatt.ptr} rescans every IMATT row the same way. During greedy
+    merging both are asked about {e unions} of sets whose answers are
+    already known, so the module sets are redundant: all that matters is
+    {e which instructions hit} the set.
+
+    A signature caches exactly that, as bitsets:
+
+    - [H(S)] over instructions: bit [i] set iff [uses(I_i) ∩ S ≠ ∅].
+      [P(EN_S)] is then the count-weighted popcount of [H(S)].
+    - [NOW(S)]/[NEXT(S)] over IMATT rows: row [r]'s bits are
+      [H(S).(first_r)] and [H(S).(second_r)]. The enable toggles across
+      row [r] iff the bits differ, so [Ptr(EN_S)] is the count-weighted
+      popcount of [NOW(S) lxor NEXT(S)].
+
+    All three bitsets are unioned by word-wise OR — [H(S ∪ T) = H(S) lor
+    H(T)], and since [now(S ∪ T) = now(S) ∨ now(T)], the union's toggle
+    bits are exactly [(NOW_S lor NOW_T) lxor (NEXT_S lor NEXT_T)] — so a
+    candidate merge's exact [P]/[Ptr] needs no module sets, no RTL walk
+    and no allocation. Weighted popcounts are answered from per-byte
+    count-sum tables (8 lookups per 62-bit word). Hit counters are
+    integers, so {!p} and {!ptr} agree {e bit-for-bit} with {!Ift.p_any}
+    and {!Imatt.ptr}. *)
+
+type kernel
+(** The tables: per-instruction and per-row count-sum lookups, shared by
+    every signature derived from one profile. *)
+
+type t = { hits : int array; now : int array; next : int array }
+(** The signature of one module set. Treat as immutable: {!union_into}
+    writes only into signatures created by {!create}. *)
+
+val kernel : Ift.t -> Imatt.t -> kernel
+(** Build the kernel for one profile's table pair. Raises
+    [Invalid_argument] when the two tables disagree on their RTL. *)
+
+val of_set : kernel -> Module_set.t -> t
+(** Signature of a module set: one scan of the RTL's used-module sets
+    (the last time the module universe is touched). Raises
+    [Invalid_argument] on a universe mismatch. *)
+
+val create : kernel -> t
+(** An all-zero signature (the empty set), for {!union_into} chains. *)
+
+val union : t -> t -> t
+(** Fresh word-wise OR of two signatures. *)
+
+val union_into : t -> t -> t -> unit
+(** [union_into dst a b] ORs [a] and [b] into [dst], allocation-free. *)
+
+val p : kernel -> t -> float
+(** [P(EN)] of the signature's set; equals {!Ift.p_any} exactly. *)
+
+val ptr : kernel -> t -> float
+(** [Ptr(EN)] of the signature's set; equals {!Imatt.ptr} exactly. *)
+
+val p_union : kernel -> t -> t -> float
+(** [P(EN)] of the union of two signatures' sets, without materializing
+    the union — the greedy candidate evaluation. Equals
+    [p k (union a b)] exactly. *)
+
+val ptr_union : kernel -> t -> t -> float
+(** [Ptr(EN)] of the union, likewise. *)

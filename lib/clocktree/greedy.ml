@@ -51,6 +51,77 @@ let scan view =
   in
   { best; merged = (fun ~a:_ ~b:_ ~k:_ -> ()) }
 
+(* Best-first scan under an admissible per-root bound: [lower v] must
+   satisfy cost(u, v) >= max(lower u, lower v) for every active pair.
+   Active roots are kept in an array sorted ascending by bound; a query
+   walks it in that order and stops as soon as the next bound cannot beat
+   the best cost found — any best-so-far cost is >= lower(query), so the
+   one stopping test [lower u >= best] covers both halves of the max.
+   Exact: every skipped candidate provably costs at least the returned
+   one (ties may resolve differently than an exhaustive scan, exactly as
+   heap order already does). The sorted array is maintained by shifted
+   insertion — O(n) per merge, trivial against the cost evaluations the
+   bound avoids. *)
+let bound_scan ~lower view =
+  let size = (2 * view.n) - 1 in
+  let key = Array.make size infinity in
+  let order = Array.make size (-1) in
+  let rank = Array.make size (-1) in
+  let count = ref 0 in
+  let insert v =
+    let kv = lower v in
+    key.(v) <- kv;
+    (* binary search for the insertion point, then shift right *)
+    let lo = ref 0 and hi = ref !count in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if key.(order.(mid)) <= kv then lo := mid + 1 else hi := mid
+    done;
+    let at = !lo in
+    Array.blit order at order (at + 1) (!count - at);
+    order.(at) <- v;
+    incr count;
+    for i = at to !count - 1 do
+      rank.(order.(i)) <- i
+    done
+  in
+  let remove v =
+    let at = rank.(v) in
+    Array.blit order (at + 1) order at (!count - at - 1);
+    decr count;
+    for i = at to !count - 1 do
+      rank.(order.(i)) <- i
+    done;
+    rank.(v) <- -1
+  in
+  view.iter_active insert;
+  let best v =
+    let best_id = ref (-1) and best_cost = ref infinity in
+    let i = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !i < !count do
+      let u = order.(!i) in
+      if key.(u) >= !best_cost then stop := true
+      else if u <> v then begin
+        let c = view.cost v u in
+        if c < !best_cost then begin
+          best_cost := c;
+          best_id := u
+        end
+      end;
+      incr i
+    done;
+    if !best_id < 0 then None else Some (!best_id, !best_cost)
+  in
+  {
+    best;
+    merged =
+      (fun ~a ~b ~k ->
+        remove a;
+        remove b;
+        insert k);
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Nearest-neighbor heap engine                                       *)
 (* ------------------------------------------------------------------ *)
@@ -65,7 +136,7 @@ let scan view =
    (u, v), whichever endpoint was created (or last revalidated) latest
    computed its best over a set containing the other, so its key <= m.
    Hence the first both-alive pop is exactly a minimum-cost pair. *)
-let merge_all_with source ~n ~cost ~merge =
+let merge_all_with ?(par_seed = false) source ~n ~cost ~merge =
   validate n;
   if n = 1 then 0
   else begin
@@ -94,9 +165,20 @@ let merge_all_with source ~n ~cost ~merge =
       | None -> ()
       | Some (u, c) -> Util.Bin_heap.push heap c (pack v u)
     in
-    for v = 0 to n - 1 do
-      push_best v
-    done;
+    (* The n initial seedings are independent read-only queries; with
+       par_seed they run across domains, but the heap pushes stay in id
+       order so the run is bit-identical to the sequential one. *)
+    if par_seed then begin
+      let bests = Util.Parallel.init n (fun v -> cands.best v) in
+      Array.iteri
+        (fun v b ->
+          match b with None -> () | Some (u, c) -> Util.Bin_heap.push heap c (pack v u))
+        bests
+    end
+    else
+      for v = 0 to n - 1 do
+        push_best v
+      done;
     let remove_from_active v =
       let i = pos.(v) in
       let last = active.(!n_active - 1) in
@@ -156,6 +238,10 @@ let merge_all_dense ~n ~cost ~merge =
     let size = (2 * n) - 1 in
     let alive = Array.init size (fun v -> v < n) in
     let active = Array.init size (fun v -> v) in
+    (* pos-indexed swap-remove, as in the NN engine: O(1) per removal, so
+       large oracle runs are not quadratic in bookkeeping on top of the
+       already-quadratic heap. *)
+    let pos = Array.init size (fun v -> v) in
     let n_active = ref n in
     let heap = Util.Bin_heap.create ~capacity:(n * n / 2) () in
     let push_pair a b = Util.Bin_heap.push heap (cost a b) (pack a b) in
@@ -165,10 +251,10 @@ let merge_all_dense ~n ~cost ~merge =
       done
     done;
     let remove_from_active v =
-      (* find and swap-remove; linear scan is fine: called 2(n-1) times. *)
-      let rec find i = if active.(i) = v then i else find (i + 1) in
-      let i = find 0 in
-      active.(i) <- active.(!n_active - 1);
+      let i = pos.(v) in
+      let last = active.(!n_active - 1) in
+      active.(i) <- last;
+      pos.(last) <- i;
       decr n_active
     in
     let rec loop () =
@@ -190,6 +276,7 @@ let merge_all_dense ~n ~cost ~merge =
               push_pair active.(i) k
             done;
             active.(!n_active) <- k;
+            pos.(k) <- !n_active;
             incr n_active;
             loop ()
           end

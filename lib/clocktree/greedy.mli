@@ -45,7 +45,20 @@ val scan : source
 (** Exhaustive per-query scan of the active set: exact for any cost
     function, O(n) memory. The default. *)
 
+val bound_scan : lower:(int -> float) -> source
+(** Best-first scan under an admissible per-root lower bound: [lower v]
+    must satisfy [cost u v >= max (lower u) (lower v)] for every active
+    pair, and must be stable while [v] is active (it is read once, when
+    [v] activates). The source keeps the active set sorted ascending by
+    bound and walks a query in that order, stopping at the first
+    candidate whose bound cannot beat the best cost found — exact
+    results, most candidates never costed. The activity merge uses
+    [lower v = P(EN_v)]: probabilities only grow under union, so a
+    candidate whose own probability exceeds the best cost so far can be
+    dismissed without evaluating the union. *)
+
 val merge_all_with :
+  ?par_seed:bool ->
   source ->
   n:int ->
   cost:(int -> int -> float) ->
@@ -58,7 +71,15 @@ val merge_all_with :
     [cost] must be symmetric and stable (two fixed ids always cost the
     same). Merge decisions are identical to {!merge_all_dense} up to
     ties. Raises [Invalid_argument] when [n <= 0] or exceeds the 2^20 id
-    budget. *)
+    budget.
+
+    With [par_seed] (default false), the n initial best-partner queries
+    are evaluated across domains ({!Util.Parallel}) and pushed in id
+    order, so results are identical to the sequential seeding whatever
+    the domain count. Only pass it when [cost] and the source's [best]
+    are safe to call concurrently against the initial (pre-merge)
+    state — pure reads of the problem data, as {!bound_scan} and
+    {!scan} are. *)
 
 val merge_all :
   n:int ->

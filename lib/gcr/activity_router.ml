@@ -1,23 +1,76 @@
-let build_topology ~dense (config : Config.t) profile sinks =
-  Clocktree.Sink.validate_array sinks;
+let check_sink_modules profile sinks =
+  let n_mods = Activity.Profile.n_modules profile in
+  Array.iter
+    (fun s ->
+      let m = s.Clocktree.Sink.module_id in
+      if m >= n_mods then
+        invalid_arg
+          (Printf.sprintf
+             "Activity_router: sink module %d outside the %d-module profile" m n_mods))
+    sinks
+
+(* Sampled profiles route on instruction-hit signatures (Activity.Signature):
+   each root carries the bitset of instructions that touch its subtree, a
+   candidate's exact P(EN) is a word-wise OR plus a count-weighted popcount,
+   and P's monotonicity under union (P(EN_{u∪v}) >= max(P_u, P_v)) gives
+   Greedy.bound_scan an admissible per-root bound, so most candidates are
+   dismissed before any probability is evaluated. Leaf signatures are
+   independent, so they and the initial best-partner seedings run across
+   domains (Util.Parallel). *)
+let signature_topology ~dense (config : Config.t) profile kern sinks =
   let tech = config.Config.tech in
   let n = Array.length sinks in
   let grow =
     Clocktree.Grow.create tech ~edge_gate:(Some tech.Clocktree.Tech.and_gate) sinks
   in
-  (* Per-root enable sets, grown alongside the forest: repeated candidate
-     evaluations read this array instead of re-deriving sets from sinks. *)
+  let n_mods = Activity.Profile.n_modules profile in
+  let size = (2 * n) - 1 in
+  let sigs =
+    Util.Parallel.init n (fun v ->
+        Activity.Signature.of_set kern
+          (Activity.Module_set.singleton n_mods sinks.(v).Clocktree.Sink.module_id))
+  in
+  let sigs = Array.append sigs (Array.init (n - 1) (fun _ -> sigs.(0))) in
+  let p = Array.make size 0.0 in
+  for v = 0 to n - 1 do
+    p.(v) <- Activity.Signature.p kern sigs.(v)
+  done;
+  (* scale so the geometric tie-breaker cannot override an activity
+     difference: probabilities differ by >= 1/B when they differ at all *)
+  let tie = 1e-6 /. (1.0 +. Geometry.Bbox.width config.Config.die) in
+  let cost a b =
+    Activity.Signature.p_union kern sigs.(a) sigs.(b)
+    +. (tie *. Clocktree.Grow.dist grow a b)
+  in
+  let merge a b =
+    let k = Clocktree.Grow.merge grow a b in
+    sigs.(k) <- Activity.Signature.union sigs.(a) sigs.(b);
+    p.(k) <- Activity.Signature.p kern sigs.(k);
+    k
+  in
+  let _root =
+    if dense then Clocktree.Greedy.merge_all_dense ~n ~cost ~merge
+    else
+      Clocktree.Greedy.merge_all_with ~par_seed:true
+        (Clocktree.Greedy.bound_scan ~lower:(fun v -> p.(v)))
+        ~n ~cost ~merge
+  in
+  Clocktree.Grow.topology grow
+
+(* Analytic profiles have no tables to index; candidate unions are
+   evaluated in the Pcache scratch buffer and memoized by module set. *)
+let pcache_topology ~dense (config : Config.t) profile sinks =
+  let tech = config.Config.tech in
+  let n = Array.length sinks in
+  let grow =
+    Clocktree.Grow.create tech ~edge_gate:(Some tech.Clocktree.Tech.and_gate) sinks
+  in
   let mods = Array.make ((2 * n) - 1) None in
   for v = 0 to n - 1 do
     mods.(v) <- Some (Enable.of_sink profile sinks.(v)).Enable.mods
   done;
   let mods_of v = match mods.(v) with Some m -> m | None -> assert false in
-  (* Candidate unions are evaluated in the cache's scratch buffer and
-     their probabilities memoized by module set: a repeated evaluation is
-     an O(words) union + hash lookup, not an IFT scan + allocation. *)
   let cache = Activity.Pcache.create profile in
-  (* scale so the geometric tie-breaker cannot override an activity
-     difference: probabilities differ by >= 1/B when they differ at all *)
   let tie = 1e-6 /. (1.0 +. Geometry.Bbox.width config.Config.die) in
   let cost a b =
     let p = Activity.Pcache.p_union cache (mods_of a) (mods_of b) in
@@ -33,6 +86,13 @@ let build_topology ~dense (config : Config.t) profile sinks =
     else Clocktree.Greedy.merge_all ~n ~cost ~merge
   in
   Clocktree.Grow.topology grow
+
+let build_topology ~dense config profile sinks =
+  Clocktree.Sink.validate_array sinks;
+  check_sink_modules profile sinks;
+  match Activity.Profile.signature_kernel profile with
+  | Some kern -> signature_topology ~dense config profile kern sinks
+  | None -> pcache_topology ~dense config profile sinks
 
 let topology config profile sinks = build_topology ~dense:false config profile sinks
 

@@ -1,7 +1,21 @@
 type t = { mods : Activity.Module_set.t; p : float; ptr : float }
 
+(* Sampled profiles answer through the instruction-hit signature kernel:
+   one pass over the K instructions builds the hit bitset, and both
+   probabilities fall out of weighted popcounts — the same integer hit
+   counts the IFT/IMATT scans produce, divided identically, so the floats
+   are bit-for-bit equal. Analytic profiles keep the closed-form path. *)
 let of_set profile mods =
-  { mods; p = Activity.Profile.p profile mods; ptr = Activity.Profile.ptr profile mods }
+  match Activity.Profile.signature_kernel profile with
+  | Some kern ->
+    let s = Activity.Signature.of_set kern mods in
+    { mods; p = Activity.Signature.p kern s; ptr = Activity.Signature.ptr kern s }
+  | None ->
+    {
+      mods;
+      p = Activity.Profile.p profile mods;
+      ptr = Activity.Profile.ptr profile mods;
+    }
 
 let of_sink profile sink =
   let n = Activity.Profile.n_modules profile in
@@ -15,14 +29,45 @@ let merge profile a b = of_set profile (Activity.Module_set.union a.mods b.mods)
 
 let compute_all profile topo sinks =
   let n = Clocktree.Topo.n_nodes topo in
+  let n_mods = Activity.Profile.n_modules profile in
   let enables =
-    Array.make n
-      (of_set profile (Activity.Module_set.empty (Activity.Profile.n_modules profile)))
+    Array.make n (of_set profile (Activity.Module_set.empty n_mods))
   in
-  Clocktree.Topo.iter_bottom_up topo (fun v ->
-      match Clocktree.Topo.children topo v with
-      | None -> enables.(v) <- of_sink profile sinks.(v)
-      | Some (a, b) -> enables.(v) <- merge profile enables.(a) enables.(b));
+  (match Activity.Profile.signature_kernel profile with
+  | Some kern ->
+    (* Bottom-up over signatures: a parent's hit bitset is the word-wise
+       OR of its children's, so only the leaves ever scan instructions. *)
+    let sigs = Array.make n (Activity.Signature.create kern) in
+    Clocktree.Topo.iter_bottom_up topo (fun v ->
+        (match Clocktree.Topo.children topo v with
+        | None ->
+          let m = sinks.(v).Clocktree.Sink.module_id in
+          if m >= n_mods then
+            invalid_arg
+              (Printf.sprintf
+                 "Enable.of_sink: sink module %d outside the %d-module profile" m
+                 n_mods);
+          let mods = Activity.Module_set.singleton n_mods m in
+          sigs.(v) <- Activity.Signature.of_set kern mods;
+          enables.(v) <- { enables.(v) with mods }
+        | Some (a, b) ->
+          sigs.(v) <- Activity.Signature.union sigs.(a) sigs.(b);
+          enables.(v) <-
+            {
+              enables.(v) with
+              mods = Activity.Module_set.union enables.(a).mods enables.(b).mods;
+            });
+        enables.(v) <-
+          {
+            enables.(v) with
+            p = Activity.Signature.p kern sigs.(v);
+            ptr = Activity.Signature.ptr kern sigs.(v);
+          })
+  | None ->
+    Clocktree.Topo.iter_bottom_up topo (fun v ->
+        match Clocktree.Topo.children topo v with
+        | None -> enables.(v) <- of_sink profile sinks.(v)
+        | Some (a, b) -> enables.(v) <- merge profile enables.(a) enables.(b)));
   enables
 
 let pp ppf t =

@@ -22,6 +22,9 @@ val merge : Activity.Profile.t -> t -> t -> t
 
 val compute_all :
   Activity.Profile.t -> Clocktree.Topo.t -> Clocktree.Sink.t array -> t array
-(** Per-node enables for a whole topology, bottom-up. *)
+(** Per-node enables for a whole topology, bottom-up. Sampled profiles
+    propagate instruction-hit signatures up the tree (word-wise ORs plus
+    weighted popcounts — see {!Activity.Signature}) instead of rescanning
+    the tables per node; the probabilities are identical either way. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+let default_domains () =
+  match Sys.getenv_opt "GCR_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> d
+    | _ -> 1)
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+(* Below this range length a Domain.spawn costs more than the work it
+   would take; run inline. *)
+let spawn_threshold = 32
+
+let parallel_for ?domains ~n f =
+  if n > 0 then begin
+    let d =
+      min n (match domains with Some d -> max 1 d | None -> default_domains ())
+    in
+    if d = 1 || n < spawn_threshold then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      (* Chunks are handed out from one atomic cursor: a domain that draws
+         a slow chunk simply draws fewer of them. ~8 chunks per domain
+         keeps the tail short without contending on the counter. *)
+      let chunk = max 1 (n / (8 * d)) in
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let worker () =
+        try
+          let continue = ref true in
+          while !continue do
+            let start = Atomic.fetch_and_add next chunk in
+            if start >= n then continue := false
+            else
+              for i = start to min n (start + chunk) - 1 do
+                f i
+              done
+          done
+        with e -> ignore (Atomic.compare_and_set failure None (Some e))
+      in
+      let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join spawned;
+      match Atomic.get failure with None -> () | Some e -> raise e
+    end
+  end
+
+let init ?domains n f =
+  if n < 0 then invalid_arg "Parallel.init: negative length";
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    parallel_for ?domains ~n:(n - 1) (fun i -> out.(i + 1) <- f (i + 1));
+    out
+  end
+
+let map ?domains f arr = init ?domains (Array.length arr) (fun i -> f arr.(i))

@@ -1,0 +1,31 @@
+(** Dependency-free chunked work-pool on OCaml 5 domains.
+
+    Splits an index range into contiguous chunks handed out from a shared
+    atomic counter, so load imbalance costs at most one chunk. The worker
+    function must be safe to call concurrently from several domains and —
+    for the determinism guarantee below — must confine its writes to
+    per-index state (slot [i] of an output array, say): then the result is
+    identical whatever the domain count, including 1, because every index
+    is processed exactly once and no slot is written twice.
+
+    The domain count defaults to [Domain.recommended_domain_count ()],
+    overridable with the [GCR_DOMAINS] environment variable (useful for
+    pinning benchmarks or forcing the sequential path). With one domain —
+    or tiny ranges, where spawn latency would dominate — everything runs
+    inline on the calling domain and no domain is ever spawned. *)
+
+val default_domains : unit -> int
+(** [GCR_DOMAINS] if set and positive, else
+    [Domain.recommended_domain_count ()]. *)
+
+val parallel_for : ?domains:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for ~n f] calls [f i] exactly once for every
+    [i] in [0, n). The first exception raised by any worker is re-raised
+    after all domains have been joined. *)
+
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. [f 0] runs first on the calling domain (it
+    seeds the output array), the rest across the pool. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map], same contract as {!init}. *)

@@ -557,6 +557,117 @@ let test_markov_avg_activity () =
   (* uniform mix: mean of |uses|/6 = (4+2+3+2)/(4*6) *)
   check_float "avg activity" (11.0 /. 24.0) (Activity.Markov.avg_activity model)
 
+(* ------------------------------------------------------------------ *)
+(* Signature kernel = table scans, bit-for-bit                        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_signature_matches_tables =
+  QCheck.Test.make ~name:"Signature.p/ptr equal Ift.p_any/Imatt.ptr exactly"
+    ~count:60
+    QCheck.(pair (int_range 2 6) (int_range 2 800))
+    (fun (seed, len) ->
+      let prng = Util.Prng.create seed in
+      let n_modules = 2 + Util.Prng.int prng 80 in
+      let rtl = random_rtl prng ~n_modules ~n_instr:(1 + Util.Prng.int prng 8) in
+      let model = Activity.Cpu_model.make ~locality:0.3 rtl in
+      let stream = Activity.Cpu_model.generate model prng (len + 1) in
+      let ift = Activity.Ift.build stream and imatt = Activity.Imatt.build stream in
+      let kern = Activity.Signature.kernel ift imatt in
+      let ok = ref true in
+      let check set =
+        let s = Activity.Signature.of_set kern set in
+        if
+          Activity.Signature.p kern s <> Activity.Ift.p_any ift set
+          || Activity.Signature.ptr kern s <> Activity.Imatt.ptr imatt set
+        then ok := false
+      in
+      for _ = 1 to 10 do
+        check (random_set prng n_modules)
+      done;
+      (* the degenerate sets must agree too *)
+      check (Ms.empty n_modules);
+      check (Ms.full n_modules);
+      !ok)
+
+let prop_signature_union_matches_materialized =
+  QCheck.Test.make
+    ~name:"Signature.p_union/ptr_union equal the materialized union" ~count:60
+    (QCheck.int_range 1 10_000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let n_modules = 2 + Util.Prng.int prng 60 in
+      let rtl = random_rtl prng ~n_modules ~n_instr:6 in
+      let model = Activity.Cpu_model.make rtl in
+      let stream = Activity.Cpu_model.generate model prng 300 in
+      let ift = Activity.Ift.build stream and imatt = Activity.Imatt.build stream in
+      let kern = Activity.Signature.kernel ift imatt in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let a = random_set prng n_modules and b = random_set prng n_modules in
+        let sa = Activity.Signature.of_set kern a
+        and sb = Activity.Signature.of_set kern b in
+        let su = Activity.Signature.union sa sb in
+        let u = Ms.union a b in
+        (* union signature = signature of the union set, and the no-alloc
+           p_union/ptr_union equal both the union signature's answers and
+           the raw table scans *)
+        if Activity.Signature.p_union kern sa sb <> Activity.Signature.p kern su
+        then ok := false;
+        if Activity.Signature.ptr_union kern sa sb <> Activity.Signature.ptr kern su
+        then ok := false;
+        if Activity.Signature.p_union kern sa sb <> Activity.Ift.p_any ift u then
+          ok := false;
+        if Activity.Signature.ptr_union kern sa sb <> Activity.Imatt.ptr imatt u
+        then ok := false;
+        let dst = Activity.Signature.create kern in
+        Activity.Signature.union_into dst sa sb;
+        if Activity.Signature.p kern dst <> Activity.Signature.p kern su then
+          ok := false
+      done;
+      !ok)
+
+let test_signature_single_instruction () =
+  (* one-instruction RTL: every non-empty intersecting set has P = 1,
+     Ptr = 0 — the smallest edge the bitset layout must survive *)
+  let uses = [| Ms.of_list 3 [ 0; 2 ] |] in
+  let rtl = Activity.Rtl.make ~n_modules:3 ~uses () in
+  let stream = Activity.Instr_stream.make rtl [| 0; 0; 0; 0 |] in
+  let ift = Activity.Ift.build stream and imatt = Activity.Imatt.build stream in
+  let kern = Activity.Signature.kernel ift imatt in
+  let s_hit = Activity.Signature.of_set kern (Ms.singleton 3 0) in
+  check_float "P hit" 1.0 (Activity.Signature.p kern s_hit);
+  check_float "Ptr hit" 0.0 (Activity.Signature.ptr kern s_hit);
+  let s_miss = Activity.Signature.of_set kern (Ms.singleton 3 1) in
+  check_float "P miss" 0.0 (Activity.Signature.p kern s_miss);
+  check_float "Ptr miss" 0.0 (Activity.Signature.ptr kern s_miss)
+
+let test_signature_universe_mismatch () =
+  let profile = Activity.Profile.paper_example in
+  let kern =
+    match Activity.Profile.signature_kernel profile with
+    | Some k -> k
+    | None -> Alcotest.fail "sampled profile must expose a kernel"
+  in
+  Alcotest.check_raises "universe mismatch"
+    (Invalid_argument "Signature.of_set: universe mismatch") (fun () ->
+      ignore (Activity.Signature.of_set kern (Ms.empty 3)))
+
+let test_signature_kernel_cached () =
+  let profile = Activity.Profile.paper_example in
+  (match
+     ( Activity.Profile.signature_kernel profile,
+       Activity.Profile.signature_kernel profile )
+   with
+  | Some a, Some b -> Alcotest.(check bool) "same kernel" true (a == b)
+  | _ -> Alcotest.fail "sampled profile must expose a kernel");
+  let analytic =
+    Activity.Profile.of_model
+      (Activity.Cpu_model.make (Activity.Profile.rtl profile))
+  in
+  Alcotest.(check bool)
+    "analytic has none" true
+    (Activity.Profile.signature_kernel analytic = None)
+
 let prop_markov_matches_sampling =
   QCheck.Test.make ~name:"sampled tables converge to the closed forms" ~count:10
     (QCheck.int_range 1 1000)
@@ -636,6 +747,14 @@ let () =
         ] );
       ( "tables_vs_brute",
         [ qt prop_tables_match_brute; qt prop_p_monotone_in_set; qt prop_ptr_bounded_by_2min ] );
+      ( "signature",
+        [
+          qt prop_signature_matches_tables;
+          qt prop_signature_union_matches_materialized;
+          Alcotest.test_case "single instruction" `Quick test_signature_single_instruction;
+          Alcotest.test_case "universe mismatch" `Quick test_signature_universe_mismatch;
+          Alcotest.test_case "kernel cached" `Quick test_signature_kernel_cached;
+        ] );
       ( "markov",
         [
           Alcotest.test_case "stationary" `Quick test_markov_stationary;

@@ -642,6 +642,60 @@ let prop_greedy_matches_reference =
       done;
       List.rev !engine_log = List.rev !ref_log)
 
+(* An abstract model shaped like the activity merge: each root carries a
+   nonnegative weight, a merge's weight strictly contains its parts, and
+   cost a b = w(a) + w(b) >= max(w a, w b) — so [w] is an admissible
+   lower bound for {!Clocktree.Greedy.bound_scan}. *)
+let weighted_model n seed =
+  let prng = Util.Prng.create seed in
+  let initial = Array.init n (fun _ -> 0.001 +. Util.Prng.float prng 1.0) in
+  fun () ->
+    let log = ref [] in
+    let values = ref (Array.copy initial) in
+    let merge a b =
+      log := (min a b, max a b) :: !log;
+      values := Array.append !values [| !values.(a) +. !values.(b) +. 0.0137 |];
+      Array.length !values - 1
+    in
+    let cost a b = !values.(a) +. !values.(b) in
+    let lower v = !values.(v) in
+    (log, cost, merge, lower)
+
+let prop_bound_scan_matches_dense =
+  QCheck.Test.make ~name:"bound_scan pruning = dense oracle merge-for-merge"
+    ~count:80
+    (QCheck.int_range 2 16)
+    (fun n ->
+      let model = weighted_model n ((n * 977) + 5) in
+      let log_d, cost, merge, _ = model () in
+      let _ = Clocktree.Greedy.merge_all_dense ~n ~cost ~merge in
+      let log_b, cost, merge, lower = model () in
+      let _ =
+        Clocktree.Greedy.merge_all_with (Clocktree.Greedy.bound_scan ~lower) ~n
+          ~cost ~merge
+      in
+      List.rev !log_b = List.rev !log_d)
+
+let prop_par_seed_deterministic =
+  (* n up to 64 crosses Parallel's spawn threshold, so the parallel
+     seeding path really runs on multi-domain hosts *)
+  QCheck.Test.make ~name:"par_seed:true merges identically to sequential"
+    ~count:40
+    (QCheck.int_range 2 64)
+    (fun n ->
+      let model = weighted_model n ((n * 31) + 7) in
+      let log_s, cost, merge, lower = model () in
+      let _ =
+        Clocktree.Greedy.merge_all_with ~par_seed:false
+          (Clocktree.Greedy.bound_scan ~lower) ~n ~cost ~merge
+      in
+      let log_p, cost, merge, lower = model () in
+      let _ =
+        Clocktree.Greedy.merge_all_with ~par_seed:true
+          (Clocktree.Greedy.bound_scan ~lower) ~n ~cost ~merge
+      in
+      !log_p = !log_s)
+
 (* ------------------------------------------------------------------ *)
 (* Spatial                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -852,6 +906,8 @@ let () =
           Alcotest.test_case "cheapest first" `Quick test_greedy_merges_cheapest_first;
           Alcotest.test_case "validation" `Quick test_greedy_validation;
           qt prop_greedy_matches_reference;
+          qt prop_bound_scan_matches_dense;
+          qt prop_par_seed_deterministic;
         ] );
       ( "elmore_mismatch",
         [

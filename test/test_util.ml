@@ -204,6 +204,56 @@ let test_table_arity () =
     (Invalid_argument "Text_table.add_row: arity mismatch") (fun () ->
       Util.Text_table.add_row t [ "x"; "y" ])
 
+(* ------------------------------------------------------------------ *)
+(* Parallel                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The contract under test: results are a pure function of (n, f), never
+   of the domain count — slot i always holds f i. *)
+let test_parallel_init_matches_sequential () =
+  let f i = (i * 31) land 1023 in
+  let expect = Array.init 1000 f in
+  List.iter
+    (fun d ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "init, %d domains" d)
+        expect
+        (Util.Parallel.init ~domains:d 1000 f))
+    [ 1; 2; 4 ]
+
+let test_parallel_for_disjoint_slots () =
+  List.iter
+    (fun d ->
+      let out = Array.make 777 (-1) in
+      Util.Parallel.parallel_for ~domains:d ~n:777 (fun i -> out.(i) <- i * i);
+      Alcotest.(check (array int))
+        (Printf.sprintf "parallel_for, %d domains" d)
+        (Array.init 777 (fun i -> i * i))
+        out)
+    [ 1; 2; 4 ]
+
+let test_parallel_map () =
+  let src = Array.init 300 (fun i -> float_of_int i /. 7.0) in
+  let expect = Array.map sqrt src in
+  List.iter
+    (fun d ->
+      Alcotest.(check (array (float 0.0)))
+        (Printf.sprintf "map, %d domains" d)
+        expect
+        (Util.Parallel.map ~domains:d sqrt src))
+    [ 1; 2; 4 ]
+
+let test_parallel_small_and_empty () =
+  Alcotest.(check (array int)) "empty" [||] (Util.Parallel.init ~domains:4 0 (fun i -> i));
+  Alcotest.(check (array int))
+    "below spawn threshold" (Array.init 5 succ)
+    (Util.Parallel.init ~domains:4 5 succ)
+
+let test_parallel_propagates_exceptions () =
+  Alcotest.check_raises "worker failure reraised" (Failure "boom") (fun () ->
+      Util.Parallel.parallel_for ~domains:2 ~n:100 (fun i ->
+          if i = 63 then failwith "boom"))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "util"
@@ -244,5 +294,16 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "arity" `Quick test_table_arity;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "init = sequential" `Quick
+            test_parallel_init_matches_sequential;
+          Alcotest.test_case "parallel_for disjoint slots" `Quick
+            test_parallel_for_disjoint_slots;
+          Alcotest.test_case "map" `Quick test_parallel_map;
+          Alcotest.test_case "small and empty" `Quick test_parallel_small_and_empty;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_parallel_propagates_exceptions;
         ] );
     ]
