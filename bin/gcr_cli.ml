@@ -377,6 +377,49 @@ let svg_t =
     $ reduction_arg $ svg_out_arg $ regions_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_count_arg =
+  let doc = "Number of random scenarios to generate and check." in
+  Arg.(value & opt int 200 & info [ "count" ] ~docv:"N" ~doc)
+
+let fuzz_seed_arg =
+  let doc = "PRNG seed; equal seeds generate equal scenario sequences." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let fuzz_out_arg =
+  let doc =
+    "Directory for shrunk failing-scenario reproducers (created if missing)."
+  in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+
+let fuzz_replay_arg =
+  let doc = "Re-run the conformance check on a dumped reproducer file." in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+
+let fuzz_cmd count seed out replay =
+  match replay with
+  | Some path -> (
+    try
+      Conformance.Fuzz.replay path;
+      Format.printf "replay %s: pass@." path
+    with e ->
+      Format.eprintf "replay %s: FAIL@.  %s@." path
+        (match Formats.Parse.error_to_string e with
+        | Some s -> s
+        | None -> Printexc.to_string e);
+      exit 1)
+  | None ->
+    let stats = Conformance.Fuzz.run ?out_dir:out ~count ~seed () in
+    Format.printf "%a@." Conformance.Fuzz.pp_stats stats;
+    if stats.Conformance.Fuzz.failures <> [] then exit 1
+
+let fuzz_t =
+  Term.(const fuzz_cmd $ fuzz_count_arg $ fuzz_seed_arg $ fuzz_out_arg
+        $ fuzz_replay_arg)
+
+(* ------------------------------------------------------------------ *)
 (* assembly                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -395,6 +438,7 @@ let main =
       cmd "sweep-activity" "Module-activity sweep (Figure 4)." sweep_activity_t;
       cmd "controllers" "Distributed-controller study (Figure 6)." controllers_t;
       cmd "table4" "Benchmark characteristics (Table 4)." table4_t;
+      cmd "fuzz" "Randomized whole-pipeline conformance fuzzing." fuzz_t;
       cmd "svg" "Render a routed tree to SVG." svg_t;
     ]
 

@@ -1,0 +1,193 @@
+let fail oracle fmt =
+  Printf.ksprintf (fun msg -> failwith ("Oracles." ^ oracle ^ ": " ^ msg)) fmt
+
+let set_str s = Format.asprintf "%a" Activity.Module_set.pp s
+
+let fail_tree what fmt =
+  Printf.ksprintf
+    (fun msg -> failwith (Printf.sprintf "Oracles.same_tree (%s): %s" what msg))
+    fmt
+
+let same_tree ~what (a : Gcr.Gated_tree.t) (b : Gcr.Gated_tree.t) =
+  let fail fmt = fail_tree what fmt in
+  if not (Clocktree.Topo.equal a.Gcr.Gated_tree.topo b.Gcr.Gated_tree.topo) then
+    fail "topologies differ";
+  if a.Gcr.Gated_tree.skew_budget <> b.Gcr.Gated_tree.skew_budget then
+    fail "skew budgets differ (%.17g vs %.17g)" a.Gcr.Gated_tree.skew_budget
+      b.Gcr.Gated_tree.skew_budget;
+  let n = Clocktree.Topo.n_nodes a.Gcr.Gated_tree.topo in
+  for v = 0 to n - 1 do
+    if a.Gcr.Gated_tree.kind.(v) <> b.Gcr.Gated_tree.kind.(v) then
+      fail "node %d: hardware kinds differ" v;
+    if a.Gcr.Gated_tree.governing.(v) <> b.Gcr.Gated_tree.governing.(v) then
+      fail "node %d: governing gates differ (%d vs %d)" v
+        a.Gcr.Gated_tree.governing.(v) b.Gcr.Gated_tree.governing.(v);
+    if a.Gcr.Gated_tree.scale.(v) <> b.Gcr.Gated_tree.scale.(v) then
+      fail "node %d: size factors differ (%.17g vs %.17g)" v
+        a.Gcr.Gated_tree.scale.(v) b.Gcr.Gated_tree.scale.(v);
+    let ea = a.Gcr.Gated_tree.enables.(v) and eb = b.Gcr.Gated_tree.enables.(v) in
+    if not (Activity.Module_set.equal ea.Gcr.Enable.mods eb.Gcr.Enable.mods) then
+      fail "node %d: enable sets differ (%s vs %s)" v (set_str ea.Gcr.Enable.mods)
+        (set_str eb.Gcr.Enable.mods);
+    if ea.Gcr.Enable.p <> eb.Gcr.Enable.p || ea.Gcr.Enable.ptr <> eb.Gcr.Enable.ptr
+    then
+      fail "node %d: enable statistics differ (P %.17g vs %.17g, Ptr %.17g vs %.17g)"
+        v ea.Gcr.Enable.p eb.Gcr.Enable.p ea.Gcr.Enable.ptr eb.Gcr.Enable.ptr;
+    let la = a.Gcr.Gated_tree.embed.Clocktree.Embed.loc.(v)
+    and lb = b.Gcr.Gated_tree.embed.Clocktree.Embed.loc.(v) in
+    if la.Geometry.Point.x <> lb.Geometry.Point.x
+       || la.Geometry.Point.y <> lb.Geometry.Point.y
+    then
+      fail "node %d: embedded locations differ ((%.17g, %.17g) vs (%.17g, %.17g))"
+        v la.Geometry.Point.x la.Geometry.Point.y lb.Geometry.Point.x
+        lb.Geometry.Point.y;
+    let wa = a.Gcr.Gated_tree.embed.Clocktree.Embed.mseg.Clocktree.Mseg.edge_len.(v)
+    and wb = b.Gcr.Gated_tree.embed.Clocktree.Embed.mseg.Clocktree.Mseg.edge_len.(v)
+    in
+    if wa <> wb then
+      fail "node %d: edge lengths differ (%.17g vs %.17g)" v wa wb
+  done
+
+let analytic_vs_simulated tree = Gsim.Check.validate ~structural:false tree
+
+let signature_vs_tables (tree : Gcr.Gated_tree.t) =
+  let profile = tree.Gcr.Gated_tree.profile in
+  match Activity.Profile.signature_kernel profile with
+  | None -> ()
+  | Some kernel ->
+    let ift = Activity.Profile.ift profile in
+    let imatt = Activity.Profile.imatt profile in
+    let topo = tree.Gcr.Gated_tree.topo in
+    let mods v = tree.Gcr.Gated_tree.enables.(v).Gcr.Enable.mods in
+    for v = 0 to Clocktree.Topo.n_nodes topo - 1 do
+      let s = Activity.Signature.of_set kernel (mods v) in
+      let p_sig = Activity.Signature.p kernel s
+      and p_tab = Activity.Ift.p_any ift (mods v) in
+      if p_sig <> p_tab then
+        fail "signature_vs_tables"
+          "node %d: kernel P %.17g <> IFT scan %.17g over %s" v p_sig p_tab
+          (set_str (mods v));
+      let ptr_sig = Activity.Signature.ptr kernel s
+      and ptr_tab = Activity.Imatt.ptr imatt (mods v) in
+      if ptr_sig <> ptr_tab then
+        fail "signature_vs_tables"
+          "node %d: kernel Ptr %.17g <> IMATT scan %.17g over %s" v ptr_sig
+          ptr_tab (set_str (mods v));
+      match Clocktree.Topo.children topo v with
+      | None -> ()
+      | Some (l, r) ->
+        (* The greedy candidate fast path: union answered from the child
+           signatures without materializing the merged module set. *)
+        let sl = Activity.Signature.of_set kernel (mods l)
+        and sr = Activity.Signature.of_set kernel (mods r) in
+        let u = Activity.Module_set.union (mods l) (mods r) in
+        let pu_sig = Activity.Signature.p_union kernel sl sr
+        and pu_tab = Activity.Ift.p_any ift u in
+        if pu_sig <> pu_tab then
+          fail "signature_vs_tables"
+            "node %d: p_union %.17g <> IFT scan %.17g over %s" v pu_sig pu_tab
+            (set_str u);
+        let tu_sig = Activity.Signature.ptr_union kernel sl sr
+        and tu_tab = Activity.Imatt.ptr imatt u in
+        if tu_sig <> tu_tab then
+          fail "signature_vs_tables"
+            "node %d: ptr_union %.17g <> IMATT scan %.17g over %s" v tu_sig
+            tu_tab (set_str u)
+    done
+
+(* Replay one engine's merge sequence (ascending internal-node ids are
+   the commit order) and require every chosen pair to achieve the exact
+   brute-force minimum of the activity-merge cost over the roots active
+   at that step. The replayed Grow state and signature unions evolve
+   through the same operations as the engine's, so the recomputed costs
+   are bit-identical and the comparison needs no tolerance — and unlike a
+   topology diff, any min-achieving choice passes, so the ubiquitous
+   exact cost ties (saturated P(EN) with overlapping regions at distance
+   zero) cannot produce false alarms. *)
+let verify_greedy_optimal ~what (config : Gcr.Config.t) profile sinks topo =
+  match Activity.Profile.signature_kernel profile with
+  | None -> ()
+  | Some kern ->
+    let tech = config.Gcr.Config.tech in
+    let n = Array.length sinks in
+    let grow =
+      Clocktree.Grow.create tech
+        ~edge_gate:(Some tech.Clocktree.Tech.and_gate)
+        sinks
+    in
+    let n_mods = Activity.Profile.n_modules profile in
+    let size = (2 * n) - 1 in
+    let sigs =
+      Array.init n (fun v ->
+          Activity.Signature.of_set kern
+            (Activity.Module_set.singleton n_mods
+               sinks.(v).Clocktree.Sink.module_id))
+    in
+    let sigs = Array.append sigs (Array.make (n - 1) sigs.(0)) in
+    let tie = 1e-6 /. (1.0 +. Geometry.Bbox.width config.Gcr.Config.die) in
+    let cost a b =
+      Activity.Signature.p_union kern sigs.(a) sigs.(b)
+      +. (tie *. Clocktree.Grow.dist grow a b)
+    in
+    let active = Array.make size false in
+    for v = 0 to n - 1 do
+      active.(v) <- true
+    done;
+    for v = n to size - 1 do
+      let a, b =
+        match Clocktree.Topo.children topo v with
+        | Some pair -> pair
+        | None -> assert false
+      in
+      if not (active.(a) && active.(b)) then
+        fail "engine_vs_dense" "%s: merge %d joins non-roots (%d, %d)" what
+          (v - n) a b;
+      let chosen = cost a b in
+      let best = ref infinity in
+      for i = 0 to v - 1 do
+        if active.(i) then
+          for j = i + 1 to v - 1 do
+            if active.(j) then best := Float.min !best (cost i j)
+          done
+      done;
+      if chosen > !best then
+        fail "engine_vs_dense"
+          "%s: merge %d chose (%d, %d) at cost %.17g but the cheapest \
+           available pair costs %.17g"
+          what (v - n) a b chosen !best;
+      let k = Clocktree.Grow.merge grow a b in
+      if k <> v then
+        fail "engine_vs_dense" "%s: replay numbered merge %d as %d" what v k;
+      sigs.(k) <- Activity.Signature.union sigs.(a) sigs.(b);
+      active.(a) <- false;
+      active.(b) <- false;
+      active.(k) <- true
+    done
+
+let engine_vs_dense (sc : Scenario.t) =
+  let config = Scenario.config sc in
+  let profile = Scenario.profile sc in
+  let sinks = sc.Scenario.sinks in
+  verify_greedy_optimal ~what:"NN-heap engine" config profile sinks
+    (Gcr.Activity_router.topology config profile sinks);
+  verify_greedy_optimal ~what:"dense oracle" config profile sinks
+    (Gcr.Activity_router.topology_dense config profile sinks)
+
+let with_domains value f =
+  let old = Sys.getenv_opt "GCR_DOMAINS" in
+  Unix.putenv "GCR_DOMAINS" value;
+  Fun.protect
+    (* An empty value counts as unset (see Util.Parallel.default_domains),
+       so a previously-absent variable is restored faithfully. *)
+    ~finally:(fun () -> Unix.putenv "GCR_DOMAINS" (Option.value old ~default:""))
+    f
+
+let domains_determinism (sc : Scenario.t) =
+  let run () =
+    let profile = Scenario.profile sc in
+    Gcr.Flow.run ~options:sc.Scenario.options (Scenario.config sc) profile
+      sc.Scenario.sinks
+  in
+  let sequential = with_domains "1" run in
+  let parallel = with_domains "4" run in
+  same_tree ~what:"GCR_DOMAINS=1 vs GCR_DOMAINS=4" sequential parallel

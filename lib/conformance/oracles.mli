@@ -1,0 +1,43 @@
+(** Differential oracles: two independent implementations of the same
+    quantity, run on one scenario and compared.
+
+    Each oracle raises [Failure] with a diagnostic naming the oracle and
+    the first disagreement; {!Fuzz} runs them (together with
+    {!Gsim.Invariant.structural}) on every scenario. *)
+
+val same_tree : what:string -> Gcr.Gated_tree.t -> Gcr.Gated_tree.t -> unit
+(** Bit-for-bit structural identity of two gated trees built over the
+    same sinks: topology, hardware kinds, size factors, governing gates,
+    enable sets and probabilities, embedded locations, edge lengths and
+    skew budget. Exact float equality — used where determinism is the
+    claim, not accuracy. *)
+
+val analytic_vs_simulated : Gcr.Gated_tree.t -> unit
+(** {!Gsim.Gate_sim.run} replay of the tree's own stream vs. the analytic
+    {!Gcr.Cost} model (IFT/IMATT tables): both switched-capacitance
+    averages must agree to 1e-9 relative. *)
+
+val signature_vs_tables : Gcr.Gated_tree.t -> unit
+(** The {!Activity.Signature} kernel vs. direct {!Activity.Ift.p_any} /
+    {!Activity.Imatt.ptr} table scans, on every node's enable set and on
+    every internal node's child-set union ([p_union]/[ptr_union], the
+    greedy fast path). Exact equality — the kernel documents bit-for-bit
+    agreement. No-op on analytic profiles (no tables). *)
+
+val engine_vs_dense : Scenario.t -> unit
+(** Per-step greedy optimality of both merge engines —
+    {!Gcr.Activity_router.topology} (nearest-neighbor heap with
+    {!Clocktree.Greedy.bound_scan} pruning) and
+    {!Gcr.Activity_router.topology_dense} (all-pairs scan): each
+    engine's merge sequence is replayed and every chosen pair must
+    achieve the exact brute-force minimum of the activity-merge cost
+    over the roots active at that step. Tie-immune (any min-achieving
+    choice passes), unlike a topology diff, on which the engines
+    legally diverge whenever saturated enables meet overlapping merge
+    regions. *)
+
+val domains_determinism : Scenario.t -> unit
+(** Runs the full {!Gcr.Flow.run} pipeline with [GCR_DOMAINS=1] and with
+    [GCR_DOMAINS] at the domain count, and requires {!same_tree}: the
+    parallel work-pool must not change a single bit of the result. The
+    previous [GCR_DOMAINS] value is restored on exit. *)

@@ -1,0 +1,53 @@
+(** Randomized whole-pipeline scenarios: one concrete, fully serializable
+    input to the gated-clock-routing pipeline — sink layout, RTL,
+    instruction stream, technology parameters, controller placement and
+    {!Gcr.Flow.options} — drawn deterministically from a {!Util.Prng}
+    across the full reduction x sizing x skew-budget matrix.
+
+    A scenario is a plain record of concrete data (not a seed), so the
+    shrinker can cut it down field by field and a failing instance can be
+    dumped to a re-runnable seed file ({!render}/{!parse}) that
+    [gcr fuzz --replay] and {!Fuzz.replay} accept. *)
+
+type t = {
+  tag : string;  (** provenance, e.g. ["seed 0 #17"] *)
+  die_side : float;  (** square die, sinks inside [0, die_side]^2 *)
+  k_controllers : int;  (** distributed-controller grid size (1 = central) *)
+  control_weight : float;
+  tech : Clocktree.Tech.t;
+  sinks : Clocktree.Sink.t array;
+  rtl : Activity.Rtl.t;
+  stream : int array;  (** instruction index per cycle *)
+  options : Gcr.Flow.options;
+}
+
+val generate : Util.Prng.t -> tag:string -> t
+(** Draw one scenario. Sink coordinates and load capacitances are
+    quantized to a 0.25 grid so the text serialization below is exact. *)
+
+val config : t -> Gcr.Config.t
+
+val instr_stream : t -> Activity.Instr_stream.t
+
+val profile : t -> Activity.Profile.t
+(** Sampled profile of the scenario's stream (IFT/IMATT tables built). *)
+
+val label : t -> string
+(** Coverage bucket: the {!Gcr.Flow.label} of the options plus the
+    skew-budget class, e.g. ["gated+rules+tapered+skew"]. *)
+
+val render : t -> string
+(** Re-runnable seed file: a small header (die, controllers, tech,
+    options) plus [begin sinks]/[begin rtl]/[begin stream] sections in
+    the {!Formats} file formats. *)
+
+val parse : ?source:string -> string -> t
+(** Inverse of {!render}. Raises {!Formats.Parse.Error} on malformed
+    input. *)
+
+val save : string -> t -> unit
+
+val load : string -> t
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary (tag, sizes, options label). *)

@@ -18,6 +18,15 @@ val default : options
 (** Zero skew, greedy reduction, no sizing — the configuration behind the
     headline reproduction numbers. *)
 
+val apply_reduction : options -> Gated_tree.t -> Gated_tree.t
+(** The gate-reduction stage of {!run} alone, on an already-routed tree. *)
+
+val apply_sizing : options -> Gated_tree.t -> Gated_tree.t
+(** The sizing stage of {!run} alone. *)
+
+val label : options -> string
+(** Human-readable tag of the pipeline variant, e.g. ["gated+greedy+tapered"]. *)
+
 val run :
   ?options:options ->
   Config.t ->

@@ -23,7 +23,8 @@ let compare tree =
     rel_error_ctrl = rel analytic_ctrl sim.Gate_sim.ctrl_switched;
   }
 
-let validate ?(tolerance = 1e-9) tree =
+let validate ?(tolerance = 1e-9) ?(structural = true) tree =
+  if structural then Invariant.structural tree;
   let c = compare tree in
   if c.rel_error_clock > tolerance then
     failwith

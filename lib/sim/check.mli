@@ -19,8 +19,9 @@ type comparison = {
 val compare : Gcr.Gated_tree.t -> comparison
 (** Simulates the tree over its own profile's stream. *)
 
-val validate : ?tolerance:float -> Gcr.Gated_tree.t -> unit
-(** Raises [Failure] when either relative error exceeds [tolerance]
-    (default 1e-9). *)
+val validate : ?tolerance:float -> ?structural:bool -> Gcr.Gated_tree.t -> unit
+(** Runs the {!Invariant.structural} checks (unless [structural] is
+    [false]), then raises [Failure] when either relative error exceeds
+    [tolerance] (default 1e-9). *)
 
 val pp : Format.formatter -> comparison -> unit

@@ -1,0 +1,39 @@
+(** Standalone structural invariants of a gated clock tree.
+
+    Each check re-derives one of the paper's contracts from the raw tree
+    data — embedding wire lengths, sink loads, enable sets, hardware
+    kinds — without reusing the values cached during construction, and
+    raises [Failure] with a precise diagnostic naming the invariant and
+    the first offending node. {!Check.validate} runs all of them before
+    the analytic-vs-simulated cost comparison; the conformance fuzzer
+    ({!Conformance.Fuzz}) runs them on every randomized pipeline output. *)
+
+val zero_skew : ?embed:Clocktree.Embed.t -> Gcr.Gated_tree.t -> unit
+(** Independent Elmore recomputation of every source-to-sink delay from
+    the embedding: the spread must not exceed the tree's skew budget
+    (zero for exact zero-skew trees) beyond floating-point tolerance.
+    [embed] substitutes a different embedding for the tree's own — used
+    by mutation tests that must check a deliberately corrupted one. *)
+
+val enable_consistency : Gcr.Gated_tree.t -> unit
+(** [EN_i] = OR of descendant activities: every leaf's enable set is the
+    singleton of its sink's module, every internal enable set the union
+    of its children's, and every stored [P]/[Ptr] equals a direct
+    {!Activity.Profile} table scan {e bit-for-bit} (for sampled profiles
+    this doubles as the signature-kernel vs. IFT/IMATT differential). *)
+
+val governing_chain : Gcr.Gated_tree.t -> unit
+(** The governing-gate assignment is well-formed: the root carries no
+    edge hardware, and every edge's governing gate is exactly the
+    nearest gated ancestor-or-self found by walking the parent chain
+    (or [-1] when the path to the root is gate-free). *)
+
+val cost_accounting : Gcr.Gated_tree.t -> unit
+(** [W = W(T) + W(S)] holds exactly, and both terms match an independent
+    per-edge recomputation from wire lengths, loads, hardware kinds,
+    size factors and enable statistics. *)
+
+val structural : ?embed:Clocktree.Embed.t -> Gcr.Gated_tree.t -> unit
+(** All of the above plus {!Gcr.Gated_tree.check_invariants} (embedding
+    consistency and enable nesting). [embed] is forwarded to
+    {!zero_skew} only. *)

@@ -1,10 +1,10 @@
 let default_domains () =
   match Sys.getenv_opt "GCR_DOMAINS" with
-  | Some s -> (
+  | Some s when String.trim s <> "" -> (
     match int_of_string_opt (String.trim s) with
     | Some d when d >= 1 -> d
     | _ -> 1)
-  | None -> max 1 (Domain.recommended_domain_count ())
+  | Some _ | None -> max 1 (Domain.recommended_domain_count ())
 
 (* Below this range length a Domain.spawn costs more than the work it
    would take; run inline. *)

@@ -15,8 +15,9 @@
     inline on the calling domain and no domain is ever spawned. *)
 
 val default_domains : unit -> int
-(** [GCR_DOMAINS] if set and positive, else
-    [Domain.recommended_domain_count ()]. *)
+(** [GCR_DOMAINS] if set, non-empty and positive, else
+    [Domain.recommended_domain_count ()] (an empty value counts as
+    unset, so callers can restore a previously-absent variable). *)
 
 val parallel_for : ?domains:int -> n:int -> (int -> unit) -> unit
 (** [parallel_for ~n f] calls [f i] exactly once for every

@@ -207,6 +207,75 @@ let test_csv_render () =
   let cols = String.split_on_char ',' (List.nth lines 0) in
   Alcotest.(check int) "17 columns" 17 (List.length cols)
 
+(* ------------------------------------------------------------------ *)
+(* QCheck round-trips: parse ∘ render = id on random instances         *)
+(* ------------------------------------------------------------------ *)
+
+let qt = QCheck_alcotest.to_alcotest
+
+(* Values on a 0.25 grid with at most 6 significant digits are rendered
+   exactly by the %.6g sink serialization. *)
+let gen_quarter lo hi =
+  QCheck.Gen.map
+    (fun k -> float_of_int k /. 4.0)
+    (QCheck.Gen.int_range (4 * lo) (4 * hi))
+
+let gen_sinks =
+  QCheck.Gen.(
+    int_range 1 30 >>= fun n ->
+    int_range 1 8 >>= fun n_mods ->
+    array_repeat n (triple (gen_quarter 0 4000) (gen_quarter 0 4000) (int_range 0 (n_mods - 1)))
+    >>= fun rows ->
+    array_repeat n (gen_quarter 1 100) >|= fun caps ->
+    Array.mapi
+      (fun id (x, y, m) ->
+        Clocktree.Sink.make ~id ~loc:(Geometry.Point.make x y) ~cap:caps.(id)
+          ~module_id:m)
+      rows)
+
+let prop_sinks_roundtrip =
+  QCheck.Test.make ~name:"sinks: parse (render s) = s" ~count:100
+    (QCheck.make ~print:Formats.Sinks_format.render gen_sinks)
+    (fun sinks -> Formats.Sinks_format.parse (Formats.Sinks_format.render sinks) = sinks)
+
+let gen_rtl =
+  QCheck.Gen.(
+    int_range 1 8 >>= fun n_mods ->
+    int_range 1 10 >>= fun k ->
+    list_repeat k
+      (map2
+         (fun first rest -> List.sort_uniq compare (first :: rest))
+         (int_range 0 (n_mods - 1))
+         (list_size (int_range 0 (n_mods - 1)) (int_range 0 (n_mods - 1))))
+    >|= Activity.Rtl.of_lists ~n_modules:n_mods)
+
+(* Rtl.t is abstract: render once, then require render ∘ parse to be the
+   identity on the rendered text (which pins every use set and name). *)
+let prop_rtl_roundtrip =
+  QCheck.Test.make ~name:"rtl: render (parse (render r)) = render r" ~count:100
+    (QCheck.make ~print:Formats.Rtl_format.render gen_rtl)
+    (fun rtl ->
+      let text = Formats.Rtl_format.render rtl in
+      Formats.Rtl_format.render (Formats.Rtl_format.parse text) = text)
+
+let gen_stream =
+  QCheck.Gen.(
+    gen_rtl >>= fun rtl ->
+    list_size (int_range 1 80)
+      (int_range 0 (Activity.Rtl.n_instructions rtl - 1))
+    >|= fun instrs -> Activity.Instr_stream.make rtl (Array.of_list instrs))
+
+let stream_indices s =
+  Array.init (Activity.Instr_stream.length s) (Activity.Instr_stream.get s)
+
+let prop_stream_roundtrip =
+  QCheck.Test.make ~name:"stream: parse rtl (render s) = s" ~count:100
+    (QCheck.make ~print:(Formats.Stream_format.render ?per_line:None) gen_stream)
+    (fun s ->
+      let rtl = Activity.Instr_stream.rtl s in
+      let back = Formats.Stream_format.parse rtl (Formats.Stream_format.render s) in
+      stream_indices back = stream_indices s)
+
 let () =
   Alcotest.run "formats"
     [
@@ -238,4 +307,7 @@ let () =
           Alcotest.test_case "rtl+stream file io" `Quick test_rtl_and_stream_file_io;
         ] );
       ("csv", [ Alcotest.test_case "render" `Quick test_csv_render ]);
+      ( "qcheck roundtrips",
+        [ qt prop_sinks_roundtrip; qt prop_rtl_roundtrip; qt prop_stream_roundtrip ]
+      );
     ]
