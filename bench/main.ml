@@ -903,9 +903,61 @@ let greedy_scaling () =
   pf "(geometric) or a bound-pruned signature scan (activity) for each\n";
   pf "root's best partner.\n"
 
+(* ------------------------------------------------------------------ *)
+(* Guard overhead: Flow.run vs run_checked Default vs Paranoid         *)
+(* ------------------------------------------------------------------ *)
+
+let guard_overhead () =
+  section "Checked-pipeline overhead: run vs run_checked (default / paranoid)";
+  let n = if quick then 250 else 2000 in
+  let reps = if quick then 2 else 3 in
+  let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n in
+  let { Benchmarks.Suite.sinks; profile; config; _ } =
+    Benchmarks.Suite.case ~stream_length:1_000 spec
+  in
+  let best f =
+    let t = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      Sys.opaque_identity (f ()) |> ignore;
+      t := Float.min !t (Unix.gettimeofday () -. t0)
+    done;
+    !t
+  in
+  let plain = best (fun () -> Gcr.Flow.run config profile sinks) in
+  let checked mode =
+    best (fun () ->
+        match Gcr.Flow.run_checked ~mode config profile sinks with
+        | Ok tree -> tree
+        | Error _ -> assert false)
+  in
+  let dflt = checked Gcr.Flow.Default in
+  let para = checked Gcr.Flow.Paranoid in
+  let open Util.Text_table in
+  let t =
+    create
+      ~title:(Printf.sprintf "Full pipeline, %d sinks (best of %d)" n reps)
+      [ ("variant", Left); ("time (s)", Right); ("vs run", Right) ]
+  in
+  add_row t [ "Flow.run (unchecked)"; Printf.sprintf "%.3f" plain; "1.00x" ];
+  add_row t
+    [ "run_checked Default"; Printf.sprintf "%.3f" dflt;
+      Printf.sprintf "%.2fx" (dflt /. plain) ];
+  add_row t
+    [ "run_checked Paranoid"; Printf.sprintf "%.3f" para;
+      Printf.sprintf "%.2fx" (para /. plain) ];
+  print t;
+  pf "\nBudgets (ISSUE 4): default guards <= 1.05x, paranoid <= 2x.\n"
+
 let () =
   pf "Gated Clock Routing Minimizing the Switched Capacitance (DATE'98)\n";
   pf "Reproduction harness%s\n" (if quick then " [quick mode]" else "");
+  (* GCR_BENCH_ONLY=guard-overhead runs just the checked-pipeline timing
+     (the EXPERIMENTS.md overhead entry) without the full harness. *)
+  match Sys.getenv_opt "GCR_BENCH_ONLY" with
+  | Some "guard-overhead" -> guard_overhead ()
+  | Some other -> pf "unknown GCR_BENCH_ONLY section %S\n" other
+  | None ->
   table4 ();
   fig3 ();
   fig4 ();
@@ -922,5 +974,6 @@ let () =
   validation ();
   scaling ();
   greedy_scaling ();
+  guard_overhead ();
   run_bechamel ();
   pf "\nDone. See EXPERIMENTS.md for the paper-vs-measured record.\n"

@@ -42,10 +42,39 @@ let load_case bench n_sinks stream usage k =
   let controller = Gcr.Controller.distributed (Benchmarks.Rbench.die spec) ~k in
   Benchmarks.Suite.case ~stream_length:stream ~usage ~controller spec
 
+(* BSD-sysexits discipline: 64 usage, 65 bad data, 70 internal, 75
+   resource. Diagnostics go to stderr; a raw backtrace never does. *)
+let with_diagnostics f =
+  try f () with
+  | Util.Gcr_error.Error err ->
+    Format.eprintf "gcr: error: %s@." (Util.Gcr_error.to_string err);
+    exit (Util.Gcr_error.exit_code err)
+  | Formats.Parse.Error _ as e ->
+    (match Formats.Parse.error_to_string e with
+    | Some msg -> Format.eprintf "gcr: error: %s@." msg
+    | None -> ());
+    exit 65
+  | Sys_error msg | Invalid_argument msg ->
+    Format.eprintf "gcr: invalid input: %s@." msg;
+    exit 65
+  | Stack_overflow ->
+    Format.eprintf "gcr: resource limit: stack overflow@.";
+    exit 75
+  | Out_of_memory ->
+    Format.eprintf "gcr: resource limit: out of memory@.";
+    exit 75
+  | Failure msg ->
+    Format.eprintf "gcr: internal error: %s@." msg;
+    exit 70
+  | e ->
+    Format.eprintf "gcr: internal error: %s@." (Printexc.to_string e);
+    exit 70
+
 let handle_unknown_bench f =
+  with_diagnostics @@ fun () ->
   try f () with Not_found ->
-    prerr_endline "error: unknown benchmark (expected r1..r5)";
-    exit 1
+    prerr_endline "gcr: unknown benchmark (expected r1..r5)";
+    exit 64
 
 (* ------------------------------------------------------------------ *)
 (* route                                                              *)
@@ -79,26 +108,72 @@ let verify_arg =
   let doc = "Cross-check the analytic cost by cycle-accurate simulation." in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
-let reduce_tree mode tree =
-  match mode with
-  | "greedy" -> Gcr.Gate_reduction.reduce_greedy tree
-  | "rules" -> Gcr.Gate_reduction.reduce_rules tree
-  | "none" -> tree
-  | s ->
-    (match float_of_string_opt s with
-    | Some fraction when fraction >= 0.0 && fraction <= 1.0 ->
-      Gcr.Gate_reduction.reduce_fraction tree ~fraction
-    | _ ->
-      prerr_endline "error: --reduce expects greedy | rules | none | fraction";
-      exit 1)
+let paranoid_arg =
+  let doc =
+    "Run the checked pipeline: validate inputs up front, re-derive every \
+     structural invariant between stages, and degrade through reference \
+     engines (dense oracle, direct table scans, relaxed skew budget) \
+     instead of failing. Degradations are reported on stderr."
+  in
+  Arg.(value & flag & info [ "paranoid" ] ~doc)
 
-let run_comparison config profile sinks ~reduction ~skew_budget ~size ~svg
-    ~spice ~csv ~verify =
+let reduction_of_string = function
+  | "greedy" -> Some Gcr.Flow.Greedy
+  | "rules" -> Some Gcr.Flow.Rules
+  | "none" -> Some Gcr.Flow.No_reduction
+  | s -> (
+    match float_of_string_opt s with
+    | Some fraction when fraction >= 0.0 && fraction <= 1.0 ->
+      Some (Gcr.Flow.Fraction fraction)
+    | _ -> None)
+
+let usage_error msg =
+  prerr_endline ("gcr: " ^ msg);
+  exit 64
+
+let reduce_tree mode tree =
+  match reduction_of_string mode with
+  | Some r ->
+    Gcr.Flow.apply_reduction
+      { Gcr.Flow.default with Gcr.Flow.reduction = r }
+      tree
+  | None -> usage_error "--reduce expects greedy | rules | none | fraction"
+
+let run_comparison config profile sinks ~reduction ~skew_budget ~size ~paranoid
+    ~svg ~spice ~csv ~verify =
+  let options =
+    {
+      Gcr.Flow.skew_budget;
+      reduction =
+        (match reduction_of_string reduction with
+        | Some r -> r
+        | None ->
+          usage_error "--reduce expects greedy | rules | none | fraction");
+      sizing = (if size then Gcr.Flow.Proportional else Gcr.Flow.No_sizing);
+    }
+  in
   let skew_budget = if skew_budget > 0.0 then Some skew_budget else None in
   let buffered = Gcr.Buffered.route ?skew_budget config profile sinks in
   let gated = Gcr.Router.route ?skew_budget config profile sinks in
-  let reduced = reduce_tree reduction gated in
-  let reduced = if size then Gcr.Sizing.proportional reduced else reduced in
+  let reduced =
+    if paranoid then
+      match
+        Gcr.Flow.run_checked ~mode:Gcr.Flow.Paranoid
+          ~on_event:(fun e ->
+            Format.eprintf "gcr: degraded: %a@." Gcr.Flow.pp_event e)
+          ~options config profile sinks
+      with
+      | Ok tree -> tree
+      | Error errs ->
+        List.iter
+          (fun e ->
+            Format.eprintf "gcr: error: %s@." (Util.Gcr_error.to_string e))
+          errs;
+        exit
+          (match errs with e :: _ -> Util.Gcr_error.exit_code e | [] -> 70)
+    else
+      Gcr.Flow.apply_sizing options (Gcr.Flow.apply_reduction options gated)
+  in
   let label =
     "gated+" ^ reduction ^ (if size then "+sized" else "")
   in
@@ -131,19 +206,19 @@ let run_comparison config profile sinks ~reduction ~skew_budget ~size ~svg
     Gcr.Svg.write_file file (Gcr.Svg.render reduced);
     Format.printf "wrote %s@." file
 
-let route_cmd bench n_sinks stream usage k reduction skew_budget size svg spice
-    csv verify =
+let route_cmd bench n_sinks stream usage k reduction skew_budget size paranoid
+    svg spice csv verify =
   handle_unknown_bench @@ fun () ->
   let case = load_case bench n_sinks stream usage k in
   let { Benchmarks.Suite.config; profile; sinks; _ } = case in
-  run_comparison config profile sinks ~reduction ~skew_budget ~size ~svg ~spice
-    ~csv ~verify
+  run_comparison config profile sinks ~reduction ~skew_budget ~size ~paranoid
+    ~svg ~spice ~csv ~verify
 
 let route_t =
   Term.(
     const route_cmd $ bench_arg $ sinks_arg $ stream_arg $ usage_arg $ k_arg
-    $ reduction_arg $ skew_arg $ size_arg $ svg_arg $ spice_arg $ csv_arg
-    $ verify_arg)
+    $ reduction_arg $ skew_arg $ size_arg $ paranoid_arg $ svg_arg $ spice_arg
+    $ csv_arg $ verify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* route-files: user designs from disk                                *)
@@ -154,36 +229,28 @@ let req_file arg_name =
   Arg.(required & opt (some file) None & info [ arg_name ] ~docv:"FILE" ~doc)
 
 let route_files_cmd sinks_file rtl_file stream_file k reduction skew_budget size
-    svg spice csv verify =
-  match
-    let sinks = Formats.Sinks_format.load sinks_file in
-    let rtl = Formats.Rtl_format.load rtl_file in
-    let stream = Formats.Stream_format.load rtl stream_file in
-    let profile = Activity.Profile.of_stream stream in
-    let die =
-      Geometry.Bbox.expand
-        (Geometry.Bbox.of_points
-           (Array.map (fun s -> s.Clocktree.Sink.loc) sinks))
-        1.0
-    in
-    let controller = Gcr.Controller.distributed die ~k in
-    let config = Gcr.Config.make ~controller ~die () in
-    run_comparison config profile sinks ~reduction ~skew_budget ~size ~svg
-      ~spice ~csv ~verify
-  with
-  | () -> ()
-  | exception e ->
-    (match Formats.Parse.error_to_string e with
-    | Some msg ->
-      prerr_endline ("error: " ^ msg);
-      exit 1
-    | None -> raise e)
+    paranoid svg spice csv verify =
+  with_diagnostics @@ fun () ->
+  let sinks = Formats.Sinks_format.load sinks_file in
+  let rtl = Formats.Rtl_format.load rtl_file in
+  let stream = Formats.Stream_format.load rtl stream_file in
+  let profile = Activity.Profile.of_stream stream in
+  let die =
+    Geometry.Bbox.expand
+      (Geometry.Bbox.of_points
+         (Array.map (fun s -> s.Clocktree.Sink.loc) sinks))
+      1.0
+  in
+  let controller = Gcr.Controller.distributed die ~k in
+  let config = Gcr.Config.make ~controller ~die () in
+  run_comparison config profile sinks ~reduction ~skew_budget ~size ~paranoid
+    ~svg ~spice ~csv ~verify
 
 let route_files_t =
   Term.(
     const route_files_cmd $ req_file "sinks" $ req_file "rtl" $ req_file "stream"
-    $ k_arg $ reduction_arg $ skew_arg $ size_arg $ svg_arg $ spice_arg
-    $ csv_arg $ verify_arg)
+    $ k_arg $ reduction_arg $ skew_arg $ size_arg $ paranoid_arg $ svg_arg
+    $ spice_arg $ csv_arg $ verify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                              *)
@@ -350,6 +417,7 @@ let controllers_t =
 (* ------------------------------------------------------------------ *)
 
 let table4_cmd stream =
+  with_diagnostics @@ fun () ->
   Util.Text_table.print
     (Benchmarks.Suite.characteristics_table (Benchmarks.Suite.all ~stream_length:stream ()))
 
@@ -398,7 +466,17 @@ let fuzz_replay_arg =
   let doc = "Re-run the conformance check on a dumped reproducer file." in
   Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
 
-let fuzz_cmd count seed out replay =
+let fuzz_faults_arg =
+  let doc =
+    "Inject faults (corrupted input files, poisoned in-memory inputs, \
+     tampered intermediate trees) instead of fuzzing clean scenarios; every \
+     fault must be absorbed or diagnosed with a typed error. Exits 70 on \
+     any silent wrong answer."
+  in
+  Arg.(value & flag & info [ "faults" ] ~doc)
+
+let fuzz_cmd count seed out replay faults =
+  with_diagnostics @@ fun () ->
   match replay with
   | Some path -> (
     try
@@ -408,8 +486,12 @@ let fuzz_cmd count seed out replay =
       Format.eprintf "replay %s: FAIL@.  %s@." path
         (match Formats.Parse.error_to_string e with
         | Some s -> s
-        | None -> Printexc.to_string e);
+        | None -> Util.Gcr_error.message_of_exn e);
       exit 1)
+  | None when faults ->
+    let stats = Conformance.Faults.run ~count ~seed () in
+    Format.printf "%a@." Conformance.Faults.pp_stats stats;
+    if stats.Conformance.Faults.silent <> [] then exit 70
   | None ->
     let stats = Conformance.Fuzz.run ?out_dir:out ~count ~seed () in
     Format.printf "%a@." Conformance.Fuzz.pp_stats stats;
@@ -417,7 +499,7 @@ let fuzz_cmd count seed out replay =
 
 let fuzz_t =
   Term.(const fuzz_cmd $ fuzz_count_arg $ fuzz_seed_arg $ fuzz_out_arg
-        $ fuzz_replay_arg)
+        $ fuzz_replay_arg $ fuzz_faults_arg)
 
 (* ------------------------------------------------------------------ *)
 (* assembly                                                           *)
@@ -442,4 +524,8 @@ let main =
       cmd "svg" "Render a routed tree to SVG." svg_t;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* cmdliner reports its own CLI parse errors as 124; remap to the
+     sysexits usage code so every bad invocation exits 64. *)
+  let code = Cmd.eval main in
+  exit (if code = Cmd.Exit.cli_error then 64 else code)

@@ -4,11 +4,19 @@ type t =
       ift : Ift.t;
       imatt : Imatt.t;
       mutable kernel : Signature.kernel option; (* built on first demand *)
+      use_kernel : bool; (* false = degraded mode: direct table scans only *)
     }
   | Analytic of Cpu_model.t
 
 let of_stream stream =
-  Sampled { stream; ift = Ift.build stream; imatt = Imatt.build stream; kernel = None }
+  Sampled
+    {
+      stream;
+      ift = Ift.build stream;
+      imatt = Imatt.build stream;
+      kernel = None;
+      use_kernel = true;
+    }
 
 let of_model model = Analytic model
 
@@ -56,6 +64,7 @@ let p_module t m = p t (Module_set.singleton (n_modules t) m)
 
 let signature_kernel = function
   | Analytic _ -> None
+  | Sampled { use_kernel = false; _ } -> None
   | Sampled s -> (
     match s.kernel with
     | Some _ as k -> k
@@ -63,6 +72,18 @@ let signature_kernel = function
       let k = Signature.kernel s.ift s.imatt in
       s.kernel <- Some k;
       Some k)
+
+let tables_only = function
+  | Analytic _ as t -> t
+  | Sampled s ->
+    Sampled
+      {
+        stream = s.stream;
+        ift = s.ift;
+        imatt = s.imatt;
+        kernel = None;
+        use_kernel = false;
+      }
 
 let avg_activity = function
   | Sampled { stream; _ } -> Instr_stream.avg_active_fraction stream

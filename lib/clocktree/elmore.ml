@@ -22,11 +22,17 @@ let evaluate tech (embed : Embed.t) ~gate_on_edge =
             e
         in
         cap.(v) <- side a +. side b);
-  (* Delay from the root down, top-down. *)
+  (* Delay from the root down, top-down. Path delays are compensated
+     (Neumaier) per node: deep trees chain hundreds of branch delays, and
+     uncompensated drift there shows up as phantom skew against the
+     checkers' tight relative tolerances. *)
   let delay_to = Array.make n 0.0 in
+  let comp = Array.make n 0.0 in
   Topo.iter_top_down topo (fun v ->
       match Topo.parent topo v with
-      | None -> delay_to.(v) <- 0.0
+      | None ->
+        delay_to.(v) <- 0.0;
+        comp.(v) <- 0.0
       | Some p ->
         let e = Embed.edge_len embed v in
         let through =
@@ -34,8 +40,10 @@ let evaluate tech (embed : Embed.t) ~gate_on_edge =
             { Zskew.delay = 0.0; cap = cap.(v); gate = gate_on_edge v }
             e
         in
-        delay_to.(v) <- delay_to.(p) +. through);
-  let sink_delay = Array.init n_sinks (fun s -> delay_to.(s)) in
+        let s, c = Util.Kahan.step ~sum:delay_to.(p) ~comp:comp.(p) through in
+        delay_to.(v) <- s;
+        comp.(v) <- c);
+  let sink_delay = Array.init n_sinks (fun s -> delay_to.(s) +. comp.(s)) in
   let min_delay, max_delay = Util.Stats.min_max sink_delay in
   { sink_delay; max_delay; min_delay; skew = max_delay -. min_delay }
 

@@ -25,12 +25,28 @@ let gate_location t v =
 
 let check_consistency t =
   let n = Topo.n_nodes t.topo in
+  let fail fmt =
+    Printf.ksprintf
+      (fun detail ->
+        Util.Gcr_error.raise_t
+          (Util.Gcr_error.Engine_mismatch
+             { stage = "Embed.check_consistency"; detail }))
+      fmt
+  in
   for v = 0 to n - 1 do
+    let { Geometry.Point.x; y } = t.loc.(v) in
+    (* A NaN coordinate passes every tolerance comparison below (NaN
+       compares false), so finiteness is asserted first. *)
+    if not (Float.is_finite x && Float.is_finite y) then
+      Util.Gcr_error.numerical ~stage:"Embed.check_consistency"
+        ~value:(if Float.is_finite x then y else x)
+        "node %d has a non-finite coordinate (%g, %g)" v x y;
+    Util.Gcr_error.check_finite ~stage:"Embed.check_consistency"
+      ~context:(Printf.sprintf "edge length of node %d" v)
+      t.mseg.Mseg.edge_len.(v);
     let region = t.mseg.Mseg.region.(v) in
     if not (Geometry.Rect.contains ~eps:1e-6 region (Geometry.Rot.of_point t.loc.(v)))
-    then
-      failwith
-        (Printf.sprintf "Embed.check_consistency: node %d placed outside its region" v);
+    then fail "node %d placed outside its region" v;
     match Topo.parent t.topo v with
     | None -> ()
     | Some p ->
@@ -39,14 +55,16 @@ let check_consistency t =
       (* Mseg.merge_region recovers a float-hair intersection miss with
          slack relative to the merge distance, so a placement can overshoot
          the wire by an amount that scales with the coordinate magnitude,
-         not with e (seen at e = 0 on large dies). *)
+         not with e (seen at e = 0 on large dies): that magnitude enters
+         the tolerance as the [scale] term (1e-6 · 0.01·coord = the old
+         1e-8·coord allowance). *)
       let coord_scale =
         Float.abs t.loc.(p).Geometry.Point.x
         +. Float.abs t.loc.(p).Geometry.Point.y
       in
-      if d > e +. (1e-6 *. (1.0 +. e)) +. (1e-8 *. coord_scale) then
-        failwith
-          (Printf.sprintf
-             "Embed.check_consistency: edge %d->%d spans %.9g but has wire %.9g" p v d
-             e)
+      if
+        not
+          (Util.Tol.within ~rel:1e-6 ~scale:(0.01 *. coord_scale) ~value:d
+             ~bound:e ())
+      then fail "edge %d->%d spans %.9g but has wire %.9g" p v d e
   done

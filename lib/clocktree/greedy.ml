@@ -195,6 +195,11 @@ let merge_all_with ?(par_seed = false) source ~n ~cost ~merge =
       if !n_active = 1 then active.(0)
       else
         match Util.Bin_heap.pop heap with
+        (* Internal invariant, kept as failwith: every live root pushes a
+           candidate before the heap is popped again, so an empty heap with
+           two or more roots is unreachable for any input that passed
+           [validate]. Boundaries classify it as Internal via
+           [Gcr_error.of_exn]. *)
         | None -> failwith "Greedy.merge_all: heap exhausted with roots remaining"
         | Some (_, payload) ->
           let v, u = unpack payload in
@@ -261,6 +266,10 @@ let merge_all_dense ~n ~cost ~merge =
       if !n_active = 1 then active.(0)
       else
         match Util.Bin_heap.pop heap with
+        (* Internal invariant, kept as failwith: the dense seeding pushes
+           every pair up front and merges re-push against all live roots,
+           so exhaustion with roots remaining is unreachable. Boundaries
+           classify it as Internal via [Gcr_error.of_exn]. *)
         | None -> failwith "Greedy.merge_all: heap exhausted with roots remaining"
         | Some (_, payload) ->
           let a, b = unpack payload in

@@ -21,7 +21,8 @@ let of_embed (embed : Embed.t) =
   let mean_depth =
     float_of_int (Array.fold_left ( + ) 0 depths) /. float_of_int n_sinks
   in
-  let total = ref 0.0 and detour = ref 0.0 and snaked = ref 0 in
+  let total = Util.Kahan.create () and detour = Util.Kahan.create () in
+  let snaked = ref 0 in
   let max_edge = ref 0.0 in
   let by_depth = Array.make (max max_depth 1) 0.0 in
   Topo.iter_bottom_up topo (fun v ->
@@ -32,21 +33,22 @@ let of_embed (embed : Embed.t) =
         let direct =
           Geometry.Point.manhattan embed.Embed.loc.(v) embed.Embed.loc.(p)
         in
-        total := !total +. len;
-        detour := !detour +. Float.max 0.0 (len -. direct);
+        Util.Kahan.add total len;
+        Util.Kahan.add detour (Float.max 0.0 (len -. direct));
         if embed.Embed.mseg.Mseg.snaked.(v) then incr snaked;
         if len > !max_edge then max_edge := len;
         let d = Topo.depth topo v in
         if d >= 1 then by_depth.(d - 1) <- by_depth.(d - 1) +. len);
+  let total = Util.Kahan.total total in
   {
     n_sinks;
     max_depth;
     min_depth;
     mean_depth;
-    total_wirelength = !total;
-    detour_wirelength = !detour;
+    total_wirelength = total;
+    detour_wirelength = Util.Kahan.total detour;
     snaked_edges = !snaked;
-    mean_edge_length = !total /. float_of_int n_edges;
+    mean_edge_length = total /. float_of_int n_edges;
     max_edge_length = !max_edge;
     wirelength_by_depth = by_depth;
   }

@@ -1,0 +1,286 @@
+(* Fault injection: corrupt an input or an intermediate on purpose and
+   demand the pipeline either absorbs the fault (returns a result that
+   still passes full structural verification) or diagnoses it with a
+   typed Gcr_error. Anything else — a raw untyped exception, or a
+   corrupted tree sailing through — is a Silent verdict, the bug class
+   this harness exists to keep extinct. *)
+
+type verdict =
+  | Diagnosed of Util.Gcr_error.t
+  | Absorbed
+  | Silent of string
+
+type outcome = { family : string; case : int; verdict : verdict }
+
+type stats = {
+  faults : int;
+  diagnosed : int;
+  absorbed : int;
+  silent : outcome list;
+  coverage : (string * int) list;
+  elapsed_s : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Classification helpers                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A malformed file must surface as a located Parse error. *)
+let expect_parse_error f =
+  match f () with
+  | _ -> Silent "malformed input accepted by the parser"
+  | exception e -> (
+    match Formats.Parse.to_gcr_error e with
+    | Some err -> Diagnosed err
+    | None ->
+      Silent ("untyped exception instead of a parse error: "
+              ^ Printexc.to_string e))
+
+(* A corrupted in-memory input goes through the checked pipeline: a typed
+   error list diagnoses it; an Ok result is only acceptable when the tree
+   withstands full structural verification (the fault was absorbed). *)
+let expect_checked config profile sinks =
+  match
+    Gcr.Flow.run_checked ~mode:Gcr.Flow.Paranoid config profile sinks
+  with
+  | Error (err :: _) -> Diagnosed err
+  | Error [] -> Silent "run_checked returned Error []"
+  | Ok tree -> (
+    match Gcr.Verify.structural tree with
+    | () -> Absorbed
+    | exception _ -> Silent "run_checked returned an unverifiable tree")
+  | exception e ->
+    Silent ("run_checked raised instead of returning: " ^ Printexc.to_string e)
+
+(* A corrupted tree must be rejected by structural verification with a
+   typed error. *)
+let expect_verify_rejects tree =
+  match Gcr.Verify.structural tree with
+  | () -> Silent "corrupted tree passed structural verification"
+  | exception Util.Gcr_error.Error err -> Diagnosed err
+  | exception e ->
+    Silent ("untyped exception from verification: " ^ Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Fault families                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let flip_low_bit x = Int64.float_of_bits (Int64.logxor (Int64.bits_of_float x) 1L)
+
+let all_gated (sc : Scenario.t) =
+  let options =
+    {
+      sc.Scenario.options with
+      Gcr.Flow.reduction = Gcr.Flow.No_reduction;
+      sizing = Gcr.Flow.No_sizing;
+    }
+  in
+  Gcr.Flow.run ~options (Scenario.config sc) (Scenario.profile sc)
+    sc.Scenario.sinks
+
+(* Pick a non-root node. *)
+let victim prng (tree : Gcr.Gated_tree.t) =
+  let topo = tree.Gcr.Gated_tree.topo in
+  let root = Clocktree.Topo.root topo in
+  let n = Clocktree.Topo.n_nodes topo in
+  let v = Util.Prng.int prng (n - 1) in
+  if v >= root then v + 1 else v
+
+let replace_field prng text junk =
+  let lines = Formats.Parse.significant_lines text in
+  let line, content = List.nth lines (Util.Prng.int prng (List.length lines)) in
+  let fields = Formats.Parse.fields content in
+  let k = Util.Prng.int prng (List.length fields) in
+  let mangled =
+    String.concat " " (List.mapi (fun i f -> if i = k then junk else f) fields)
+  in
+  String.concat "\n"
+    (List.map
+       (fun (l, c) -> if l = line then mangled else c)
+       (Formats.Parse.significant_lines text))
+
+let families :
+    (string * (Util.Prng.t -> Scenario.t -> verdict)) array =
+  [|
+    (* -------- malformed input files -------- *)
+    ( "input:malformed-sinks-field",
+      fun prng sc ->
+        let text =
+          replace_field prng
+            (Formats.Sinks_format.render sc.Scenario.sinks)
+            "?bogus?"
+        in
+        expect_parse_error (fun () -> Formats.Sinks_format.parse text) );
+    ( "input:sparse-sink-ids",
+      fun prng sc ->
+        (* duplicate one id: the dense-id rule must fire *)
+        let sinks = Array.copy sc.Scenario.sinks in
+        let n = Array.length sinks in
+        let i = 1 + Util.Prng.int prng (Int.max 1 (n - 1)) in
+        let i = Int.min i (n - 1) in
+        let text =
+          Formats.Sinks_format.render sinks
+          |> String.split_on_char '\n'
+          |> List.map (fun l ->
+                 match String.index_opt l ' ' with
+                 | Some sp when String.sub l 0 sp = string_of_int i ->
+                   "0" ^ String.sub l sp (String.length l - sp)
+                 | _ -> l)
+          |> String.concat "\n"
+        in
+        if n = 1 then Absorbed (* no second id to duplicate *)
+        else expect_parse_error (fun () -> Formats.Sinks_format.parse text) );
+    ( "input:unknown-instruction",
+      fun _prng sc ->
+        let stream = Scenario.instr_stream sc in
+        let text =
+          Formats.Stream_format.render stream ^ "\nNOT_AN_INSTRUCTION\n"
+        in
+        expect_parse_error (fun () ->
+            Formats.Stream_format.parse sc.Scenario.rtl text) );
+    ( "input:empty-stream",
+      fun _prng sc ->
+        expect_parse_error (fun () ->
+            Formats.Stream_format.parse sc.Scenario.rtl "# no cycles at all\n")
+    );
+    (* -------- degenerate in-memory inputs -------- *)
+    ( "input:nan-capacitance",
+      fun prng sc ->
+        let sinks = Array.copy sc.Scenario.sinks in
+        let i = Util.Prng.int prng (Array.length sinks) in
+        sinks.(i) <- { sinks.(i) with Clocktree.Sink.cap = Float.nan };
+        expect_checked (Scenario.config sc) (Scenario.profile sc) sinks );
+    ( "input:unknown-module-sink",
+      fun prng sc ->
+        let sinks = Array.copy sc.Scenario.sinks in
+        let i = Util.Prng.int prng (Array.length sinks) in
+        sinks.(i) <-
+          {
+            sinks.(i) with
+            Clocktree.Sink.module_id =
+              Activity.Rtl.n_modules sc.Scenario.rtl + 3;
+          };
+        expect_checked (Scenario.config sc) (Scenario.profile sc) sinks );
+    ( "input:zero-tech",
+      fun prng sc ->
+        let tech =
+          if Util.Prng.bool prng then
+            { sc.Scenario.tech with Clocktree.Tech.unit_cap = 0.0 }
+          else { sc.Scenario.tech with Clocktree.Tech.unit_res = -1.0 }
+        in
+        (* record update, not Config.make: the constructor's own
+           validation would fire here in the injector; the point is that
+           run_checked rejects a config smuggled past it *)
+        let config = { (Scenario.config sc) with Gcr.Config.tech } in
+        expect_checked config (Scenario.profile sc) sc.Scenario.sinks );
+    (* -------- corrupted intermediates -------- *)
+    ( "tree:bitflip-enable-p",
+      fun prng sc ->
+        let tree = all_gated sc in
+        let v = victim prng tree in
+        let en = tree.Gcr.Gated_tree.enables.(v) in
+        tree.Gcr.Gated_tree.enables.(v) <-
+          { en with Gcr.Enable.p = flip_low_bit en.Gcr.Enable.p };
+        expect_verify_rejects tree );
+    ( "tree:bitflip-enable-ptr",
+      fun prng sc ->
+        let tree = all_gated sc in
+        let v = victim prng tree in
+        let en = tree.Gcr.Gated_tree.enables.(v) in
+        tree.Gcr.Gated_tree.enables.(v) <-
+          { en with Gcr.Enable.ptr = flip_low_bit en.Gcr.Enable.ptr };
+        expect_verify_rejects tree );
+    ( "tree:perturb-embed",
+      fun prng sc ->
+        let tree = all_gated sc in
+        let v = victim prng tree in
+        let mseg = tree.Gcr.Gated_tree.embed.Clocktree.Embed.mseg in
+        mseg.Clocktree.Mseg.edge_len.(v) <-
+          mseg.Clocktree.Mseg.edge_len.(v)
+          +. (0.05 *. Float.max 1.0 sc.Scenario.die_side);
+        expect_verify_rejects tree );
+    ( "tree:nan-edge-len",
+      fun prng sc ->
+        let tree = all_gated sc in
+        let v = victim prng tree in
+        let mseg = tree.Gcr.Gated_tree.embed.Clocktree.Embed.mseg in
+        mseg.Clocktree.Mseg.edge_len.(v) <- Float.nan;
+        expect_verify_rejects tree );
+    ( "tree:poison-sink-cap",
+      fun prng sc ->
+        let tree = all_gated sc in
+        let sinks = tree.Gcr.Gated_tree.sinks in
+        let i = Util.Prng.int prng (Array.length sinks) in
+        sinks.(i) <- { sinks.(i) with Clocktree.Sink.cap = Float.nan };
+        expect_verify_rejects tree );
+    ( "tree:tamper-governing",
+      fun prng sc ->
+        let tree = all_gated sc in
+        let v = victim prng tree in
+        tree.Gcr.Gated_tree.governing.(v) <- -1;
+        expect_verify_rejects tree );
+    ( "tree:tamper-scale",
+      fun prng sc ->
+        let tree = all_gated sc in
+        let v = victim prng tree in
+        tree.Gcr.Gated_tree.scale.(v) <- tree.Gcr.Gated_tree.scale.(v) *. 3.0;
+        expect_verify_rejects tree );
+  |]
+
+let family_names = Array.to_list (Array.map fst families)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(count = 200) ?(seed = 0) () =
+  let t0 = Unix.gettimeofday () in
+  let prng = Util.Prng.create seed in
+  let coverage = Hashtbl.create 16 in
+  let diagnosed = ref 0 and absorbed = ref 0 in
+  let silent = ref [] in
+  for case = 0 to count - 1 do
+    let family, inject = families.(case mod Array.length families) in
+    let case_prng = Util.Prng.split prng in
+    let sc =
+      Scenario.generate (Util.Prng.split prng)
+        ~tag:(Printf.sprintf "faults seed %d case %d" seed case)
+    in
+    let verdict =
+      match inject case_prng sc with
+      | v -> v
+      | exception e ->
+        Silent ("fault injector itself raised: " ^ Printexc.to_string e)
+    in
+    Hashtbl.replace coverage family
+      (1 + Option.value (Hashtbl.find_opt coverage family) ~default:0);
+    (match verdict with
+    | Diagnosed _ -> incr diagnosed
+    | Absorbed -> incr absorbed
+    | Silent _ -> silent := { family; case; verdict } :: !silent)
+  done;
+  {
+    faults = count;
+    diagnosed = !diagnosed;
+    absorbed = !absorbed;
+    silent = List.rev !silent;
+    coverage =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) coverage []);
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>%d faults in %.2f s: %d diagnosed, %d absorbed, %d silent@,"
+    s.faults s.elapsed_s s.diagnosed s.absorbed (List.length s.silent);
+  List.iter
+    (fun (family, n) -> Format.fprintf ppf "  %-32s %4d@," family n)
+    s.coverage;
+  List.iter
+    (fun o ->
+      match o.verdict with
+      | Silent why ->
+        Format.fprintf ppf "  SILENT %s (case %d)@,    %s@," o.family o.case why
+      | _ -> ())
+    s.silent;
+  Format.fprintf ppf "@]"

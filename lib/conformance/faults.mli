@@ -1,0 +1,45 @@
+(** Fault injection: deliberate corruption of pipeline inputs and
+    intermediates, with a three-way verdict per fault.
+
+    Input faults mangle the text formats (bogus fields, duplicated sink
+    ids, unknown instructions, empty streams) or the in-memory inputs
+    (NaN capacitances, out-of-universe module ids, non-positive
+    technology parameters); intermediate faults corrupt a freshly built
+    gated tree in place (bit-flipped enable probabilities, perturbed or
+    NaN edge lengths, poisoned sink loads, rewired governing gates,
+    resized gates) and hand it to {!Gcr.Verify.structural}.
+
+    The contract enforced: every fault is either {e absorbed} (the
+    pipeline still returns a fully verifiable result) or {e diagnosed}
+    with a typed {!Util.Gcr_error.t}. A raw untyped exception or a
+    corruption that sails through verification is a {e silent} verdict —
+    zero of those is the pass criterion ([gcr fuzz --faults] exits
+    non-zero otherwise). *)
+
+type verdict =
+  | Diagnosed of Util.Gcr_error.t  (** rejected with a typed error *)
+  | Absorbed  (** result returned anyway and passed full verification *)
+  | Silent of string  (** the bug class: wrong or untyped behavior *)
+
+type outcome = { family : string; case : int; verdict : verdict }
+
+type stats = {
+  faults : int;
+  diagnosed : int;
+  absorbed : int;
+  silent : outcome list;  (** empty on a passing run *)
+  coverage : (string * int) list;  (** faults injected per family *)
+  elapsed_s : float;
+}
+
+val family_names : string list
+(** The fault families, e.g. ["input:malformed-sinks-field"],
+    ["tree:bitflip-enable-p"]. Families are cycled round-robin over the
+    requested fault count. *)
+
+val run : ?count:int -> ?seed:int -> unit -> stats
+(** Inject [count] (default 200) faults into scenarios drawn
+    deterministically from [seed] (default 0). Never raises: injector
+    failures are reported as silent verdicts. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -22,11 +22,9 @@ let check (sc : Scenario.t) =
   | Gcr.Flow.Greedy ->
     let before = Gcr.Cost.w_total routed in
     let after = Gcr.Cost.w_total (Gcr.Flow.apply_reduction options routed) in
-    if after > before +. (1e-9 *. (1.0 +. Float.abs before)) then
-      failwith
-        (Printf.sprintf
-           "Fuzz.check: greedy gate reduction increased W (%.17g -> %.17g)"
-           before after)
+    if not (Util.Tol.within ~rel:1e-9 ~value:after ~bound:before ()) then
+      Util.Gcr_error.mismatch ~stage:"Fuzz.check"
+        "greedy gate reduction increased W (%.17g -> %.17g)" before after
   | Gcr.Flow.No_reduction | Gcr.Flow.Rules | Gcr.Flow.Fraction _ -> ());
   Oracles.engine_vs_dense sc;
   Oracles.domains_determinism sc
@@ -38,7 +36,10 @@ let fails check sc =
     Some
       (match Formats.Parse.error_to_string e with
       | Some s -> s
-      | None -> Printexc.to_string e)
+      | None -> (
+        match e with
+        | Util.Gcr_error.Error err -> Util.Gcr_error.to_string err
+        | e -> Printexc.to_string e))
 
 (* Structurally smaller variants of a scenario, most aggressive first.
    Every candidate is valid by construction (>= 2 sinks, >= 2 cycles,

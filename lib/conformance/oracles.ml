@@ -1,11 +1,18 @@
 let fail oracle fmt =
-  Printf.ksprintf (fun msg -> failwith ("Oracles." ^ oracle ^ ": " ^ msg)) fmt
+  Printf.ksprintf
+    (fun detail ->
+      Util.Gcr_error.raise_t
+        (Util.Gcr_error.Engine_mismatch { stage = "Oracles." ^ oracle; detail }))
+    fmt
 
 let set_str s = Format.asprintf "%a" Activity.Module_set.pp s
 
 let fail_tree what fmt =
   Printf.ksprintf
-    (fun msg -> failwith (Printf.sprintf "Oracles.same_tree (%s): %s" what msg))
+    (fun detail ->
+      Util.Gcr_error.raise_t
+        (Util.Gcr_error.Engine_mismatch
+           { stage = Printf.sprintf "Oracles.same_tree (%s)" what; detail }))
     fmt
 
 let same_tree ~what (a : Gcr.Gated_tree.t) (b : Gcr.Gated_tree.t) =
@@ -104,7 +111,7 @@ let signature_vs_tables (tree : Gcr.Gated_tree.t) =
    topology diff, any min-achieving choice passes, so the ubiquitous
    exact cost ties (saturated P(EN) with overlapping regions at distance
    zero) cannot produce false alarms. *)
-let verify_greedy_optimal ~what (config : Gcr.Config.t) profile sinks topo =
+let greedy_optimal ~what (config : Gcr.Config.t) profile sinks topo =
   match Activity.Profile.signature_kernel profile with
   | None -> ()
   | Some kern ->
@@ -168,9 +175,9 @@ let engine_vs_dense (sc : Scenario.t) =
   let config = Scenario.config sc in
   let profile = Scenario.profile sc in
   let sinks = sc.Scenario.sinks in
-  verify_greedy_optimal ~what:"NN-heap engine" config profile sinks
+  greedy_optimal ~what:"NN-heap engine" config profile sinks
     (Gcr.Activity_router.topology config profile sinks);
-  verify_greedy_optimal ~what:"dense oracle" config profile sinks
+  greedy_optimal ~what:"dense oracle" config profile sinks
     (Gcr.Activity_router.topology_dense config profile sinks)
 
 let with_domains value f =

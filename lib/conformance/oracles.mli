@@ -1,8 +1,9 @@
 (** Differential oracles: two independent implementations of the same
     quantity, run on one scenario and compared.
 
-    Each oracle raises [Failure] with a diagnostic naming the oracle and
-    the first disagreement; {!Fuzz} runs them (together with
+    Each oracle raises [Util.Gcr_error.Error] with an [Engine_mismatch]
+    whose stage names the oracle and whose detail describes the first
+    disagreement; {!Fuzz} runs them (together with
     {!Gsim.Invariant.structural}) on every scenario. *)
 
 val same_tree : what:string -> Gcr.Gated_tree.t -> Gcr.Gated_tree.t -> unit
@@ -23,6 +24,21 @@ val signature_vs_tables : Gcr.Gated_tree.t -> unit
     every internal node's child-set union ([p_union]/[ptr_union], the
     greedy fast path). Exact equality — the kernel documents bit-for-bit
     agreement. No-op on analytic profiles (no tables). *)
+
+val greedy_optimal :
+  what:string ->
+  Gcr.Config.t ->
+  Activity.Profile.t ->
+  Clocktree.Sink.t array ->
+  Clocktree.Topo.t ->
+  unit
+(** Per-step greedy optimality of one merge engine's output: the
+    topology's merge sequence (ascending internal-node ids) is replayed
+    and every chosen pair must achieve the exact brute-force minimum of
+    the activity-merge cost over the roots active at that step. Any
+    min-achieving choice passes, so the exact cost ties on which the
+    engines legally diverge cannot produce false alarms. No-op on
+    profiles without a signature kernel. *)
 
 val engine_vs_dense : Scenario.t -> unit
 (** Per-step greedy optimality of both merge engines —

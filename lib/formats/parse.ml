@@ -1,7 +1,14 @@
-exception Error of { source : string; line : int; msg : string }
+exception
+  Error of {
+    source : string;
+    line : int;
+    col : int; (* 1-based; 0 = unknown *)
+    text : string; (* offending line, "" = unknown *)
+    msg : string;
+  }
 
-let fail ~source ~line fmt =
-  Printf.ksprintf (fun msg -> raise (Error { source; line; msg })) fmt
+let fail ?(col = 0) ?(text = "") ~source ~line fmt =
+  Printf.ksprintf (fun msg -> raise (Error { source; line; col; text; msg })) fmt
 
 let strip_comment s =
   match String.index_opt s '#' with None -> s | Some i -> String.sub s 0 i
@@ -16,15 +23,32 @@ let fields line =
   String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
   |> List.filter (fun f -> f <> "")
 
-let float_field ~source ~line ~what s =
+(* Like {!fields}, but each field keeps its 1-based starting column in the
+   line — comment stripping only truncates the tail and the tab->space map
+   preserves positions, so columns index into the raw source line too. *)
+let located_fields line =
+  let n = String.length line in
+  let is_space c = c = ' ' || c = '\t' in
+  let rec scan acc i =
+    if i >= n then List.rev acc
+    else if is_space line.[i] then scan acc (i + 1)
+    else begin
+      let j = ref i in
+      while !j < n && not (is_space line.[!j]) do incr j done;
+      scan ((i + 1, String.sub line i (!j - i)) :: acc) !j
+    end
+  in
+  scan [] 0
+
+let float_field ?col ?text ~source ~line ~what s =
   match float_of_string_opt s with
   | Some f when Float.is_finite f -> f
-  | Some _ | None -> fail ~source ~line "invalid %s: %S" what s
+  | Some _ | None -> fail ?col ?text ~source ~line "invalid %s: %S" what s
 
-let int_field ~source ~line ~what s =
+let int_field ?col ?text ~source ~line ~what s =
   match int_of_string_opt s with
   | Some i -> i
-  | None -> fail ~source ~line "invalid %s: %S" what s
+  | None -> fail ?col ?text ~source ~line "invalid %s: %S" what s
 
 let read_file path =
   let ic = open_in_bin path in
@@ -32,6 +56,36 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* "source:line:col: msg" with a caret excerpt when the offending line and
+   column are known:
+
+     bench.sinks:7:12: invalid capacitance: "abc"
+       3 1.5 abc 2
+             ^
+*)
+let format_error ~source ~line ~col ~text ~msg =
+  let head =
+    if col > 0 then Printf.sprintf "%s:%d:%d: %s" source line col msg
+    else Printf.sprintf "%s:%d: %s" source line msg
+  in
+  if text = "" then head
+  else begin
+    let excerpt = String.map (function '\t' -> ' ' | c -> c) text in
+    if col > 0 && col <= String.length excerpt + 1 then
+      Printf.sprintf "%s\n  %s\n  %s^" head excerpt (String.make (col - 1) ' ')
+    else Printf.sprintf "%s\n  %s" head excerpt
+  end
+
 let error_to_string = function
-  | Error { source; line; msg } -> Some (Printf.sprintf "%s:%d: %s" source line msg)
+  | Error { source; line; col; text; msg } ->
+    Some (format_error ~source ~line ~col ~text ~msg)
+  | _ -> None
+
+let to_gcr_error = function
+  | Error { source; line; col; text; msg } ->
+    let msg =
+      if text = "" then msg
+      else Printf.sprintf "%s (in %S)" msg (String.trim text)
+    in
+    Some (Util.Gcr_error.Parse { file = source; line; col; msg })
   | _ -> None

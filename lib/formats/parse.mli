@@ -2,12 +2,26 @@
 
     All formats are line-oriented: [#] starts a comment (to end of line),
     blank lines are ignored, fields are whitespace-separated. Errors carry
-    the source name and 1-based line number. *)
+    the source name, 1-based line number and, when known, the 1-based
+    column and the offending line's text for a caret excerpt. *)
 
-exception Error of { source : string; line : int; msg : string }
+exception
+  Error of {
+    source : string;
+    line : int;
+    col : int;  (** 1-based column of the offending field; 0 = unknown *)
+    text : string;  (** the offending line's text; [""] = unknown *)
+    msg : string;
+  }
 (** Raised by every parser in this library on malformed input. *)
 
-val fail : source:string -> line:int -> ('a, unit, string, 'b) format4 -> 'a
+val fail :
+  ?col:int ->
+  ?text:string ->
+  source:string ->
+  line:int ->
+  ('a, unit, string, 'b) format4 ->
+  'a
 (** Raise {!Error} with a formatted message. *)
 
 val significant_lines : string -> (int * string) list
@@ -17,13 +31,37 @@ val significant_lines : string -> (int * string) list
 val fields : string -> string list
 (** Whitespace-split a line into non-empty fields. *)
 
-val float_field : source:string -> line:int -> what:string -> string -> float
-(** Parse a float field or fail with a located error. *)
+val located_fields : string -> (int * string) list
+(** Like {!fields}, but each field is paired with its 1-based starting
+    column in the line, for caret diagnostics. *)
 
-val int_field : source:string -> line:int -> what:string -> string -> int
+val float_field :
+  ?col:int ->
+  ?text:string ->
+  source:string ->
+  line:int ->
+  what:string ->
+  string ->
+  float
+(** Parse a finite float field or fail with a located error. *)
+
+val int_field :
+  ?col:int ->
+  ?text:string ->
+  source:string ->
+  line:int ->
+  what:string ->
+  string ->
+  int
 
 val read_file : string -> string
 (** Read a whole file. Raises [Sys_error] as usual. *)
 
 val error_to_string : exn -> string option
-(** Pretty-print an {!Error}; [None] for other exceptions. *)
+(** Pretty-print an {!Error} — ["source:line:col: msg"] followed by the
+    offending line with a caret under the column when both are known;
+    [None] for other exceptions. *)
+
+val to_gcr_error : exn -> Util.Gcr_error.t option
+(** Convert an {!Error} to the typed taxonomy ({!Util.Gcr_error.Parse});
+    [None] for other exceptions. *)

@@ -6,21 +6,24 @@ let parse ?(source = "<rtl>") contents =
       match Parse.fields header with
       | "modules" :: [ count ] when int_of_string_opt count <> None ->
         let n = int_of_string count in
-        if n <= 0 then Parse.fail ~source ~line:header_line "module count must be positive";
+        if n <= 0 then
+          Parse.fail ~source ~line:header_line ~text:header
+            "module count must be positive";
         Array.init n (fun i -> Printf.sprintf "M%d" (i + 1))
       | "modules" :: (_ :: _ as names) -> Array.of_list names
       | _ ->
-        Parse.fail ~source ~line:header_line
+        Parse.fail ~source ~line:header_line ~text:header
           "expected a 'modules <count | names...>' header"
     in
     let n_modules = Array.length module_names in
-    let module_index ~line name =
+    let module_index ~line ~col ~text name =
       let rec find i =
         if i = n_modules then
           match int_of_string_opt name with
           | Some idx when idx >= 0 && idx < n_modules -> idx
-          | Some idx -> Parse.fail ~source ~line "module index %d out of range" idx
-          | None -> Parse.fail ~source ~line "unknown module %S" name
+          | Some idx ->
+            Parse.fail ~source ~line ~col ~text "module index %d out of range" idx
+          | None -> Parse.fail ~source ~line ~col ~text "unknown module %S" name
         else if String.equal module_names.(i) name then i
         else find (i + 1)
       in
@@ -28,33 +31,41 @@ let parse ?(source = "<rtl>") contents =
     in
     let parse_instr (line, text) =
       match String.index_opt text ':' with
-      | None -> Parse.fail ~source ~line "expected '<instruction>: <modules...>'"
+      | None ->
+        Parse.fail ~source ~line ~text "expected '<instruction>: <modules...>'"
       | Some i ->
         let name = String.trim (String.sub text 0 i) in
-        if name = "" then Parse.fail ~source ~line "empty instruction name";
-        let mods = Parse.fields (String.sub text (i + 1) (String.length text - i - 1)) in
-        if mods = [] then Parse.fail ~source ~line "instruction %s uses no modules" name;
+        if name = "" then Parse.fail ~source ~line ~text "empty instruction name";
+        let mods =
+          Parse.located_fields
+            (String.make (i + 1) ' '
+            ^ String.sub text (i + 1) (String.length text - i - 1))
+        in
+        if mods = [] then
+          Parse.fail ~source ~line ~text "instruction %s uses no modules" name;
         let set =
           List.fold_left
-            (fun set m -> Activity.Module_set.add set (module_index ~line m))
+            (fun set (col, m) ->
+              Activity.Module_set.add set (module_index ~line ~col ~text m))
             (Activity.Module_set.empty n_modules)
             mods
         in
-        (line, name, set)
+        (line, text, name, set)
     in
     let instrs = List.map parse_instr rest in
-    if instrs = [] then Parse.fail ~source ~line:header_line "no instructions";
+    if instrs = [] then
+      Parse.fail ~source ~line:header_line ~text:header "no instructions";
     let seen = Hashtbl.create 16 in
     List.iter
-      (fun (line, name, _) ->
+      (fun (line, text, name, _) ->
         if Hashtbl.mem seen name then
-          Parse.fail ~source ~line "duplicate instruction name %S" name;
+          Parse.fail ~source ~line ~text "duplicate instruction name %S" name;
         Hashtbl.add seen name ())
       instrs;
     Activity.Rtl.make ~module_names
-      ~instr_names:(Array.of_list (List.map (fun (_, n, _) -> n) instrs))
+      ~instr_names:(Array.of_list (List.map (fun (_, _, n, _) -> n) instrs))
       ~n_modules
-      ~uses:(Array.of_list (List.map (fun (_, _, s) -> s) instrs))
+      ~uses:(Array.of_list (List.map (fun (_, _, _, s) -> s) instrs))
       ()
 
 let load path = parse ~source:path (Parse.read_file path)

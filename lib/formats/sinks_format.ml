@@ -1,31 +1,58 @@
+type row = {
+  line : int;
+  text : string;
+  id_col : int;
+  id : int;
+  x : float;
+  y : float;
+  cap_col : int;
+  cap : float;
+  mod_col : int;
+  module_id : int;
+}
+
 let parse ?(source = "<sinks>") contents =
   let entries =
     List.map
       (fun (line, text) ->
-        match Parse.fields text with
-        | [ id; x; y; cap; module_id ] ->
-          let num = Parse.float_field ~source ~line in
-          ( line,
-            Parse.int_field ~source ~line ~what:"sink id" id,
-            num ~what:"x coordinate" x,
-            num ~what:"y coordinate" y,
-            num ~what:"load capacitance" cap,
-            Parse.int_field ~source ~line ~what:"module id" module_id )
+        match Parse.located_fields text with
+        | [ (c0, id); (c1, x); (c2, y); (c3, cap); (c4, module_id) ] ->
+          let num ~col = Parse.float_field ~source ~line ~col ~text in
+          {
+            line;
+            text;
+            id_col = c0;
+            id = Parse.int_field ~source ~line ~col:c0 ~text ~what:"sink id" id;
+            x = num ~col:c1 ~what:"x coordinate" x;
+            y = num ~col:c2 ~what:"y coordinate" y;
+            cap_col = c3;
+            cap = num ~col:c3 ~what:"load capacitance" cap;
+            mod_col = c4;
+            module_id =
+              Parse.int_field ~source ~line ~col:c4 ~text ~what:"module id"
+                module_id;
+          }
         | fs ->
-          Parse.fail ~source ~line "expected 5 fields (id x y cap module), got %d"
-            (List.length fs))
+          Parse.fail ~source ~line ~text
+            "expected 5 fields (id x y cap module), got %d" (List.length fs))
       (Parse.significant_lines contents)
   in
   if entries = [] then Parse.fail ~source ~line:0 "no sinks in file";
   let sinks =
     List.mapi
-      (fun expected (line, id, x, y, cap, module_id) ->
-        if id <> expected then
-          Parse.fail ~source ~line "sink ids must be dense: expected %d, got %d"
-            expected id;
-        if cap <= 0.0 then Parse.fail ~source ~line "load capacitance must be positive";
-        if module_id < 0 then Parse.fail ~source ~line "module id must be non-negative";
-        Clocktree.Sink.make ~id ~loc:(Geometry.Point.make x y) ~cap ~module_id)
+      (fun expected r ->
+        if r.id <> expected then
+          Parse.fail ~source ~line:r.line ~col:r.id_col ~text:r.text
+            "sink ids must be dense: expected %d, got %d" expected r.id;
+        if r.cap <= 0.0 then
+          Parse.fail ~source ~line:r.line ~col:r.cap_col ~text:r.text
+            "load capacitance must be positive";
+        if r.module_id < 0 then
+          Parse.fail ~source ~line:r.line ~col:r.mod_col ~text:r.text
+            "module id must be non-negative";
+        Clocktree.Sink.make ~id:r.id
+          ~loc:(Geometry.Point.make r.x r.y)
+          ~cap:r.cap ~module_id:r.module_id)
       entries
   in
   Array.of_list sinks

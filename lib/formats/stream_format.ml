@@ -1,8 +1,9 @@
 let parse ?(source = "<stream>") rtl contents =
   let k = Activity.Rtl.n_instructions rtl in
-  let index ~line name =
+  let index ~line ~col ~text name =
     let rec find i =
-      if i = k then Parse.fail ~source ~line "unknown instruction %S" name
+      if i = k then
+        Parse.fail ~source ~line ~col ~text "unknown instruction %S" name
       else if String.equal (Activity.Rtl.instr_name rtl i) name then i
       else find (i + 1)
     in
@@ -10,7 +11,10 @@ let parse ?(source = "<stream>") rtl contents =
   in
   let instrs =
     List.concat_map
-      (fun (line, text) -> List.map (fun f -> index ~line f) (Parse.fields text))
+      (fun (line, text) ->
+        List.map
+          (fun (col, f) -> index ~line ~col ~text f)
+          (Parse.located_fields text))
       (Parse.significant_lines contents)
   in
   if instrs = [] then Parse.fail ~source ~line:0 "empty instruction stream";

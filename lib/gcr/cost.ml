@@ -8,10 +8,12 @@ let edge_switched_cap t v =
 
 let w_clock t =
   let topo = t.Gated_tree.topo in
-  let total = ref (Gated_tree.node_load t (Clocktree.Topo.root topo)) in
+  let total = Util.Kahan.create () in
+  Util.Kahan.add total (Gated_tree.node_load t (Clocktree.Topo.root topo));
   Clocktree.Topo.iter_bottom_up topo (fun v ->
-      if v <> Clocktree.Topo.root topo then total := !total +. edge_switched_cap t v);
-  !total
+      if v <> Clocktree.Topo.root topo then
+        Util.Kahan.add total (edge_switched_cap t v));
+  Util.Kahan.total total
 
 let control_wire_length t v =
   if Gated_tree.is_gated t v then
@@ -20,10 +22,10 @@ let control_wire_length t v =
   else 0.0
 
 let control_wirelength_total t =
-  let total = ref 0.0 in
+  let total = Util.Kahan.create () in
   Clocktree.Topo.iter_bottom_up t.Gated_tree.topo (fun v ->
-      total := !total +. control_wire_length t v);
-  !total
+      Util.Kahan.add total (control_wire_length t v));
+  Util.Kahan.total total
 
 let clock_wirelength t = Clocktree.Embed.total_wirelength t.Gated_tree.embed
 
@@ -32,7 +34,7 @@ let gate_input_cap (t : Gated_tree.t) =
 
 let w_ctrl t =
   let weight = t.Gated_tree.config.Config.control_weight in
-  let total = ref 0.0 in
+  let total = Util.Kahan.create () in
   Clocktree.Topo.iter_bottom_up t.Gated_tree.topo (fun v ->
       if Gated_tree.is_gated t v then begin
         let cg =
@@ -41,10 +43,10 @@ let w_ctrl t =
           | None -> gate_input_cap t
         in
         let wire = unit_cap t *. control_wire_length t v in
-        total :=
-          !total +. ((wire +. cg) *. t.Gated_tree.enables.(v).Enable.ptr *. weight)
+        Util.Kahan.add total
+          ((wire +. cg) *. t.Gated_tree.enables.(v).Enable.ptr *. weight)
       end);
-  !total
+  Util.Kahan.total total
 
 let w_total t = w_clock t +. w_ctrl t
 

@@ -31,6 +31,244 @@ let run ?(options = default) config profile sinks =
   let tree = Router.route ?skew_budget:(budget options) config profile sinks in
   apply_sizing options (apply_reduction options tree)
 
+(* ------------------------------------------------------------------ *)
+(* Checked pipeline                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type mode = Default | Paranoid
+
+type limits = { wall_seconds : float option; max_merge_steps : int option }
+
+let no_limits = { wall_seconds = None; max_merge_steps = None }
+
+type event = {
+  stage : string;
+  action : string;
+  error : Util.Gcr_error.t option;
+}
+
+let pp_event ppf e =
+  match e.error with
+  | None -> Format.fprintf ppf "[%s] %s" e.stage e.action
+  | Some err ->
+    Format.fprintf ppf "[%s] %s (after: %a)" e.stage e.action Util.Gcr_error.pp
+      err
+
+(* Input validation: every check appends rather than aborting, so a bad
+   input is reported with all its problems at once. *)
+let validate_inputs config profile sinks options =
+  let errs = ref [] in
+  let bad what fmt =
+    Printf.ksprintf
+      (fun detail ->
+        errs := Util.Gcr_error.Degenerate_input { what; detail } :: !errs)
+      fmt
+  in
+  let n = Array.length sinks in
+  if n = 0 then bad "sinks" "empty sink array: nothing to route"
+  else begin
+    (try Clocktree.Sink.validate_array sinks
+     with Invalid_argument m -> bad "sinks" "%s" m);
+    let n_mods = Activity.Profile.n_modules profile in
+    Array.iter
+      (fun (s : Clocktree.Sink.t) ->
+        let finite what v =
+          if not (Float.is_finite v) then
+            bad "sinks" "sink %d: non-finite %s (%h)" s.Clocktree.Sink.id what v
+        in
+        finite "x coordinate" s.Clocktree.Sink.loc.Geometry.Point.x;
+        finite "y coordinate" s.Clocktree.Sink.loc.Geometry.Point.y;
+        finite "load capacitance" s.Clocktree.Sink.cap;
+        if Float.is_finite s.Clocktree.Sink.cap && s.Clocktree.Sink.cap <= 0.0
+        then
+          bad "sinks" "sink %d: non-positive load capacitance %g"
+            s.Clocktree.Sink.id s.Clocktree.Sink.cap;
+        if s.Clocktree.Sink.module_id < 0 || s.Clocktree.Sink.module_id >= n_mods
+        then
+          bad "sinks" "sink %d: module id %d outside the profile's universe [0, %d)"
+            s.Clocktree.Sink.id s.Clocktree.Sink.module_id n_mods)
+      sinks
+  end;
+  (try Clocktree.Tech.validate config.Config.tech
+   with Invalid_argument m -> bad "tech" "%s" m);
+  if not (Float.is_finite options.skew_budget && options.skew_budget >= 0.0)
+  then bad "options" "skew budget %g must be finite and non-negative"
+      options.skew_budget;
+  (match options.reduction with
+   | Fraction f when not (Float.is_finite f && f >= 0.0 && f <= 1.0) ->
+     bad "options" "reduction fraction %g outside [0, 1]" f
+   | _ -> ());
+  (match options.sizing with
+   | Uniform k when not (Float.is_finite k && k > 0.0) ->
+     bad "options" "uniform sizing factor %g must be finite and positive" k
+   | _ -> ());
+  List.rev !errs
+
+(* Skew slack for the last-rung retry when the exact zero-skew embedding
+   fails verification: 1e-3 of the Elmore scale r*c*span^2 of the sink
+   bounding box — small against any real delay, large against rounding. *)
+let retry_skew_budget config sinks =
+  let tech = config.Config.tech in
+  let inf = infinity in
+  let x0 = ref inf and x1 = ref neg_infinity in
+  let y0 = ref inf and y1 = ref neg_infinity in
+  Array.iter
+    (fun (s : Clocktree.Sink.t) ->
+      let p = s.Clocktree.Sink.loc in
+      if p.Geometry.Point.x < !x0 then x0 := p.Geometry.Point.x;
+      if p.Geometry.Point.x > !x1 then x1 := p.Geometry.Point.x;
+      if p.Geometry.Point.y < !y0 then y0 := p.Geometry.Point.y;
+      if p.Geometry.Point.y > !y1 then y1 := p.Geometry.Point.y)
+    sinks;
+  let span = Float.max (!x1 -. !x0) (!y1 -. !y0) in
+  let span = if Float.is_finite span && span > 0.0 then span else 1.0 in
+  1e-3
+  *. tech.Clocktree.Tech.unit_res
+  *. tech.Clocktree.Tech.unit_cap
+  *. span *. span
+
+let run_checked ?(mode = Default) ?(limits = no_limits)
+    ?(on_event = fun (_ : event) -> ()) ?(options = default) config profile
+    sinks =
+  match validate_inputs config profile sinks options with
+  | _ :: _ as errs -> Error errs
+  | [] ->
+    let n = Array.length sinks in
+    (match limits.max_merge_steps with
+     | Some m when n - 1 > m ->
+       Error
+         [
+           Util.Gcr_error.Resource_limit
+             {
+               stage = "route";
+               limit = Printf.sprintf "max_merge_steps = %d" m;
+               detail =
+                 Printf.sprintf "%d sinks need %d greedy merges" n (n - 1);
+             };
+         ]
+     | _ ->
+       let deadline =
+         match limits.wall_seconds with
+         | None -> None
+         | Some s -> Some (Unix.gettimeofday () +. s)
+       in
+       let out_of_time () =
+         match deadline with
+         | None -> false
+         | Some d -> Unix.gettimeofday () > d
+       in
+       let time_error stage =
+         Util.Gcr_error.Resource_limit
+           {
+             stage;
+             limit =
+               Printf.sprintf "wall clock = %gs"
+                 (Option.value limits.wall_seconds ~default:0.0);
+             detail = "budget exhausted before the stage could run";
+           }
+       in
+       (* Stage boundary check: the default mode only asserts the cost
+          totals finite (cheap); paranoid re-derives every invariant. *)
+       let boundary stage tree =
+         match mode with
+         | Paranoid -> Verify.structural tree
+         | Default ->
+           Util.Gcr_error.check_finite ~stage ~context:"total switched capacitance"
+             (Cost.w_total tree)
+       in
+       let attempt stage f =
+         match
+           Util.Gcr_error.guard ~stage (fun () ->
+               let t = f () in
+               boundary stage t;
+               t)
+         with
+         | Ok _ as ok -> ok
+         | Error e -> Error e
+       in
+       let skew_budget = budget options in
+       (* The routing degradation ladder, in order: fast NN-heap engine;
+          all-pairs dense oracle; dense oracle with the signature kernel
+          disabled (direct IFT/IMATT scans); finally a bounded-skew retry
+          absorbing an infeasible exact zero-skew embedding. *)
+       let retry_budget =
+         Some
+           (Float.max
+              (Option.value skew_budget ~default:0.0)
+              (retry_skew_budget config sinks))
+       in
+       let rungs =
+         [
+           ( "route",
+             "routing with the NN-heap engine",
+             fun () -> Router.route ?skew_budget config profile sinks );
+           ( "route:dense",
+             "falling back to the all-pairs dense merge oracle",
+             fun () -> Router.route_dense ?skew_budget config profile sinks );
+           ( "route:dense:tables",
+             "disabling the signature kernel: direct IFT/IMATT table scans",
+             fun () ->
+               Router.route_dense ?skew_budget config
+                 (Activity.Profile.tables_only profile)
+                 sinks );
+           ( "route:dense:tables:skew-budget",
+             "retrying with a relaxed skew budget",
+             fun () ->
+               Router.route_dense ?skew_budget:retry_budget config
+                 (Activity.Profile.tables_only profile)
+                 sinks );
+         ]
+       in
+       let rec ladder errors = function
+         | [] -> Error (List.rev errors)
+         | (stage, _action, f) :: rest ->
+           if out_of_time () then Error (List.rev (time_error stage :: errors))
+           else begin
+             match attempt stage f with
+             | Ok tree -> Ok tree
+             | Error e ->
+               (match rest with
+                | (next_stage, next_action, _) :: _ ->
+                  on_event
+                    { stage = next_stage; action = next_action; error = Some e }
+                | [] -> ());
+               ladder (e :: errors) rest
+           end
+       in
+       (match ladder [] rungs with
+        | Error _ as err -> err
+        | Ok routed ->
+          (* Reduction and sizing degrade to "skip the stage": the routed
+             tree is already a correct (if costlier) answer, so a failing
+             optimisation pass is dropped, not fatal. *)
+          let optional stage action f tree =
+            if out_of_time () then begin
+              on_event
+                {
+                  stage;
+                  action = "skipped: wall-clock budget exhausted; returning \
+                            the partial (unoptimised) result";
+                  error = Some (time_error stage);
+                };
+              tree
+            end
+            else
+              match attempt stage (fun () -> f tree) with
+              | Ok t -> t
+              | Error e ->
+                on_event { stage; action; error = Some e };
+                tree
+          in
+          let reduced =
+            optional "reduce" "skipping gate reduction, keeping the fully \
+                               gated tree" (apply_reduction options) routed
+          in
+          let sized =
+            optional "size" "skipping gate sizing, keeping unit scales"
+              (apply_sizing options) reduced
+          in
+          Ok sized))
+
 let label options =
   let r =
     match options.reduction with

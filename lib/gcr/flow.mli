@@ -36,6 +36,63 @@ val run :
 (** The full gated pipeline. Raises [Invalid_argument] on a malformed
     fraction or scale inside [options], or on the usual input errors. *)
 
+(** {1 Checked pipeline} *)
+
+type mode =
+  | Default  (** cheap finite-float assertions at stage boundaries only *)
+  | Paranoid
+      (** full {!Verify.structural} re-derivation between every stage;
+          measured at well under 2x the default run time *)
+
+type limits = {
+  wall_seconds : float option;  (** wall-clock budget for the whole pipeline *)
+  max_merge_steps : int option;
+      (** upper bound on greedy merge steps ([n-1] are needed for [n] sinks) *)
+}
+
+val no_limits : limits
+
+type event = {
+  stage : string;  (** pipeline stage about to run (or being skipped) *)
+  action : string;  (** human-readable description of the degradation *)
+  error : Util.Gcr_error.t option;  (** the failure that triggered it *)
+}
+(** One graceful-degradation step: emitted through [on_event] every time
+    {!run_checked} downgrades an engine or skips an optimisation stage. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val run_checked :
+  ?mode:mode ->
+  ?limits:limits ->
+  ?on_event:(event -> unit) ->
+  ?options:options ->
+  Config.t ->
+  Activity.Profile.t ->
+  Clocktree.Sink.t array ->
+  (Gated_tree.t, Util.Gcr_error.t list) result
+(** {!run} with every stage boundary wrapped: never raises.
+
+    Inputs are validated first (empty or mis-indexed sinks, non-finite
+    coordinates or loads, module ids outside the profile's universe,
+    invalid technology or options) and all problems are reported together
+    as [Degenerate_input] errors. Stray exceptions inside a stage are
+    converted through {!Util.Gcr_error.of_exn} with the stage attached.
+
+    Routing walks a degradation ladder, emitting an [event] per
+    downgrade: NN-heap engine, then the all-pairs dense oracle, then
+    dense with the signature kernel disabled (direct IFT/IMATT scans),
+    then a relaxed-skew-budget retry; only when every rung fails is
+    [Error] returned, carrying one typed error per rung in order. Gate
+    reduction and sizing degrade to "skip the stage" — the routed tree
+    is already a correct answer, so a failing optimisation pass is
+    dropped with an event rather than failing the pipeline.
+
+    [limits] bounds the work: too many required merge steps fail fast as
+    [Resource_limit], and an exhausted wall clock mid-pipeline returns
+    the partial (routed but unoptimised) result with an event, or
+    [Resource_limit] when no tree exists yet. *)
+
 val standard_comparison :
   ?options:options ->
   Config.t ->

@@ -128,10 +128,18 @@ let is_gated t v = t.kind.(v) = Gated
 let kinds_copy t = Array.copy t.kind
 
 let check_invariants t =
+  let fail fmt =
+    Printf.ksprintf
+      (fun detail ->
+        Util.Gcr_error.raise_t
+          (Util.Gcr_error.Engine_mismatch
+             { stage = "Gated_tree.check_invariants"; detail }))
+      fmt
+  in
   Clocktree.Embed.check_consistency t.embed;
   let topo = t.topo in
   if t.kind.(Clocktree.Topo.root topo) <> Plain then
-    failwith "Gated_tree.check_invariants: root must have no edge hardware";
+    fail "root must have no edge hardware";
   Clocktree.Topo.iter_bottom_up topo (fun v ->
       match Clocktree.Topo.children topo v with
       | None -> ()
@@ -142,22 +150,17 @@ let check_invariants t =
             not
               (Activity.Module_set.subset t.enables.(c).Enable.mods
                  t.enables.(v).Enable.mods)
-          then
-            failwith
-              (Printf.sprintf
-                 "Gated_tree.check_invariants: enable of %d not nested in %d" c v)
+          then fail "enable of %d not nested in %d" c v
         in
         sub a;
         sub b;
         if t.enables.(v).Enable.p +. 1e-12 < t.enables.(a).Enable.p then
-          failwith "Gated_tree.check_invariants: parent enable less probable than child");
+          fail "parent enable less probable than child");
   (* governing correctness *)
   Clocktree.Topo.iter_top_down topo (fun v ->
       let g = t.governing.(v) in
       match Clocktree.Topo.parent topo v with
-      | None ->
-        if g <> -1 then failwith "Gated_tree.check_invariants: root edge governed"
+      | None -> if g <> -1 then fail "root edge governed"
       | Some p ->
         let expected = if t.kind.(v) = Gated then v else t.governing.(p) in
-        if g <> expected then
-          failwith (Printf.sprintf "Gated_tree.check_invariants: governing(%d) wrong" v))
+        if g <> expected then fail "governing(%d) wrong" v)

@@ -1,4 +1,4 @@
-let grow_and_merge (config : Config.t) profile sinks =
+let grow_and_merge ?(dense = false) (config : Config.t) profile sinks =
   Clocktree.Sink.validate_array sinks;
   let tech = config.Config.tech in
   let n = Array.length sinks in
@@ -30,12 +30,20 @@ let grow_and_merge (config : Config.t) profile sinks =
   (* Eq. (3) mixes probability and star terms, so there is no spatial
      lower bound to prune with; the scan-source engine still replaces the
      O(n^2)-entry pair heap with one entry per active root. *)
-  let _root = Clocktree.Greedy.merge_all ~n ~cost ~merge in
+  let _root =
+    if dense then Clocktree.Greedy.merge_all_dense ~n ~cost ~merge
+    else Clocktree.Greedy.merge_all ~n ~cost ~merge
+  in
   Clocktree.Grow.topology grow
 
 let route_topology_only config profile sinks = grow_and_merge config profile sinks
 
 let route ?skew_budget config profile sinks =
   let topo = grow_and_merge config profile sinks in
+  Gated_tree.build ?skew_budget config profile sinks topo
+    ~kind:(fun _ -> Gated_tree.Gated)
+
+let route_dense ?skew_budget config profile sinks =
+  let topo = grow_and_merge ~dense:true config profile sinks in
   Gated_tree.build ?skew_budget config profile sinks topo
     ~kind:(fun _ -> Gated_tree.Gated)

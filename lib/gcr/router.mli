@@ -23,6 +23,18 @@ val route :
     mis-indexed sink array, or when a sink's module id falls outside the
     profile's universe. *)
 
+val route_dense :
+  ?skew_budget:float ->
+  Config.t ->
+  Activity.Profile.t ->
+  Clocktree.Sink.t array ->
+  Gated_tree.t
+(** {!route} driven by the all-pairs reference engine
+    ({!Clocktree.Greedy.merge_all_dense}) instead of the NN-heap scan
+    engine — the degradation target of {!Flow}'s paranoid mode when the
+    fast engine's output fails an invariant check. Same contract as
+    {!route}. *)
+
 val route_topology_only :
   Config.t -> Activity.Profile.t -> Clocktree.Sink.t array -> Clocktree.Topo.t
 (** Just the min-switched-capacitance topology (used by ablations that

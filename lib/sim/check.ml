@@ -7,7 +7,7 @@ type comparison = {
   rel_error_ctrl : float;
 }
 
-let rel a b = Float.abs (a -. b) /. (1.0 +. Float.max (Float.abs a) (Float.abs b))
+let rel = Util.Tol.rel_error
 
 let compare tree =
   let stream = Activity.Profile.stream tree.Gcr.Gated_tree.profile in
@@ -26,18 +26,16 @@ let compare tree =
 let validate ?(tolerance = 1e-9) ?(structural = true) tree =
   if structural then Invariant.structural tree;
   let c = compare tree in
-  if c.rel_error_clock > tolerance then
-    failwith
-      (Printf.sprintf
-         "Check.validate: clock switched capacitance mismatch (analytic %.9g, \
-          simulated %.9g)"
-         c.analytic_clock c.simulated_clock);
-  if c.rel_error_ctrl > tolerance then
-    failwith
-      (Printf.sprintf
-         "Check.validate: control switched capacitance mismatch (analytic %.9g, \
-          simulated %.9g)"
-         c.analytic_ctrl c.simulated_ctrl)
+  (* Tol.close rather than a rel_error threshold so a NaN on either side
+     is a mismatch, never a silent pass. *)
+  if not (Util.Tol.close ~rel:tolerance c.analytic_clock c.simulated_clock) then
+    Util.Gcr_error.mismatch ~stage:"Check.validate"
+      "clock switched capacitance mismatch (analytic %.9g, simulated %.9g)"
+      c.analytic_clock c.simulated_clock;
+  if not (Util.Tol.close ~rel:tolerance c.analytic_ctrl c.simulated_ctrl) then
+    Util.Gcr_error.mismatch ~stage:"Check.validate"
+      "control switched capacitance mismatch (analytic %.9g, simulated %.9g)"
+      c.analytic_ctrl c.simulated_ctrl
 
 let pp ppf c =
   Format.fprintf ppf

@@ -21,7 +21,9 @@ val compare : Gcr.Gated_tree.t -> comparison
 
 val validate : ?tolerance:float -> ?structural:bool -> Gcr.Gated_tree.t -> unit
 (** Runs the {!Invariant.structural} checks (unless [structural] is
-    [false]), then raises [Failure] when either relative error exceeds
-    [tolerance] (default 1e-9). *)
+    [false]), then raises a typed {!Util.Gcr_error.Error}
+    ([Engine_mismatch]) when the analytic and simulated capacitances
+    disagree beyond relative [tolerance] (default 1e-9); a NaN on either
+    side always mismatches. *)
 
 val pp : Format.formatter -> comparison -> unit

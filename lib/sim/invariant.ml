@@ -1,168 +1,11 @@
-let fail invariant fmt =
-  Printf.ksprintf (fun msg -> failwith (invariant ^ ": " ^ msg)) fmt
+(* The checks themselves moved into Gcr.Verify so that Gcr.Flow's
+   paranoid mode can run them without a gsim <-> gcr dependency cycle;
+   this module keeps the historical entry points for the simulator and
+   the conformance fuzzer. *)
 
-let zero_skew ?embed (t : Gcr.Gated_tree.t) =
-  let embed = match embed with Some e -> e | None -> t.Gcr.Gated_tree.embed in
-  let r =
-    Clocktree.Elmore.evaluate t.Gcr.Gated_tree.config.Gcr.Config.tech embed
-      ~gate_on_edge:(Gcr.Gated_tree.gate_on_edge t)
-  in
-  let budget = t.Gcr.Gated_tree.skew_budget in
-  let tol = 1e-8 *. (1.0 +. Float.abs r.Clocktree.Elmore.max_delay) in
-  if r.Clocktree.Elmore.skew > budget +. tol then
-    fail "zero_skew"
-      "independent Elmore recompute finds skew %.9g beyond the %.9g budget (max \
-       delay %.9g over %d sinks)"
-      r.Clocktree.Elmore.skew budget r.Clocktree.Elmore.max_delay
-      (Array.length r.Clocktree.Elmore.sink_delay)
-
-let set_to_string s = Format.asprintf "%a" Activity.Module_set.pp s
-
-let enable_consistency (t : Gcr.Gated_tree.t) =
-  let topo = t.Gcr.Gated_tree.topo in
-  let profile = t.Gcr.Gated_tree.profile in
-  let n_mods = Activity.Profile.n_modules profile in
-  Clocktree.Topo.iter_bottom_up topo (fun v ->
-      let en = t.Gcr.Gated_tree.enables.(v) in
-      let expected =
-        match Clocktree.Topo.children topo v with
-        | None ->
-          Activity.Module_set.singleton n_mods
-            t.Gcr.Gated_tree.sinks.(v).Clocktree.Sink.module_id
-        | Some (a, b) ->
-          Activity.Module_set.union
-            t.Gcr.Gated_tree.enables.(a).Gcr.Enable.mods
-            t.Gcr.Gated_tree.enables.(b).Gcr.Enable.mods
-      in
-      if not (Activity.Module_set.equal en.Gcr.Enable.mods expected) then
-        fail "enable_consistency"
-          "node %d: EN covers %s, but the OR of its descendants' activities is %s"
-          v
-          (set_to_string en.Gcr.Enable.mods)
-          (set_to_string expected);
-      if not (en.Gcr.Enable.p >= 0.0 && en.Gcr.Enable.p <= 1.0) then
-        fail "enable_consistency" "node %d: P(EN) = %.17g outside [0, 1]" v
-          en.Gcr.Enable.p;
-      if not (en.Gcr.Enable.ptr >= 0.0 && en.Gcr.Enable.ptr <= 1.0) then
-        fail "enable_consistency" "node %d: Ptr(EN) = %.17g outside [0, 1]" v
-          en.Gcr.Enable.ptr;
-      (* Sampled profiles answer P/Ptr through the signature kernel during
-         construction; a direct table scan must agree bit-for-bit. *)
-      let p = Activity.Profile.p profile en.Gcr.Enable.mods in
-      if p <> en.Gcr.Enable.p then
-        fail "enable_consistency"
-          "node %d: stored P(EN) = %.17g, direct table scan over %s gives %.17g" v
-          en.Gcr.Enable.p
-          (set_to_string en.Gcr.Enable.mods)
-          p;
-      let ptr = Activity.Profile.ptr profile en.Gcr.Enable.mods in
-      if ptr <> en.Gcr.Enable.ptr then
-        fail "enable_consistency"
-          "node %d: stored Ptr(EN) = %.17g, direct table scan over %s gives %.17g"
-          v en.Gcr.Enable.ptr
-          (set_to_string en.Gcr.Enable.mods)
-          ptr)
-
-(* Nearest gated ancestor-or-self — the definition of the governing gate,
-   recomputed by an explicit parent-chain walk per node. *)
-let rec nearest_gated (t : Gcr.Gated_tree.t) topo v =
-  if t.Gcr.Gated_tree.kind.(v) = Gcr.Gated_tree.Gated then v
-  else
-    match Clocktree.Topo.parent topo v with
-    | None -> -1
-    | Some p -> nearest_gated t topo p
-
-let governing_chain (t : Gcr.Gated_tree.t) =
-  let topo = t.Gcr.Gated_tree.topo in
-  let root = Clocktree.Topo.root topo in
-  if t.Gcr.Gated_tree.kind.(root) <> Gcr.Gated_tree.Plain then
-    fail "governing_chain" "root %d carries edge hardware" root;
-  for v = 0 to Clocktree.Topo.n_nodes topo - 1 do
-    let g = t.Gcr.Gated_tree.governing.(v) in
-    let expected = if v = root then -1 else nearest_gated t topo v in
-    if g <> expected then
-      fail "governing_chain"
-        "governing(%d) = %d, but walking the ancestor chain finds %d" v g expected;
-    if g <> -1 then begin
-      if t.Gcr.Gated_tree.kind.(g) <> Gcr.Gated_tree.Gated then
-        fail "governing_chain" "governing(%d) = %d is not a gated edge" v g;
-      if not (Clocktree.Topo.is_ancestor topo g v) then
-        fail "governing_chain" "governing(%d) = %d is not an ancestor of %d" v g v
-    end
-  done
-
-let cost_accounting (t : Gcr.Gated_tree.t) =
-  let topo = t.Gcr.Gated_tree.topo in
-  let root = Clocktree.Topo.root topo in
-  let config = t.Gcr.Gated_tree.config in
-  let tech = config.Gcr.Config.tech in
-  let c = tech.Clocktree.Tech.unit_cap in
-  let n = Clocktree.Topo.n_nodes topo in
-  (* Everything below is re-derived from raw fields (kinds, scales, sink
-     loads, wire lengths, enables) rather than through Gated_tree's and
-     Cost's cached accessors. *)
-  let input_cap v =
-    match t.Gcr.Gated_tree.kind.(v) with
-    | Gcr.Gated_tree.Plain -> 0.0
-    | Gcr.Gated_tree.Buffered ->
-      tech.Clocktree.Tech.buffer.Clocktree.Tech.input_cap
-      *. t.Gcr.Gated_tree.scale.(v)
-    | Gcr.Gated_tree.Gated ->
-      tech.Clocktree.Tech.and_gate.Clocktree.Tech.input_cap
-      *. t.Gcr.Gated_tree.scale.(v)
-  in
-  let load v =
-    match Clocktree.Topo.children topo v with
-    | None -> t.Gcr.Gated_tree.sinks.(v).Clocktree.Sink.cap
-    | Some (a, b) -> input_cap a +. input_cap b
-  in
-  let edge_prob v =
-    let g = nearest_gated t topo v in
-    if g = -1 then 1.0 else t.Gcr.Gated_tree.enables.(g).Gcr.Enable.p
-  in
-  let wt = ref (load root) in
-  for v = 0 to n - 1 do
-    if v <> root then
-      wt :=
-        !wt
-        +. (((c *. Clocktree.Embed.edge_len t.Gcr.Gated_tree.embed v) +. load v)
-            *. edge_prob v)
-  done;
-  let ws = ref 0.0 in
-  for v = 0 to n - 1 do
-    if t.Gcr.Gated_tree.kind.(v) = Gcr.Gated_tree.Gated then begin
-      let star =
-        Gcr.Controller.wire_length config.Gcr.Config.controller
-          (Clocktree.Embed.gate_location t.Gcr.Gated_tree.embed v)
-      in
-      ws :=
-        !ws
-        +. (((c *. star) +. input_cap v)
-            *. t.Gcr.Gated_tree.enables.(v).Gcr.Enable.ptr
-            *. config.Gcr.Config.control_weight)
-    end
-  done;
-  let close what expected reported =
-    let rel =
-      Float.abs (expected -. reported)
-      /. (1.0 +. Float.max (Float.abs expected) (Float.abs reported))
-    in
-    if rel > 1e-9 then
-      fail "cost_accounting"
-        "%s: library reports %.12g, independent per-edge recompute gives %.12g"
-        what reported expected
-  in
-  let w_clock = Gcr.Cost.w_clock t and w_ctrl = Gcr.Cost.w_ctrl t in
-  close "W(T)" !wt w_clock;
-  close "W(S)" !ws w_ctrl;
-  let w = Gcr.Cost.w_total t in
-  if w <> w_clock +. w_ctrl then
-    fail "cost_accounting" "W = %.17g but W(T) + W(S) = %.17g" w
-      (w_clock +. w_ctrl)
-
-let structural ?embed t =
-  Gcr.Gated_tree.check_invariants t;
-  governing_chain t;
-  enable_consistency t;
-  cost_accounting t;
-  zero_skew ?embed t
+let finite = Gcr.Verify.finite
+let zero_skew = Gcr.Verify.zero_skew
+let enable_consistency = Gcr.Verify.enable_consistency
+let governing_chain = Gcr.Verify.governing_chain
+let cost_accounting = Gcr.Verify.cost_accounting
+let structural = Gcr.Verify.structural

@@ -1,12 +1,15 @@
 (** Standalone structural invariants of a gated clock tree.
 
-    Each check re-derives one of the paper's contracts from the raw tree
-    data — embedding wire lengths, sink loads, enable sets, hardware
-    kinds — without reusing the values cached during construction, and
-    raises [Failure] with a precise diagnostic naming the invariant and
-    the first offending node. {!Check.validate} runs all of them before
-    the analytic-vs-simulated cost comparison; the conformance fuzzer
-    ({!Conformance.Fuzz}) runs them on every randomized pipeline output. *)
+    Thin re-export of {!Gcr.Verify}, kept as the simulator-side entry
+    point: {!Check.validate} runs all checks before the
+    analytic-vs-simulated cost comparison, and the conformance fuzzer
+    ({!Conformance.Fuzz}) runs them on every randomized pipeline output.
+    Every check raises a typed {!Util.Gcr_error.Error}
+    ([Engine_mismatch], or [Numerical] for non-finite floats) naming the
+    invariant and the first offending node. *)
+
+val finite : Gcr.Gated_tree.t -> unit
+(** Every stored float is finite. See {!Gcr.Verify.finite}. *)
 
 val zero_skew : ?embed:Clocktree.Embed.t -> Gcr.Gated_tree.t -> unit
 (** Independent Elmore recomputation of every source-to-sink delay from

@@ -1,0 +1,41 @@
+(* Neumaier's variant of Kahan summation: the compensation also captures
+   the error when the incoming term is larger than the running sum, so
+   pathological orderings (1e16, 1, -1e16) still come out exact. *)
+
+type t = { mutable sum : float; mutable comp : float }
+
+let create () = { sum = 0.0; comp = 0.0 }
+
+let reset t =
+  t.sum <- 0.0;
+  t.comp <- 0.0
+
+let add t x =
+  let s = t.sum +. x in
+  t.comp <-
+    t.comp
+    +.
+    (if Float.abs t.sum >= Float.abs x then t.sum -. s +. x else x -. s +. t.sum);
+  t.sum <- s
+
+let total t = t.sum +. t.comp
+
+(* The same two-sum step as a pure function: combine a compensated running
+   value [(sum, comp)] with one more term. Used where the accumulator
+   state lives in caller-owned arrays (per-node path delays). *)
+let step ~sum ~comp x =
+  let s = sum +. x in
+  let c = if Float.abs sum >= Float.abs x then sum -. s +. x else x -. s +. sum in
+  (s, comp +. c)
+
+let sum_array a =
+  let t = create () in
+  Array.iter (fun x -> add t x) a;
+  total t
+
+let sum_init n f =
+  let t = create () in
+  for i = 0 to n - 1 do
+    add t (f i)
+  done;
+  total t

@@ -1,4 +1,4 @@
-let sum a = Array.fold_left ( +. ) 0.0 a
+let sum a = Kahan.sum_array a
 
 let mean a =
   let n = Array.length a in
@@ -9,7 +9,7 @@ let variance a =
   if n < 2 then 0.0
   else
     let m = mean a in
-    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    let acc = Kahan.sum_init n (fun i -> (a.(i) -. m) *. (a.(i) -. m)) in
     acc /. float_of_int n
 
 let stddev a = sqrt (variance a)

@@ -1,0 +1,27 @@
+(* One definition of "close enough" for every checker in the pipeline.
+
+   The PR 3 fuzzer found the bug class this module retires: an absolute
+   tolerance picked at one scale (1e-6 um of wire overshoot) silently
+   becomes either vacuous or unsatisfiable when coordinates, delays or
+   capacitances grow — Embed.check_consistency tripped on a legitimate
+   ~1.6e-6 slack on a 2 mm die. Every tolerance here is relative to the
+   magnitudes actually compared, plus an optional caller-supplied scale
+   for errors that grow with a quantity other than the operands (e.g.
+   placement slack growing with coordinate magnitude). *)
+
+let margin ~rel ~scale a b =
+  rel *. (1.0 +. Float.max (Float.abs a) (Float.abs b) +. Float.abs scale)
+
+let close ?(rel = 1e-9) ?(scale = 0.0) a b =
+  (* NaN must never pass a closeness check: comparisons with NaN are all
+     false, so the subtraction is checked explicitly. *)
+  let d = Float.abs (a -. b) in
+  Float.is_finite d && d <= margin ~rel ~scale a b
+
+let within ?(rel = 1e-9) ?(scale = 0.0) ~value ~bound () =
+  (match Float.classify_float value with
+  | FP_nan -> false
+  | _ -> value <= bound +. margin ~rel ~scale bound bound)
+
+let rel_error a b =
+  Float.abs (a -. b) /. (1.0 +. Float.max (Float.abs a) (Float.abs b))

@@ -1,0 +1,21 @@
+(** The pipeline's single relative-tolerance helper.
+
+    All checkers (embedding consistency, zero-skew, cost accounting, the
+    conformance oracles) route their float comparisons through these, so
+    a tolerance is always relative to the magnitudes compared — the
+    absolute-tolerance bug class the PR 3 fuzzer surfaced in
+    [Embed.check_consistency] cannot recur — and NaN always fails. *)
+
+val close : ?rel:float -> ?scale:float -> float -> float -> bool
+(** [close a b] iff [|a − b| ≤ rel·(1 + max(|a|,|b|) + |scale|)].
+    [rel] defaults to 1e-9. [scale] adds a caller magnitude the error is
+    known to grow with (coordinate size, max delay). False when either
+    operand is NaN. *)
+
+val within : ?rel:float -> ?scale:float -> value:float -> bound:float -> unit -> bool
+(** One-sided: [value ≤ bound + rel·(1 + |bound| + |scale|)]. False when
+    [value] is NaN (an unbounded NaN must never pass a budget check). *)
+
+val rel_error : float -> float -> float
+(** [|a − b| / (1 + max(|a|,|b|))] — the quantity the tolerances bound,
+    for diagnostics. *)

@@ -129,9 +129,9 @@ let test_zero_skew_detects_tamper () =
   Gsim.Invariant.zero_skew tree;
   match Gsim.Invariant.zero_skew ~embed:(tampered_embed tree) tree with
   | () -> Alcotest.fail "tampered embedding accepted"
-  | exception Failure msg ->
+  | exception Util.Gcr_error.Error err ->
     Alcotest.(check bool) "names the invariant" true
-      (contains ~affix:"zero_skew" msg)
+      (contains ~affix:"zero_skew" (Util.Gcr_error.to_string err))
 
 let test_same_tree_detects_kind_flip () =
   let sc = scenario_with_sinks 13 "kinds" in
@@ -150,8 +150,9 @@ let test_same_tree_detects_kind_flip () =
   let other = Gcr.Gated_tree.rebuild_with_kinds tree kinds in
   match Conformance.Oracles.same_tree ~what:"flip" tree other with
   | () -> Alcotest.fail "kind flip not detected"
-  | exception Failure msg ->
-    Alcotest.(check bool) "names same_tree" true (contains ~affix:"same_tree" msg)
+  | exception Util.Gcr_error.Error err ->
+    Alcotest.(check bool) "names same_tree" true
+      (contains ~affix:"same_tree" (Util.Gcr_error.to_string err))
 
 let test_oracles_pass_on_fixed_scenario () =
   let sc = scenario_with_sinks 17 "oracles" in

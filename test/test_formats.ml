@@ -36,11 +36,39 @@ let test_field_errors () =
       Formats.Parse.int_field ~source:"t" ~line:3 ~what:"n" "1.5")
 
 let test_error_to_string () =
-  let e = Formats.Parse.Error { source = "f.txt"; line = 7; msg = "boom" } in
+  let e =
+    Formats.Parse.Error { source = "f.txt"; line = 7; col = 0; text = ""; msg = "boom" }
+  in
   Alcotest.(check (option string)) "formats" (Some "f.txt:7: boom")
     (Formats.Parse.error_to_string e);
+  let located =
+    Formats.Parse.Error
+      { source = "f.txt"; line = 7; col = 5; text = "0 1 oops 3 0"; msg = "boom" }
+  in
+  Alcotest.(check (option string)) "caret excerpt"
+    (Some "f.txt:7:5: boom\n  0 1 oops 3 0\n      ^")
+    (Formats.Parse.error_to_string located);
   Alcotest.(check (option string)) "other exn" None
     (Formats.Parse.error_to_string Exit)
+
+let test_located_fields () =
+  Alcotest.(check (list (pair int string)))
+    "columns are 1-based"
+    [ (2, "a"); (4, "b"); (7, "c") ]
+    (Formats.Parse.located_fields " a\tb  c ")
+
+let test_to_gcr_error () =
+  let e =
+    Formats.Parse.Error
+      { source = "f.txt"; line = 7; col = 5; text = "0 1 oops"; msg = "boom" }
+  in
+  (match Formats.Parse.to_gcr_error e with
+  | Some (Util.Gcr_error.Parse { file; line; col; _ }) ->
+    Alcotest.(check string) "file" "f.txt" file;
+    Alcotest.(check int) "line" 7 line;
+    Alcotest.(check int) "col" 5 col
+  | _ -> Alcotest.fail "expected a typed Parse error");
+  Alcotest.(check bool) "other exn" true (Formats.Parse.to_gcr_error Exit = None)
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                              *)
@@ -285,6 +313,8 @@ let () =
           Alcotest.test_case "fields" `Quick test_fields;
           Alcotest.test_case "field errors" `Quick test_field_errors;
           Alcotest.test_case "error_to_string" `Quick test_error_to_string;
+          Alcotest.test_case "located fields" `Quick test_located_fields;
+          Alcotest.test_case "to_gcr_error" `Quick test_to_gcr_error;
         ] );
       ( "sinks",
         [

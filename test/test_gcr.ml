@@ -685,21 +685,22 @@ let test_activity_router_groups_by_activity () =
     (Clocktree.Topo.children topo 4 = Some (0, 1))
 
 let prop_activity_router_matches_dense =
-  (* memoized scan engine vs. the all-pairs reference: same merge decisions
-     (the 1e-6 distance tie-breaker makes costs tie-free on random sinks),
-     so the gated trees must have equal switched capacitance *)
-  QCheck.Test.make ~name:"activity topology = dense reference (W_total)" ~count:12
+  (* Both engines must make per-step-optimal merge decisions. A direct
+     W_total diff is unsound here: saturated P(EN) = 1 over overlapping
+     merge regions (distance 0) ties costs exactly despite the 1e-6
+     distance tie-breaker, ties cascade, and the engines then legally
+     build different trees (DESIGN.md §8) — so the oracle replays each
+     engine's merge sequence and accepts any min-achieving choice. *)
+  QCheck.Test.make ~name:"activity topology = dense reference (per-step optimal)"
+    ~count:12
     QCheck.(pair (int_range 2 60) (int_range 0 1_000_000))
     (fun (n, seed) ->
       let config, profile, sinks = setup ~n ~seed:(seed land 0xffff) () in
-      let w topo =
-        Gcr.Cost.w_total
-          (Gcr.Gated_tree.build config profile sinks topo ~kind:(fun _ ->
-               Gcr.Gated_tree.Gated))
-      in
-      let fast = w (Gcr.Activity_router.topology config profile sinks) in
-      let ref_ = w (Gcr.Activity_router.topology_dense config profile sinks) in
-      Float.abs (fast -. ref_) <= 1e-6 *. (1.0 +. Float.abs ref_))
+      Conformance.Oracles.greedy_optimal ~what:"NN-heap" config profile sinks
+        (Gcr.Activity_router.topology config profile sinks);
+      Conformance.Oracles.greedy_optimal ~what:"dense" config profile sinks
+        (Gcr.Activity_router.topology_dense config profile sinks);
+      true)
 
 let test_activity_router_usually_worse_geometry () =
   let config, profile, sinks = setup ~n:24 () in
