@@ -649,11 +649,11 @@ let scaling () =
       let { Benchmarks.Suite.config; profile; sinks; _ } =
         Benchmarks.Suite.case ~stream_length:1_000 spec
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Util.Obs.Clock.now () in
       let tree = Gcr.Router.route config profile sinks in
-      let t1 = Unix.gettimeofday () in
+      let t1 = Util.Obs.Clock.now () in
       ignore (Gcr.Gate_reduction.reduce_greedy tree);
-      let t2 = Unix.gettimeofday () in
+      let t2 = Util.Obs.Clock.now () in
       add_row table
         [
           string_of_int n;
@@ -704,9 +704,9 @@ let greedy_scaling () =
   let geo_dense_cap = if quick then 250 else 3101 in
   let act_dense_cap = if quick then 100 else 2000 in
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Util.Obs.Clock.now () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    (r, Util.Obs.Clock.now () -. t0)
   in
   let js = Buffer.create 1024 in
   Buffer.add_string js "{\n";
@@ -852,11 +852,11 @@ let greedy_scaling () =
     for i = 0 to n_sets - 1 do
       sink := !sink +. f i
     done;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Util.Obs.Clock.now () in
     for it = 0 to iters - 1 do
       sink := !sink +. f (it land (n_sets - 1))
     done;
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Util.Obs.Clock.now () -. t0 in
     Sys.opaque_identity !sink |> ignore;
     1e9 *. dt /. float_of_int iters
   in
@@ -918,9 +918,9 @@ let guard_overhead () =
   let best f =
     let t = ref infinity in
     for _ = 1 to reps do
-      let t0 = Unix.gettimeofday () in
+      let t0 = Util.Obs.Clock.now () in
       Sys.opaque_identity (f ()) |> ignore;
-      t := Float.min !t (Unix.gettimeofday () -. t0)
+      t := Float.min !t (Util.Obs.Clock.now () -. t0)
     done;
     !t
   in
@@ -949,13 +949,71 @@ let guard_overhead () =
   print t;
   pf "\nBudgets (ISSUE 4): default guards <= 1.05x, paranoid <= 2x.\n"
 
+(* ------------------------------------------------------------------ *)
+(* Trace overhead: Obs instrumentation disabled vs enabled            *)
+(* ------------------------------------------------------------------ *)
+
+let trace_overhead () =
+  section "Observability overhead: Obs tracing off vs on";
+  let n = if quick then 250 else 2000 in
+  let reps = if quick then 2 else 3 in
+  let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n in
+  let { Benchmarks.Suite.sinks; profile; config; _ } =
+    Benchmarks.Suite.case ~stream_length:1_000 spec
+  in
+  let was_on = Util.Obs.enabled () in
+  let best enabled =
+    Util.Obs.set_enabled enabled;
+    let t = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Util.Obs.Clock.now () in
+      Sys.opaque_identity (Gcr.Flow.run config profile sinks) |> ignore;
+      t := Float.min !t (Util.Obs.Clock.now () -. t0)
+    done;
+    !t
+  in
+  let off = best false in
+  let on = best true in
+  Util.Obs.set_enabled was_on;
+  let open Util.Text_table in
+  let t =
+    create
+      ~title:(Printf.sprintf "Flow.run, %d sinks (best of %d)" n reps)
+      [ ("variant", Left); ("time (s)", Right); ("vs off", Right) ]
+  in
+  add_row t [ "trace off"; Printf.sprintf "%.3f" off; "1.00x" ];
+  add_row t [ "trace on"; Printf.sprintf "%.3f" on; Printf.sprintf "%.2fx" (on /. off) ];
+  print t;
+  pf "\nBudget (ISSUE 5): trace-on <= 1.05x at 2000 sinks.\n"
+
+(* When this process itself ran traced (GCR_TRACE=1), dump its own run
+   report so CI can archive it next to BENCH_greedy.json. *)
+let dump_obs_report () =
+  if Util.Obs.enabled () then begin
+    let out =
+      match Sys.getenv_opt "GCR_OBS_OUT" with
+      | Some p -> p
+      | None -> "BENCH_obs_report.json"
+    in
+    let oc = open_out out in
+    output_string oc (Util.Obs.to_json (Util.Obs.snapshot ()));
+    close_out oc;
+    pf "Wrote %s (Obs run report).\n" out
+  end
+
 let () =
   pf "Gated Clock Routing Minimizing the Switched Capacitance (DATE'98)\n";
   pf "Reproduction harness%s\n" (if quick then " [quick mode]" else "");
   (* GCR_BENCH_ONLY=guard-overhead runs just the checked-pipeline timing
-     (the EXPERIMENTS.md overhead entry) without the full harness. *)
+     (the EXPERIMENTS.md overhead entry) without the full harness;
+     trace-overhead likewise for the ISSUE 5 observability entry. *)
   match Sys.getenv_opt "GCR_BENCH_ONLY" with
-  | Some "guard-overhead" -> guard_overhead ()
+  | Some "guard-overhead" ->
+    guard_overhead ();
+    dump_obs_report ()
+  | Some "trace-overhead" ->
+    trace_overhead ();
+    dump_obs_report ()
   | Some other -> pf "unknown GCR_BENCH_ONLY section %S\n" other
   | None ->
   table4 ();
@@ -975,5 +1033,7 @@ let () =
   scaling ();
   greedy_scaling ();
   guard_overhead ();
+  trace_overhead ();
   run_bechamel ();
+  dump_obs_report ();
   pf "\nDone. See EXPERIMENTS.md for the paper-vs-measured record.\n"

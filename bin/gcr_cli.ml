@@ -8,6 +8,7 @@
      controllers     distributed-controller study (Figure 6)
      table4          benchmark characteristics (Table 4)
      trace           windowed power trace of a routed benchmark
+     stats           render a saved --trace=json run report
      svg             render a routed tree to SVG *)
 
 open Cmdliner
@@ -108,6 +109,24 @@ let verify_arg =
   let doc = "Cross-check the analytic cost by cycle-accurate simulation." in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Trace the run through the Util.Obs observability layer and report \
+     per-stage wall time, allocations, and pipeline counters (Pcache hit \
+     rate, greedy heap traffic, degradation rungs). $(docv) is $(b,text) \
+     (print tables, the default) or $(b,json) (write a stable JSON report \
+     for $(b,gcr stats), see $(b,--trace-out))."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "text") (some string) None
+    & info [ "trace" ] ~docv:"FMT" ~doc)
+
+let trace_out_arg =
+  let doc = "Output file for the $(b,--trace=json) run report." in
+  Arg.(
+    value & opt string "gcr-trace.json" & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let paranoid_arg =
   let doc =
     "Run the checked pipeline: validate inputs up front, re-derive every \
@@ -140,7 +159,14 @@ let reduce_tree mode tree =
   | None -> usage_error "--reduce expects greedy | rules | none | fraction"
 
 let run_comparison config profile sinks ~reduction ~skew_budget ~size ~paranoid
-    ~svg ~spice ~csv ~verify =
+    ~svg ~spice ~csv ~verify ~trace ~trace_out =
+  let trace =
+    match trace with
+    | None -> None
+    | Some "text" -> Some `Text
+    | Some "json" -> Some `Json
+    | Some _ -> usage_error "--trace expects text or json"
+  in
   let options =
     {
       Gcr.Flow.skew_budget;
@@ -153,72 +179,97 @@ let run_comparison config profile sinks ~reduction ~skew_budget ~size ~paranoid
     }
   in
   let skew_budget = if skew_budget > 0.0 then Some skew_budget else None in
-  let buffered = Gcr.Buffered.route ?skew_budget config profile sinks in
-  let gated = Gcr.Router.route ?skew_budget config profile sinks in
-  let reduced =
-    if paranoid then
-      match
-        Gcr.Flow.run_checked ~mode:Gcr.Flow.Paranoid
-          ~on_event:(fun e ->
-            Format.eprintf "gcr: degraded: %a@." Gcr.Flow.pp_event e)
-          ~options config profile sinks
-      with
-      | Ok tree -> tree
-      | Error errs ->
-        List.iter
-          (fun e ->
-            Format.eprintf "gcr: error: %s@." (Util.Gcr_error.to_string e))
-          errs;
-        exit
-          (match errs with e :: _ -> Util.Gcr_error.exit_code e | [] -> 70)
-    else
-      Gcr.Flow.apply_sizing options (Gcr.Flow.apply_reduction options gated)
+  let work () =
+    let buffered =
+      Util.Obs.span ~name:"route:buffered" (fun () ->
+          Gcr.Buffered.route ?skew_budget config profile sinks)
+    in
+    let gated =
+      Util.Obs.span ~name:"route:gated" (fun () ->
+          Gcr.Router.route ?skew_budget config profile sinks)
+    in
+    let reduced =
+      if paranoid then
+        match
+          Gcr.Flow.run_checked ~mode:Gcr.Flow.Paranoid
+            ~on_event:(fun e ->
+              Format.eprintf "gcr: degraded: %a@." Gcr.Flow.pp_event e)
+            ~options config profile sinks
+        with
+        | Ok tree -> tree
+        | Error errs ->
+          List.iter
+            (fun e ->
+              Format.eprintf "gcr: error: %s@." (Util.Gcr_error.to_string e))
+            errs;
+          exit
+            (match errs with e :: _ -> Util.Gcr_error.exit_code e | [] -> 70)
+      else
+        let r =
+          Util.Obs.span ~name:"reduce" (fun () ->
+              Gcr.Flow.apply_reduction options gated)
+        in
+        Util.Obs.span ~name:"size" (fun () -> Gcr.Flow.apply_sizing options r)
+    in
+    let label =
+      "gated+" ^ reduction ^ (if size then "+sized" else "")
+    in
+    let reports =
+      [
+        Gcr.Report.of_tree ~name:"buffered" buffered;
+        Gcr.Report.of_tree ~name:"gated" gated;
+        Gcr.Report.of_tree ~name:label reduced;
+      ]
+    in
+    Util.Text_table.print (Gcr.Report.comparison_table reports);
+    if verify then
+      Util.Obs.span ~name:"verify" (fun () ->
+          Gsim.Check.validate reduced;
+          Format.printf "@.simulation check passed: %a@." Gsim.Check.pp
+            (Gsim.Check.compare reduced));
+    (match csv with
+    | None -> ()
+    | Some file ->
+      Formats.Report_csv.save file reports;
+      Format.printf "wrote %s@." file);
+    (match spice with
+    | None -> ()
+    | Some file ->
+      Gcr.Spice.write_file file (Gcr.Spice.render reduced);
+      Format.printf "wrote %s@." file);
+    match svg with
+    | None -> ()
+    | Some file ->
+      Gcr.Svg.write_file file (Gcr.Svg.render reduced);
+      Format.printf "wrote %s@." file
   in
-  let label =
-    "gated+" ^ reduction ^ (if size then "+sized" else "")
-  in
-  let reports =
-    [
-      Gcr.Report.of_tree ~name:"buffered" buffered;
-      Gcr.Report.of_tree ~name:"gated" gated;
-      Gcr.Report.of_tree ~name:label reduced;
-    ]
-  in
-  Util.Text_table.print (Gcr.Report.comparison_table reports);
-  if verify then begin
-    Gsim.Check.validate reduced;
-    Format.printf "@.simulation check passed: %a@." Gsim.Check.pp
-      (Gsim.Check.compare reduced)
-  end;
-  (match csv with
-  | None -> ()
-  | Some file ->
-    Formats.Report_csv.save file reports;
-    Format.printf "wrote %s@." file);
-  (match spice with
-  | None -> ()
-  | Some file ->
-    Gcr.Spice.write_file file (Gcr.Spice.render reduced);
-    Format.printf "wrote %s@." file);
-  match svg with
-  | None -> ()
-  | Some file ->
-    Gcr.Svg.write_file file (Gcr.Svg.render reduced);
-    Format.printf "wrote %s@." file
+  match trace with
+  | None -> work ()
+  | Some fmt -> (
+    let (), report = Util.Obs.run work in
+    match fmt with
+    | `Text ->
+      print_newline ();
+      print_string (Util.Obs.render report)
+    | `Json ->
+      let oc = open_out trace_out in
+      output_string oc (Util.Obs.to_json report);
+      close_out oc;
+      Format.printf "wrote %s (replay with: gcr stats %s)@." trace_out trace_out)
 
 let route_cmd bench n_sinks stream usage k reduction skew_budget size paranoid
-    svg spice csv verify =
+    svg spice csv verify trace trace_out =
   handle_unknown_bench @@ fun () ->
   let case = load_case bench n_sinks stream usage k in
   let { Benchmarks.Suite.config; profile; sinks; _ } = case in
   run_comparison config profile sinks ~reduction ~skew_budget ~size ~paranoid
-    ~svg ~spice ~csv ~verify
+    ~svg ~spice ~csv ~verify ~trace ~trace_out
 
 let route_t =
   Term.(
     const route_cmd $ bench_arg $ sinks_arg $ stream_arg $ usage_arg $ k_arg
     $ reduction_arg $ skew_arg $ size_arg $ paranoid_arg $ svg_arg $ spice_arg
-    $ csv_arg $ verify_arg)
+    $ csv_arg $ verify_arg $ trace_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* route-files: user designs from disk                                *)
@@ -229,7 +280,7 @@ let req_file arg_name =
   Arg.(required & opt (some file) None & info [ arg_name ] ~docv:"FILE" ~doc)
 
 let route_files_cmd sinks_file rtl_file stream_file k reduction skew_budget size
-    paranoid svg spice csv verify =
+    paranoid svg spice csv verify trace trace_out =
   with_diagnostics @@ fun () ->
   let sinks = Formats.Sinks_format.load sinks_file in
   let rtl = Formats.Rtl_format.load rtl_file in
@@ -244,13 +295,13 @@ let route_files_cmd sinks_file rtl_file stream_file k reduction skew_budget size
   let controller = Gcr.Controller.distributed die ~k in
   let config = Gcr.Config.make ~controller ~die () in
   run_comparison config profile sinks ~reduction ~skew_budget ~size ~paranoid
-    ~svg ~spice ~csv ~verify
+    ~svg ~spice ~csv ~verify ~trace ~trace_out
 
 let route_files_t =
   Term.(
     const route_files_cmd $ req_file "sinks" $ req_file "rtl" $ req_file "stream"
     $ k_arg $ reduction_arg $ skew_arg $ size_arg $ paranoid_arg $ svg_arg
-    $ spice_arg $ csv_arg $ verify_arg)
+    $ spice_arg $ csv_arg $ verify_arg $ trace_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                              *)
@@ -502,6 +553,32 @@ let fuzz_t =
         $ fuzz_replay_arg $ fuzz_faults_arg)
 
 (* ------------------------------------------------------------------ *)
+(* stats: replay a saved Obs run report                                *)
+(* ------------------------------------------------------------------ *)
+
+let stats_file_arg =
+  let doc =
+    "JSON run report written by $(b,gcr route --trace=json) (or any Obs \
+     sink)."
+  in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"REPORT" ~doc)
+
+let stats_cmd file =
+  with_diagnostics @@ fun () ->
+  let ic = open_in_bin file in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Util.Obs.of_json text with
+  | Ok report -> print_string (Util.Obs.render report)
+  | Error msg ->
+    Util.Gcr_error.raise_t (Util.Gcr_error.Parse { file; line = 0; col = 0; msg })
+
+let stats_t = Term.(const stats_cmd $ stats_file_arg)
+
+(* ------------------------------------------------------------------ *)
 (* assembly                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -521,6 +598,7 @@ let main =
       cmd "controllers" "Distributed-controller study (Figure 6)." controllers_t;
       cmd "table4" "Benchmark characteristics (Table 4)." table4_t;
       cmd "fuzz" "Randomized whole-pipeline conformance fuzzing." fuzz_t;
+      cmd "stats" "Render a saved --trace=json run report." stats_t;
       cmd "svg" "Render a routed tree to SVG." svg_t;
     ]
 

@@ -54,6 +54,12 @@ let create profile =
 
 let profile t = t.profile
 
+(* Per-instance [hits]/[misses] feed the bypass heuristic; the Obs pair
+   aggregates across every cache in the process for run reports. *)
+let hits_counter = Util.Obs.counter "pcache.hits"
+
+let misses_counter = Util.Obs.counter "pcache.misses"
+
 let resize t =
   let old = t.buckets in
   let cap = 2 * Array.length old in
@@ -69,6 +75,7 @@ let resize t =
 let lookup t =
   if t.bypass then begin
     t.misses <- t.misses + 1;
+    Util.Obs.incr misses_counter;
     Profile.p_scratch t.profile t.buf
   end
   else begin
@@ -77,6 +84,7 @@ let lookup t =
   let rec find len = function
     | [] ->
       t.misses <- t.misses + 1;
+      Util.Obs.incr misses_counter;
       if t.misses land (bypass_window - 1) = 0 && t.hits * 16 < t.misses then
         t.bypass <- true;
       let p = Profile.p_scratch t.profile t.buf in
@@ -91,6 +99,7 @@ let lookup t =
     | e :: tl ->
       if e.h = h && Module_set.scratch_equal t.buf e.key then begin
         t.hits <- t.hits + 1;
+        Util.Obs.incr hits_counter;
         e.p
       end
       else find (len + 1) tl
@@ -107,3 +116,9 @@ let p t s =
   lookup t
 
 let stats t = (t.hits, t.misses)
+
+(* Does NOT clear the memo table or un-bypass: only the rate restarts, so
+   a long-lived cache can report meaningful per-run numbers. *)
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

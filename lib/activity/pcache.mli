@@ -30,4 +30,9 @@ val p_union : t -> Module_set.t -> Module_set.t -> float
     [Invalid_argument] on a universe mismatch. *)
 
 val stats : t -> int * int
-(** [(hits, misses)] since creation. *)
+(** [(hits, misses)] since creation or the last {!reset_stats}. *)
+
+val reset_stats : t -> unit
+(** Zero the hit/miss counters so long-lived caches (fuzz loops, benches)
+    can report per-run rates. Keeps the memoized entries and the bypass
+    decision — only the accounting restarts. *)

@@ -79,6 +79,10 @@ let kernel ift imatt =
     rsum;
   }
 
+let queries_counter = Util.Obs.counter "signature.queries"
+
+let sets_counter = Util.Obs.counter "signature.sets"
+
 let create kern =
   {
     hits = Array.make kern.hwords 0;
@@ -89,6 +93,7 @@ let create kern =
 let of_set kern set =
   if Module_set.universe_size set <> Rtl.n_modules kern.rtl then
     invalid_arg "Signature.of_set: universe mismatch";
+  Util.Obs.incr sets_counter;
   let s = create kern in
   for i = 0 to kern.k - 1 do
     if Module_set.intersects (Rtl.uses kern.rtl i) set then set_bit s.hits i
@@ -130,6 +135,7 @@ let[@inline] word_sum sum w x =
   + sum.(base + 1792 + (x lsr 56))
 
 let p kern s =
+  Util.Obs.incr queries_counter;
   let acc = ref 0 in
   for w = 0 to kern.hwords - 1 do
     let x = s.hits.(w) in
@@ -138,6 +144,7 @@ let p kern s =
   float_of_int !acc /. float_of_int kern.total
 
 let p_union kern a b =
+  Util.Obs.incr queries_counter;
   let acc = ref 0 in
   for w = 0 to kern.hwords - 1 do
     let x = a.hits.(w) lor b.hits.(w) in
@@ -146,6 +153,7 @@ let p_union kern a b =
   float_of_int !acc /. float_of_int kern.total
 
 let ptr kern s =
+  Util.Obs.incr queries_counter;
   let acc = ref 0 in
   for w = 0 to kern.rwords - 1 do
     let x = s.now.(w) lxor s.next.(w) in
@@ -154,6 +162,7 @@ let ptr kern s =
   float_of_int !acc /. float_of_int kern.total_pairs
 
 let ptr_union kern a b =
+  Util.Obs.incr queries_counter;
   let acc = ref 0 in
   for w = 0 to kern.rwords - 1 do
     let x = (a.now.(w) lor b.now.(w)) lxor (a.next.(w) lor b.next.(w)) in

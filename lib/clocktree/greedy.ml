@@ -13,6 +13,14 @@ let validate n =
   if n <= 0 then invalid_arg "Greedy.merge_all: no elements";
   if n > max_ids / 2 then invalid_arg "Greedy.merge_all: too many elements"
 
+(* Shared by both engines so traced runs expose the lazy-revalidation
+   economics: stale_discards / heap_pops is the waste rate. *)
+let merge_steps = Util.Obs.counter "greedy.merge_steps"
+
+let heap_pops = Util.Obs.counter "greedy.heap_pops"
+
+let stale_discards = Util.Obs.counter "greedy.stale_discards"
+
 (* ------------------------------------------------------------------ *)
 (* Pluggable candidate sources                                        *)
 (* ------------------------------------------------------------------ *)
@@ -202,15 +210,21 @@ let merge_all_with ?(par_seed = false) source ~n ~cost ~merge =
            [Gcr_error.of_exn]. *)
         | None -> failwith "Greedy.merge_all: heap exhausted with roots remaining"
         | Some (_, payload) ->
+          Util.Obs.incr heap_pops;
           let v, u = unpack payload in
-          if not alive.(v) then loop ()
+          if not alive.(v) then begin
+            Util.Obs.incr stale_discards;
+            loop ()
+          end
           else if not alive.(u) then begin
             (* stale partner: revalidate v and retry *)
+            Util.Obs.incr stale_discards;
             push_best v;
             loop ()
           end
           else begin
             (* merge (smaller, larger), as the dense engine always did *)
+            Util.Obs.incr merge_steps;
             let a = min v u and b = max v u in
             let k = merge a b in
             alive.(a) <- false;
@@ -272,9 +286,14 @@ let merge_all_dense ~n ~cost ~merge =
            classify it as Internal via [Gcr_error.of_exn]. *)
         | None -> failwith "Greedy.merge_all: heap exhausted with roots remaining"
         | Some (_, payload) ->
+          Util.Obs.incr heap_pops;
           let a, b = unpack payload in
-          if not (alive.(a) && alive.(b)) then loop ()
+          if not (alive.(a) && alive.(b)) then begin
+            Util.Obs.incr stale_discards;
+            loop ()
+          end
           else begin
+            Util.Obs.incr merge_steps;
             let k = merge a b in
             alive.(a) <- false;
             alive.(b) <- false;

@@ -89,7 +89,9 @@ let remove t id =
   let key = t.key.(id) in
   if key < 0 then invalid_arg "Spatial.remove: id not present";
   (match Hashtbl.find_opt t.buckets key with
-  | None -> assert false
+  | None ->
+    Util.Gcr_error.internal ~stage:"spatial"
+      "remove: id %d's occupied cell %d has no bucket" id key
   | Some ids -> (
     match List.filter (fun j -> j <> id) ids with
     | [] -> Hashtbl.remove t.buckets key

@@ -233,8 +233,12 @@ let family_names = Array.to_list (Array.map fst families)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let cases_counter = Util.Obs.counter "faults.cases"
+
+let silent_counter = Util.Obs.counter "faults.silent"
+
 let run ?(count = 200) ?(seed = 0) () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Obs.Clock.now () in
   let prng = Util.Prng.create seed in
   let coverage = Hashtbl.create 16 in
   let diagnosed = ref 0 and absorbed = ref 0 in
@@ -254,10 +258,13 @@ let run ?(count = 200) ?(seed = 0) () =
     in
     Hashtbl.replace coverage family
       (1 + Option.value (Hashtbl.find_opt coverage family) ~default:0);
+    Util.Obs.incr cases_counter;
     (match verdict with
     | Diagnosed _ -> incr diagnosed
     | Absorbed -> incr absorbed
-    | Silent _ -> silent := { family; case; verdict } :: !silent)
+    | Silent _ ->
+      Util.Obs.incr silent_counter;
+      silent := { family; case; verdict } :: !silent)
   done;
   {
     faults = count;
@@ -266,7 +273,7 @@ let run ?(count = 200) ?(seed = 0) () =
     silent = List.rev !silent;
     coverage =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) coverage []);
-    elapsed_s = Unix.gettimeofday () -. t0;
+    elapsed_s = Util.Obs.Clock.now () -. t0;
   }
 
 let pp_stats ppf s =

@@ -150,8 +150,12 @@ type stats = {
 let ensure_dir dir =
   try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
+let scenarios_counter = Util.Obs.counter "fuzz.scenarios"
+
+let failures_counter = Util.Obs.counter "fuzz.failures"
+
 let run ?out_dir ?(check = check) ~count ~seed () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Obs.Clock.now () in
   let prng = Util.Prng.create seed in
   let coverage = Hashtbl.create 16 in
   let failures = ref [] in
@@ -163,9 +167,11 @@ let run ?out_dir ?(check = check) ~count ~seed () =
     let bucket = Scenario.label sc in
     Hashtbl.replace coverage bucket
       (1 + Option.value (Hashtbl.find_opt coverage bucket) ~default:0);
+    Util.Obs.incr scenarios_counter;
     match fails check sc with
     | None -> ()
     | Some error ->
+      Util.Obs.incr failures_counter;
       let shrunk = minimize check sc in
       let error = Option.value (fails check shrunk) ~default:error in
       let seed_file =
@@ -185,7 +191,7 @@ let run ?out_dir ?(check = check) ~count ~seed () =
   {
     scenarios = count;
     failures = List.rev !failures;
-    elapsed_s = Unix.gettimeofday () -. t0;
+    elapsed_s = Util.Obs.Clock.now () -. t0;
     coverage =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) coverage []);
   }

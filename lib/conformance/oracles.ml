@@ -144,7 +144,10 @@ let greedy_optimal ~what (config : Gcr.Config.t) profile sinks topo =
       let a, b =
         match Clocktree.Topo.children topo v with
         | Some pair -> pair
-        | None -> assert false
+        | None ->
+          Util.Gcr_error.internal ~stage:"engine_vs_dense"
+            "%s: internal node %d has no children in the replayed topology"
+            what v
       in
       if not (active.(a) && active.(b)) then
         fail "engine_vs_dense" "%s: merge %d joins non-roots (%d, %d)" what

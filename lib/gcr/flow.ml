@@ -28,8 +28,14 @@ let budget options =
   if options.skew_budget > 0.0 then Some options.skew_budget else None
 
 let run ?(options = default) config profile sinks =
-  let tree = Router.route ?skew_budget:(budget options) config profile sinks in
-  apply_sizing options (apply_reduction options tree)
+  let tree =
+    Util.Obs.span ~name:"route" (fun () ->
+        Router.route ?skew_budget:(budget options) config profile sinks)
+  in
+  let reduced =
+    Util.Obs.span ~name:"reduce" (fun () -> apply_reduction options tree)
+  in
+  Util.Obs.span ~name:"size" (fun () -> apply_sizing options reduced)
 
 (* ------------------------------------------------------------------ *)
 (* Checked pipeline                                                   *)
@@ -46,6 +52,12 @@ type event = {
   action : string;
   error : Util.Gcr_error.t option;
 }
+
+(* Ladder attempts and degradation events, mirrored into the run report
+   so a traced run shows how far down the ladder it went. *)
+let rungs_counter = Util.Obs.counter "flow.rungs"
+
+let degraded_counter = Util.Obs.counter "flow.degraded"
 
 let pp_event ppf e =
   match e.error with
@@ -130,7 +142,14 @@ let retry_skew_budget config sinks =
 let run_checked ?(mode = Default) ?(limits = no_limits)
     ?(on_event = fun (_ : event) -> ()) ?(options = default) config profile
     sinks =
-  match validate_inputs config profile sinks options with
+  let on_event e =
+    Util.Obs.incr degraded_counter;
+    on_event e
+  in
+  match
+    Util.Obs.span ~name:"validate" (fun () ->
+        validate_inputs config profile sinks options)
+  with
   | _ :: _ as errs -> Error errs
   | [] ->
     let n = Array.length sinks in
@@ -147,15 +166,19 @@ let run_checked ?(mode = Default) ?(limits = no_limits)
              };
          ]
      | _ ->
+       (* Monotonic deadline arithmetic: Obs.Clock never steps backwards
+          under NTP adjustment, and [>=] makes a zero budget exhaust
+          deterministically (the wall clock could tick between arming and
+          checking, or not). *)
        let deadline =
          match limits.wall_seconds with
          | None -> None
-         | Some s -> Some (Unix.gettimeofday () +. s)
+         | Some s -> Some (Util.Obs.Clock.now () +. s)
        in
        let out_of_time () =
          match deadline with
          | None -> false
-         | Some d -> Unix.gettimeofday () > d
+         | Some d -> Util.Obs.Clock.now () >= d
        in
        let time_error stage =
          Util.Gcr_error.Resource_limit
@@ -178,10 +201,11 @@ let run_checked ?(mode = Default) ?(limits = no_limits)
        in
        let attempt stage f =
          match
-           Util.Gcr_error.guard ~stage (fun () ->
-               let t = f () in
-               boundary stage t;
-               t)
+           Util.Obs.span ~name:stage (fun () ->
+               Util.Gcr_error.guard ~stage (fun () ->
+                   let t = f () in
+                   boundary stage t;
+                   t))
          with
          | Ok _ as ok -> ok
          | Error e -> Error e
@@ -224,6 +248,7 @@ let run_checked ?(mode = Default) ?(limits = no_limits)
          | (stage, _action, f) :: rest ->
            if out_of_time () then Error (List.rev (time_error stage :: errors))
            else begin
+             Util.Obs.incr rungs_counter;
              match attempt stage f with
              | Ok tree -> Ok tree
              | Error e ->

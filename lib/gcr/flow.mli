@@ -45,7 +45,10 @@ type mode =
           measured at well under 2x the default run time *)
 
 type limits = {
-  wall_seconds : float option;  (** wall-clock budget for the whole pipeline *)
+  wall_seconds : float option;
+      (** time budget for the whole pipeline, measured on the monotonic
+          {!Util.Obs.Clock} (immune to NTP wall-clock steps); [Some 0.]
+          deterministically exhausts before the first stage *)
   max_merge_steps : int option;
       (** upper bound on greedy merge steps ([n-1] are needed for [n] sinks) *)
 }
@@ -89,9 +92,13 @@ val run_checked :
     dropped with an event rather than failing the pipeline.
 
     [limits] bounds the work: too many required merge steps fail fast as
-    [Resource_limit], and an exhausted wall clock mid-pipeline returns
+    [Resource_limit], and an exhausted time budget mid-pipeline returns
     the partial (routed but unoptimised) result with an event, or
-    [Resource_limit] when no tree exists yet. *)
+    [Resource_limit] when no tree exists yet.
+
+    When {!Util.Obs} tracing is enabled the run records one span per
+    stage attempted ([validate], then the ladder rungs, then [reduce]/
+    [size]) plus the [flow.rungs] and [flow.degraded] counters. *)
 
 val standard_comparison :
   ?options:options ->

@@ -1,0 +1,41 @@
+/* Monotonic time for Util.Obs.Clock.
+
+   The OCaml unix library only exposes the gettimeofday wall clock, which
+   steps under NTP adjustment and breaks budget/elapsed arithmetic; these
+   stubs read CLOCK_MONOTONIC directly (the [Unix.clock_gettime Monotonic]
+   the stdlib never grew). The float variant is [@@unboxed] [@@noalloc] so
+   a deadline check in a hot loop costs one call, no allocation. */
+
+#include <stdint.h>
+#include <time.h>
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+
+static int64_t gcr_obs_ns(void)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value gcr_obs_monotonic_ns(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(gcr_obs_ns());
+}
+
+CAMLprim double gcr_obs_monotonic_s(value unit)
+{
+  (void)unit;
+  return (double)gcr_obs_ns() * 1e-9;
+}
+
+CAMLprim value gcr_obs_monotonic_s_byte(value unit)
+{
+  return caml_copy_double(gcr_obs_monotonic_s(unit));
+}

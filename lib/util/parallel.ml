@@ -10,11 +10,24 @@ let default_domains () =
    would take; run inline. *)
 let spawn_threshold = 32
 
+let jobs_counter = Obs.counter "parallel.jobs"
+
+let tasks_counter = Obs.counter "parallel.tasks"
+
+let chunks_counter = Obs.counter "parallel.chunks"
+
+let spawned_counter = Obs.counter "parallel.domains_spawned"
+
+let domains_gauge = Obs.gauge "parallel.domains"
+
 let parallel_for ?domains ~n f =
   if n > 0 then begin
     let d =
       min n (match domains with Some d -> max 1 d | None -> default_domains ())
     in
+    Obs.incr jobs_counter;
+    Obs.add tasks_counter n;
+    Obs.set domains_gauge (float_of_int d);
     if d = 1 || n < spawn_threshold then
       for i = 0 to n - 1 do
         f i
@@ -32,13 +45,17 @@ let parallel_for ?domains ~n f =
           while !continue do
             let start = Atomic.fetch_and_add next chunk in
             if start >= n then continue := false
-            else
+            else begin
+              (* bumped from worker domains: exercises counter atomicity *)
+              Obs.incr chunks_counter;
               for i = start to min n (start + chunk) - 1 do
                 f i
               done
+            end
           done
         with e -> ignore (Atomic.compare_and_set failure None (Some e))
       in
+      Obs.add spawned_counter (d - 1);
       let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
       worker ();
       Array.iter Domain.join spawned;

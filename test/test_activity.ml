@@ -455,6 +455,21 @@ let test_pcache_matches_profile () =
   Alcotest.(check int) "union hits cache" (hits + 1) hits2;
   Alcotest.(check int) "no new miss" misses misses2
 
+let test_pcache_reset_stats () =
+  let cache = Activity.Pcache.create paper_profile in
+  let m56 = Ms.of_list 6 [ 4; 5 ] in
+  check_float "warm the cache" 0.55 (Activity.Pcache.p cache m56);
+  check_float "hit it once" 0.55 (Activity.Pcache.p cache m56);
+  Alcotest.(check bool) "stats accumulated" true
+    (Activity.Pcache.stats cache <> (0, 0));
+  Activity.Pcache.reset_stats cache;
+  Alcotest.(check (pair int int)) "stats zeroed" (0, 0)
+    (Activity.Pcache.stats cache);
+  (* the memo table survives the reset: the next query is a pure hit *)
+  check_float "entry retained" 0.55 (Activity.Pcache.p cache m56);
+  Alcotest.(check (pair int int)) "per-run rate restarts" (1, 0)
+    (Activity.Pcache.stats cache)
+
 let prop_pcache_matches_profile =
   QCheck.Test.make ~name:"Pcache.p_union = Profile.p of the union" ~count:60
     (QCheck.int_range 1 100_000)
@@ -743,6 +758,7 @@ let () =
       ( "pcache",
         [
           Alcotest.test_case "paper values" `Quick test_pcache_matches_profile;
+          Alcotest.test_case "reset_stats" `Quick test_pcache_reset_stats;
           qt prop_pcache_matches_profile;
         ] );
       ( "tables_vs_brute",

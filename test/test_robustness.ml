@@ -165,6 +165,46 @@ let test_wall_clock_exhausted () =
     Alcotest.failf "expected Resource_limit first, got: %s"
       (String.concat "; " (List.map Util.Gcr_error.to_string errs))
 
+(* Regression (ISSUE 5): under the old Unix.gettimeofday arithmetic a
+   zero budget raced the wall clock — [t0 +. 0.] could still compare
+   equal to a later reading and let stages run. The monotonic clock with
+   [>=] must report Resource_limit on the first stage, every time. *)
+let test_zero_wall_clock_deterministic () =
+  let limits = { Gcr.Flow.no_limits with Gcr.Flow.wall_seconds = Some 0.0 } in
+  for _ = 1 to 20 do
+    match run_checked ~limits (sinks16 ()) with
+    | Ok _ -> Alcotest.fail "routed under a zero wall-clock budget"
+    | Error (Util.Gcr_error.Resource_limit { stage; _ } :: _) ->
+      Alcotest.(check string) "exhausts before the first rung" "route" stage
+    | Error errs ->
+      Alcotest.failf "expected Resource_limit first, got: %s"
+        (String.concat "; " (List.map Util.Gcr_error.to_string errs))
+  done
+
+(* A traced clean run records every executed stage exactly once, and no
+   degradation rung below the first. *)
+let test_trace_stages_once () =
+  let (result, report) =
+    Util.Obs.run (fun () -> run_checked (sinks16 ()))
+  in
+  (match result with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "clean traced run failed");
+  let top name =
+    List.find_opt (fun s -> s.Util.Obs.name = name) report.Util.Obs.spans
+  in
+  List.iter
+    (fun name ->
+      match top name with
+      | Some s ->
+        Alcotest.(check int) (name ^ " appears exactly once") 1 s.Util.Obs.calls
+      | None -> Alcotest.failf "stage %s missing from the trace" name)
+    [ "validate"; "route"; "reduce"; "size" ];
+  Alcotest.(check bool) "no fallback rung ran" true (top "route:dense" = None);
+  Alcotest.(check (option int))
+    "one ladder attempt" (Some 1)
+    (List.assoc_opt "flow.rungs" report.Util.Obs.counters)
+
 let test_paranoid_equals_default () =
   let sinks = sinks16 () in
   let get mode =
@@ -323,6 +363,10 @@ let () =
             test_merge_step_limit_sufficient;
           Alcotest.test_case "wall clock exhausted" `Quick
             test_wall_clock_exhausted;
+          Alcotest.test_case "zero wall clock is deterministic" `Quick
+            test_zero_wall_clock_deterministic;
+          Alcotest.test_case "trace records each stage once" `Quick
+            test_trace_stages_once;
           Alcotest.test_case "paranoid equals default" `Quick
             test_paranoid_equals_default;
           Alcotest.test_case "checked equals unchecked" `Quick

@@ -254,6 +254,154 @@ let test_parallel_propagates_exceptions () =
       Util.Parallel.parallel_for ~domains:2 ~n:100 (fun i ->
           if i = 63 then failwith "boom"))
 
+(* ------------------------------------------------------------------ *)
+(* Obs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_obs_clock_monotonic () =
+  let prev = ref (Util.Obs.Clock.now ()) in
+  for _ = 1 to 1000 do
+    let t = Util.Obs.Clock.now () in
+    Alcotest.(check bool) "never decreases" true (t >= !prev);
+    prev := t
+  done;
+  let a = Util.Obs.Clock.now_ns () in
+  let b = Util.Obs.Clock.now_ns () in
+  Alcotest.(check bool) "ns never decreases" true (Int64.compare b a >= 0)
+
+let test_obs_counters () =
+  let c = Util.Obs.counter "test.obs.basic" in
+  let (), report =
+    Util.Obs.run (fun () ->
+        Util.Obs.incr c;
+        Util.Obs.add c 4)
+  in
+  Alcotest.(check int) "value" 5 (Util.Obs.value c);
+  Alcotest.(check (option int))
+    "in report" (Some 5)
+    (List.assoc_opt "test.obs.basic" report.Util.Obs.counters)
+
+let test_obs_disabled_noop () =
+  (* the suite may itself run traced (GCR_TRACE=1 in CI), so force the
+     disabled state rather than assuming it *)
+  let prev = Util.Obs.enabled () in
+  Util.Obs.set_enabled false;
+  Util.Obs.reset ();
+  let c = Util.Obs.counter "test.obs.noop" in
+  let g = Util.Obs.gauge "test.obs.noop_gauge" in
+  Util.Obs.incr c;
+  Util.Obs.set g 7.0;
+  let r = Util.Obs.span ~name:"test.noop" (fun () -> 41 + 1) in
+  Alcotest.(check int) "span is transparent" 42 r;
+  let report = Util.Obs.snapshot () in
+  Util.Obs.set_enabled prev;
+  Alcotest.(check int) "no counters" 0 (List.length report.Util.Obs.counters);
+  Alcotest.(check int) "no gauges" 0 (List.length report.Util.Obs.gauges);
+  Alcotest.(check int) "no spans" 0 (List.length report.Util.Obs.spans)
+
+let test_obs_span_nesting () =
+  let (), report =
+    Util.Obs.run (fun () ->
+        Util.Obs.span ~name:"outer" (fun () ->
+            Util.Obs.span ~name:"inner" (fun () -> ());
+            Util.Obs.span ~name:"inner" (fun () -> ())))
+  in
+  match report.Util.Obs.spans with
+  | [ outer ] ->
+    Alcotest.(check string) "outer name" "outer" outer.Util.Obs.name;
+    Alcotest.(check int) "outer calls" 1 outer.Util.Obs.calls;
+    (match outer.Util.Obs.children with
+    | [ inner ] ->
+      Alcotest.(check string) "inner name" "inner" inner.Util.Obs.name;
+      Alcotest.(check int) "same-name siblings aggregate" 2
+        inner.Util.Obs.calls;
+      Alcotest.(check bool) "child time <= parent time" true
+        (inner.Util.Obs.time_s <= outer.Util.Obs.time_s)
+    | kids ->
+      Alcotest.failf "expected one aggregated child, got %d" (List.length kids))
+  | spans -> Alcotest.failf "expected one top-level span, got %d" (List.length spans)
+
+let test_obs_span_exception_unwind () =
+  let (), report =
+    Util.Obs.run (fun () ->
+        (try
+           Util.Obs.span ~name:"a" (fun () ->
+               Util.Obs.span ~name:"b" (fun () -> failwith "unwind"))
+         with Failure _ -> ());
+        (* if the stack did not unwind, "c" would nest under "a"/"b" *)
+        Util.Obs.span ~name:"c" (fun () -> ()))
+  in
+  let names = List.map (fun s -> s.Util.Obs.name) report.Util.Obs.spans in
+  Alcotest.(check (list string)) "c is top-level after the raise" [ "a"; "c" ]
+    names;
+  match report.Util.Obs.spans with
+  | [ a; _c ] ->
+    Alcotest.(check int) "a still recorded its call" 1 a.Util.Obs.calls;
+    (match a.Util.Obs.children with
+    | [ b ] -> Alcotest.(check int) "b recorded before raising" 1 b.Util.Obs.calls
+    | kids -> Alcotest.failf "expected b under a, got %d kids" (List.length kids))
+  | _ -> Alcotest.fail "unexpected span shape"
+
+let test_obs_parallel_counter_totals () =
+  let c = Util.Obs.counter "test.obs.par" in
+  let n = 1000 in
+  let total domains =
+    let (), report =
+      Util.Obs.run (fun () ->
+          Util.Parallel.parallel_for ~domains ~n (fun _ -> Util.Obs.incr c))
+    in
+    Option.value
+      (List.assoc_opt "test.obs.par" report.Util.Obs.counters)
+      ~default:0
+  in
+  List.iter
+    (fun d ->
+      Alcotest.(check int)
+        (Printf.sprintf "total with %d domains" d)
+        n (total d))
+    [ 1; 4 ]
+
+let test_obs_json_round_trip () =
+  let report =
+    {
+      Util.Obs.spans =
+        [
+          {
+            Util.Obs.name = "route";
+            calls = 2;
+            time_s = 0.12345678901234567;
+            alloc_words = 1.5e9;
+            children =
+              [
+                {
+                  Util.Obs.name = "odd \"name\"\n\twith\\escapes";
+                  calls = 1;
+                  time_s = 1e-9;
+                  alloc_words = 0.0;
+                  children = [];
+                };
+              ];
+          };
+        ];
+      (* counters decode through a float, so stay within its 2^53 exact
+         integer range *)
+      counters = [ ("a.b", 7); ("z", 1 lsl 52) ];
+      gauges = [ ("g", -0.25); ("h", 3.141592653589793) ];
+    }
+  in
+  match Util.Obs.of_json (Util.Obs.to_json report) with
+  | Ok got -> Alcotest.(check bool) "round-trips exactly" true (got = report)
+  | Error msg -> Alcotest.failf "of_json failed: %s" msg
+
+let test_obs_json_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Util.Obs.of_json text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" text)
+    [ ""; "{"; "[1,2]"; "{\"version\":99,\"spans\":[],\"counters\":{},\"gauges\":{}}";
+      "{\"version\":1}"; "{\"version\":1,\"spans\":[],\"counters\":{},\"gauges\":{}}x" ]
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "util"
@@ -305,5 +453,19 @@ let () =
           Alcotest.test_case "small and empty" `Quick test_parallel_small_and_empty;
           Alcotest.test_case "exceptions propagate" `Quick
             test_parallel_propagates_exceptions;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "clock monotonic" `Quick test_obs_clock_monotonic;
+          Alcotest.test_case "counters" `Quick test_obs_counters;
+          Alcotest.test_case "disabled is a no-op" `Quick test_obs_disabled_noop;
+          Alcotest.test_case "span nesting" `Quick test_obs_span_nesting;
+          Alcotest.test_case "span exception unwind" `Quick
+            test_obs_span_exception_unwind;
+          Alcotest.test_case "counters under domains" `Quick
+            test_obs_parallel_counter_totals;
+          Alcotest.test_case "json round trip" `Quick test_obs_json_round_trip;
+          Alcotest.test_case "json rejects garbage" `Quick
+            test_obs_json_rejects_garbage;
         ] );
     ]
