@@ -1,1039 +1,30 @@
-(* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (Section 5) plus the ablations called out in DESIGN.md, then
-   times the computational kernels with Bechamel (one Test.make per
-   table/figure, plus micro-benchmarks).
+(* Environment-driven wrapper around {!Bench_harness}, kept so dune rules
+   and CI scripts can run the harness without flags:
 
-   Run with:     dune exec bench/main.exe
-   Environment:  GCR_BENCH_QUICK=1   shrink instances for a fast smoke run
+   - [GCR_BENCH_QUICK=1]   shrink every experiment (smoke mode)
+   - [GCR_BENCH_ONLY=a,b]  run a comma-separated subset of sections
+   - [GCR_BENCH_OUT=path]  where the assembled JSON document goes
 
-   Absolute numbers differ from the paper (synthetic sinks and workloads,
-   different process parameters — see DESIGN.md); the comparisons mirror
-   the paper's: who wins, by what factor, where the optimum falls.
-   EXPERIMENTS.md records paper-vs-measured for every experiment. *)
-
-let quick = Sys.getenv_opt "GCR_BENCH_QUICK" <> None
-
-let stream_length = if quick then 1_000 else 10_000
-
-let fig3_suites = if quick then [ "r1"; "r2" ] else [ "r1"; "r2"; "r3"; "r4"; "r5" ]
-
-let section title =
-  Printf.printf "\n%s\n%s\n%s\n\n" (String.make 72 '=') title (String.make 72 '=')
-
-let case_cache : (string, Benchmarks.Suite.case) Hashtbl.t = Hashtbl.create 8
-
-let case name =
-  match Hashtbl.find_opt case_cache name with
-  | Some c -> c
-  | None ->
-    let c = Benchmarks.Suite.by_name ~stream_length name in
-    Hashtbl.add case_cache name c;
-    c
-
-let pf = Printf.printf
-
-(* ------------------------------------------------------------------ *)
-(* Table 4: benchmark characteristics                                 *)
-(* ------------------------------------------------------------------ *)
-
-let table4 () =
-  section "Table 4: benchmark characteristics";
-  let cases = List.map case fig3_suites in
-  Util.Text_table.print (Benchmarks.Suite.characteristics_table cases);
-  pf "\nPaper: 5 suites of 267/598/862/1903/3101 sinks, streams of thousands\n";
-  pf "of instructions, Ave(M(I)) ~= 0.4 across all suites.\n"
-
-(* ------------------------------------------------------------------ *)
-(* Figure 3: buffered vs gated vs gate-reduced, switched cap and area  *)
-(* ------------------------------------------------------------------ *)
-
-let fig3 () =
-  section "Figure 3: buffered vs gated vs gated+gate-reduction (r1-r5)";
-  let open Util.Text_table in
-  let sc =
-    create ~title:"Switched capacitance (pF/cycle)"
-      [ ("bench", Left); ("Buffered", Right); ("Gated", Right); ("Gate Red.", Right);
-        ("Red./Buf.", Right) ]
-  in
-  let area =
-    create ~title:"Area (10^3 um^2)"
-      [ ("bench", Left); ("Buffered", Right); ("Gated", Right); ("Gate Red.", Right) ]
-  in
-  List.iter
-    (fun name ->
-      let { Benchmarks.Suite.config; profile; sinks; _ } = case name in
-      let buffered = Gcr.Buffered.route config profile sinks in
-      let gated = Gcr.Router.route config profile sinks in
-      let reduced = Gcr.Gate_reduction.reduce_greedy gated in
-      let w t = Gcr.Cost.w_total t /. 1000.0 in
-      add_row sc
-        [
-          name;
-          Printf.sprintf "%.2f" (w buffered);
-          Printf.sprintf "%.2f" (w gated);
-          Printf.sprintf "%.2f" (w reduced);
-          Printf.sprintf "%.2f" (w reduced /. w buffered);
-        ];
-      let a t = (Gcr.Area.of_tree t).Gcr.Area.total /. 1000.0 in
-      add_row area
-        [
-          name;
-          Printf.sprintf "%.0f" (a buffered);
-          Printf.sprintf "%.0f" (a gated);
-          Printf.sprintf "%.0f" (a reduced);
-        ])
-    fig3_suites;
-  print sc;
-  print_newline ();
-  print area;
-  pf "\nPaper: without reduction the gated tree is WORSE than buffered (the\n";
-  pf "star routing dominates); after reduction it consumes ~30%% less power,\n";
-  pf "with a remaining area overhead.\n"
-
-(* ------------------------------------------------------------------ *)
-(* Figure 4: average module activity vs switched capacitance (r1)     *)
-(* ------------------------------------------------------------------ *)
-
-let fig4 () =
-  section "Figure 4: average module activity vs switched capacitance (r1)";
-  let spec = Benchmarks.Rbench.by_name "r1" in
-  let open Util.Text_table in
-  let table =
-    create
-      [ ("activity", Right); ("measured", Right); ("Gate Red. (pF)", Right);
-        ("Buffered (pF)", Right); ("ratio", Right) ]
-  in
-  List.iter
-    (fun usage ->
-      let c = Benchmarks.Suite.case ~stream_length ~usage spec in
-      let { Benchmarks.Suite.config; profile; sinks; _ } = c in
-      let buffered = Gcr.Buffered.route config profile sinks in
-      let reduced =
-        Gcr.Gate_reduction.reduce_greedy (Gcr.Router.route config profile sinks)
-      in
-      let wg = Gcr.Cost.w_total reduced and wb = Gcr.Cost.w_total buffered in
-      add_row table
-        [
-          Printf.sprintf "%.1f" usage;
-          Printf.sprintf "%.3f" (Activity.Profile.avg_activity profile);
-          Printf.sprintf "%.2f" (wg /. 1000.0);
-          Printf.sprintf "%.2f" (wb /. 1000.0);
-          Printf.sprintf "%.2f" (wg /. wb);
-        ])
-    [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ];
-  print table;
-  pf "\nPaper: the two curves converge as activity rises — gating only helps\n";
-  pf "when modules idle; the gated tree dissipates at least the activity\n";
-  pf "fraction of the ungated one.\n"
-
-(* ------------------------------------------------------------------ *)
-(* Figure 5: gate reduction % vs switched capacitance and area (r1)   *)
-(* ------------------------------------------------------------------ *)
-
-let fig5 () =
-  section "Figure 5: gate reduction vs switched capacitance and area (r1)";
-  let { Benchmarks.Suite.config; profile; sinks; _ } = case "r1" in
-  let gated = Gcr.Router.route config profile sinks in
-  let open Util.Text_table in
-  let table =
-    create
-      [ ("reduction %", Right); ("gates", Right); ("Controller tree (pF)", Right);
-        ("Clock tree (pF)", Right); ("Total (pF)", Right); ("Area (10^3um^2)", Right) ]
-  in
-  let best = ref (infinity, 0) in
-  List.iter
-    (fun pct ->
-      let tree =
-        Gcr.Gate_reduction.reduce_fraction gated ~fraction:(float_of_int pct /. 100.0)
-      in
-      let w = Gcr.Cost.w_total tree in
-      if w < fst !best then best := (w, pct);
-      add_row table
-        [
-          string_of_int pct;
-          string_of_int (Gcr.Gated_tree.gate_count tree);
-          Printf.sprintf "%.2f" (Gcr.Cost.w_ctrl tree /. 1000.0);
-          Printf.sprintf "%.2f" (Gcr.Cost.w_clock tree /. 1000.0);
-          Printf.sprintf "%.2f" (w /. 1000.0);
-          Printf.sprintf "%.0f" ((Gcr.Area.of_tree tree).Gcr.Area.total /. 1000.0);
-        ])
-    [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 95; 100 ];
-  let named name tree =
-    add_row table
-      [
-        name;
-        string_of_int (Gcr.Gated_tree.gate_count tree);
-        Printf.sprintf "%.2f" (Gcr.Cost.w_ctrl tree /. 1000.0);
-        Printf.sprintf "%.2f" (Gcr.Cost.w_clock tree /. 1000.0);
-        Printf.sprintf "%.2f" (Gcr.Cost.w_total tree /. 1000.0);
-        Printf.sprintf "%.0f" ((Gcr.Area.of_tree tree).Gcr.Area.total /. 1000.0);
-      ]
-  in
-  named "greedy" (Gcr.Gate_reduction.reduce_greedy gated);
-  named "rules" (Gcr.Gate_reduction.reduce_rules gated);
-  named "optimal(DP)" (Gcr.Gate_reduction.reduce_optimal gated);
-  print table;
-  pf "\nMeasured optimum at %d%% reduction.\n" (snd !best);
-  pf "Paper: controller tree falls and clock tree rises as gates go; the\n";
-  pf "total has an interior optimum (55%% on their r1 setup).\n"
-
-(* ------------------------------------------------------------------ *)
-(* Figure 6: centralized vs distributed controllers                   *)
-(* ------------------------------------------------------------------ *)
-
-let fig6 () =
-  section "Figure 6 / Section 6: distributed gate controllers";
-  let suites = if quick then [ "r1" ] else [ "r1"; "r2" ] in
-  List.iter
-    (fun name ->
-      let { Benchmarks.Suite.profile; sinks; spec; _ } = case name in
-      let die = Benchmarks.Rbench.die spec in
-      let open Util.Text_table in
-      let table =
-        create ~title:(Printf.sprintf "%s (die side %.1f mm)" name
-                         (spec.Benchmarks.Rbench.die_side /. 1000.0))
-          [ ("k", Right); ("ctrl wire (mm)", Right); ("G*D/(4 sqrt k) (mm)", Right);
-            ("W ctrl (pF)", Right); ("W total (pF)", Right) ]
-      in
-      List.iter
-        (fun k ->
-          let controller = Gcr.Controller.distributed die ~k in
-          let config = Gcr.Config.make ~controller ~die () in
-          let tree =
-            Gcr.Gate_reduction.reduce_greedy (Gcr.Router.route config profile sinks)
-          in
-          let g = float_of_int (Gcr.Gated_tree.gate_count tree) in
-          let analytic =
-            g *. spec.Benchmarks.Rbench.die_side /. (4.0 *. sqrt (float_of_int k))
-          in
-          add_row table
-            [
-              string_of_int k;
-              Printf.sprintf "%.2f" (Gcr.Cost.control_wirelength_total tree /. 1000.0);
-              Printf.sprintf "%.2f" (analytic /. 1000.0);
-              Printf.sprintf "%.2f" (Gcr.Cost.w_ctrl tree /. 1000.0);
-              Printf.sprintf "%.2f" (Gcr.Cost.w_total tree /. 1000.0);
-            ])
-        [ 1; 4; 16; 64 ];
-      print table;
-      print_newline ())
-    suites;
-  pf "Paper: star routing area shrinks by a factor of sqrt(k) with k\n";
-  pf "distributed controllers.\n"
-
-(* ------------------------------------------------------------------ *)
-(* Ablations (DESIGN.md section 6)                                    *)
-(* ------------------------------------------------------------------ *)
-
-let ablate_cost () =
-  section
-    "Ablation 1: merge ordering — Eq.(3) vs geometry-only (NN) vs\n\
-     activity-only (Tellez-style, the paper's ref [5])";
-  let suites = if quick then [ "r1" ] else [ "r1"; "r2" ] in
-  let open Util.Text_table in
-  let table =
-    create
-      [ ("bench", Left); ("Eq.(3) W (pF)", Right); ("geometry W (pF)", Right);
-        ("activity W (pF)", Right); ("Eq.(3) wire (mm)", Right);
-        ("geometry wire (mm)", Right); ("activity wire (mm)", Right) ]
-  in
-  List.iter
-    (fun name ->
-      let { Benchmarks.Suite.config; profile; sinks; _ } = case name in
-      let sc_tree =
-        Gcr.Gate_reduction.reduce_greedy (Gcr.Router.route config profile sinks)
-      in
-      (* same gating machinery on a purely geometric topology *)
-      let nn_topo =
-        Clocktree.Nn.topology config.Gcr.Config.tech
-          ~edge_gate:(Some config.Gcr.Config.tech.Clocktree.Tech.and_gate)
-          sinks
-      in
-      let nn_tree =
-        Gcr.Gate_reduction.reduce_greedy
-          (Gcr.Gated_tree.build config profile sinks nn_topo ~kind:(fun _ ->
-               Gcr.Gated_tree.Gated))
-      in
-      (* ... and on an activity-only topology *)
-      let act_tree =
-        Gcr.Gate_reduction.reduce_greedy
-          (Gcr.Activity_router.route config profile sinks)
-      in
-      let w t = Gcr.Cost.w_total t /. 1000.0 in
-      let wire t = Gcr.Cost.clock_wirelength t /. 1000.0 in
-      add_row table
-        [
-          name;
-          Printf.sprintf "%.2f" (w sc_tree);
-          Printf.sprintf "%.2f" (w nn_tree);
-          Printf.sprintf "%.2f" (w act_tree);
-          Printf.sprintf "%.1f" (wire sc_tree);
-          Printf.sprintf "%.1f" (wire nn_tree);
-          Printf.sprintf "%.1f" (wire act_tree);
-        ])
-    suites;
-  print table;
-  pf "\nEq.(3) sits between the extremes: geometry-only cannot see masking\n";
-  pf "opportunity, activity-only pays ruinous wirelength.\n"
-
-let ablate_ctrl_terms () =
-  section
-    "Ablation 2: controller-star terms in the merge cost (the paper's\n\
-     extension over its prior work [4])";
-  let suites = if quick then [ "r1" ] else [ "r1"; "r2" ] in
-  let open Util.Text_table in
-  let table =
-    create
-      [ ("bench", Left); ("with star terms (pF)", Right);
-        ("without star terms (pF)", Right); ("with/without", Right) ]
-  in
-  List.iter
-    (fun name ->
-      let { Benchmarks.Suite.config; profile; sinks; _ } = case name in
-      let with_tree =
-        Gcr.Gate_reduction.reduce_greedy (Gcr.Router.route config profile sinks)
-      in
-      (* route blind to the controller, then cost fairly with it *)
-      let blind_config = { config with Gcr.Config.control_weight = 0.0 } in
-      let topo = Gcr.Router.route_topology_only blind_config profile sinks in
-      let without_tree =
-        Gcr.Gate_reduction.reduce_greedy
-          (Gcr.Gated_tree.build config profile sinks topo ~kind:(fun _ ->
-               Gcr.Gated_tree.Gated))
-      in
-      let ww = Gcr.Cost.w_total with_tree and wo = Gcr.Cost.w_total without_tree in
-      add_row table
-        [
-          name;
-          Printf.sprintf "%.2f" (ww /. 1000.0);
-          Printf.sprintf "%.2f" (wo /. 1000.0);
-          Printf.sprintf "%.3f" (ww /. wo);
-        ])
-    suites;
-  print table
-
-let ablate_forced_insertion () =
-  section "Ablation 3: forced gate insertion (phase-delay guard)";
-  let { Benchmarks.Suite.config; profile; sinks; _ } = case "r1" in
-  let gated = Gcr.Router.route config profile sinks in
-  let aggressive limit =
-    {
-      Gcr.Gate_reduction.default_thresholds with
-      Gcr.Gate_reduction.activity_high = 0.0 (* rules want to drop everything *);
-      force_cap_multiple = limit;
-    }
-  in
-  let open Util.Text_table in
-  let table =
-    create
-      [ ("force multiple", Left); ("gates kept", Right); ("W total (pF)", Right);
-        ("phase delay (ps)", Right) ]
-  in
-  List.iter
-    (fun (label, limit) ->
-      let tree = Gcr.Gate_reduction.reduce_rules ~thresholds:(aggressive limit) gated in
-      let r = Gcr.Report.of_tree tree in
-      add_row table
-        [
-          label;
-          string_of_int r.Gcr.Report.gate_count;
-          Printf.sprintf "%.2f" (r.Gcr.Report.w_total /. 1000.0);
-          Printf.sprintf "%.1f" (r.Gcr.Report.phase_delay /. 1000.0);
-        ])
-    [ ("off (inf)", infinity); ("20 x Cg", 20.0); ("5 x Cg", 5.0); ("2 x Cg", 2.0) ];
-  print table;
-  pf "\nForcing gates back in bounds the capacitance a single driver must\n";
-  pf "push, trading switched capacitance for drive granularity.\n"
-
-let ablate_sizing () =
-  section "Ablation 4: gate sizing policies (the paper's 'gates can be sized')";
-  let { Benchmarks.Suite.config; profile; sinks; _ } = case "r1" in
-  let tree = Gcr.Gate_reduction.reduce_greedy (Gcr.Router.route config profile sinks) in
-  let open Util.Text_table in
-  let table =
-    create
-      [ ("policy", Left); ("W (pF)", Right); ("clock wire (mm)", Right);
-        ("phase delay (ps)", Right); ("cell area (10^3um^2)", Right) ]
-  in
-  let row name t =
-    let r = Gcr.Report.of_tree t in
-    add_row table
-      [
-        name;
-        Printf.sprintf "%.2f" (r.Gcr.Report.w_total /. 1000.0);
-        Printf.sprintf "%.1f" (r.Gcr.Report.clock_wirelength /. 1000.0);
-        Printf.sprintf "%.1f" (r.Gcr.Report.phase_delay /. 1000.0);
-        Printf.sprintf "%.1f"
-          ((r.Gcr.Report.area.Gcr.Area.gates +. r.Gcr.Report.area.Gcr.Area.buffers)
-          /. 1000.0);
-      ]
-  in
-  row "unsized" tree;
-  row "tapered (per level)" (Gcr.Sizing.tapered ~min_scale:1.0 tree);
-  row "proportional (per gate)" (Gcr.Sizing.proportional tree);
-  row "uniform 2x" (Gcr.Sizing.uniform tree 2.0);
-  print table;
-  pf "\nNaive per-gate sizing mixes sibling drive strengths; zero skew then\n";
-  pf "demands balancing wire, inflating W. Tapered (one size per level)\n";
-  pf "cuts delay while leaving the balance untouched.\n"
-
-let ablate_skew_budget () =
-  section "Ablation 5: bounded-skew routing (zero skew as a purchased constraint)";
-  let { Benchmarks.Suite.config; profile; sinks; _ } = case "r1" in
-  let open Util.Text_table in
-  let table =
-    create
-      [ ("budget (ps)", Right); ("clock wire (mm)", Right); ("measured skew (ps)", Right);
-        ("W (pF)", Right) ]
-  in
-  List.iter
-    (fun ps ->
-      let skew_budget = ps *. 1000.0 in
-      let tree =
-        if skew_budget > 0.0 then
-          Gcr.Gate_reduction.reduce_greedy
-            (Gcr.Router.route ~skew_budget config profile sinks)
-        else Gcr.Gate_reduction.reduce_greedy (Gcr.Router.route config profile sinks)
-      in
-      let r = Gcr.Report.of_tree tree in
-      add_row table
-        [
-          Printf.sprintf "%.0f" ps;
-          Printf.sprintf "%.2f" (r.Gcr.Report.clock_wirelength /. 1000.0);
-          Printf.sprintf "%.3f" (r.Gcr.Report.skew /. 1000.0);
-          Printf.sprintf "%.2f" (r.Gcr.Report.w_total /. 1000.0);
-        ])
-    [ 0.0; 1.0; 5.0; 20.0; 100.0 ];
-  print table;
-  pf "\nMeasured skew always stays within the budget; wire savings appear\n";
-  pf "where exact zero skew would have snaked.\n"
-
-let ablate_refinement () =
-  section "Ablation 6: NNI topology refinement on top of the greedy merge";
-  let sizes = if quick then [ 64 ] else [ 64; 128 ] in
-  let open Util.Text_table in
-  let table =
-    create
-      [ ("sinks", Right); ("greedy W (pF)", Right); ("refined W (pF)", Right);
-        ("moves", Right); ("after reduction: greedy (pF)", Right);
-        ("after reduction: refined (pF)", Right) ]
-  in
-  List.iter
-    (fun n ->
-      let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n in
-      let { Benchmarks.Suite.config; profile; sinks; _ } =
-        Benchmarks.Suite.case ~stream_length:2_000 spec
-      in
-      let tree = Gcr.Router.route config profile sinks in
-      let refined, stats = Gcr.Refine.nni ~max_passes:2 tree in
-      let red t = Gcr.Cost.w_total (Gcr.Gate_reduction.reduce_greedy t) /. 1000.0 in
-      add_row table
-        [
-          string_of_int n;
-          Printf.sprintf "%.2f" (stats.Gcr.Refine.w_before /. 1000.0);
-          Printf.sprintf "%.2f" (stats.Gcr.Refine.w_after /. 1000.0);
-          string_of_int stats.Gcr.Refine.moves;
-          Printf.sprintf "%.2f" (red tree);
-          Printf.sprintf "%.2f" (red refined);
-        ])
-    sizes;
-  print table;
-  pf "\nHill-climbing repairs local mistakes of the greedy merge order; the\n";
-  pf "residual advantage after gate reduction shows how much of it the\n";
-  pf "reduction pass would have recovered anyway.\n"
-
-let stream_sensitivity () =
-  section "Stream-length sensitivity (the paper's Sec. 3.2 cost argument)";
-  let n = 96 in
-  let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n in
-  let sinks = Benchmarks.Rbench.sinks spec in
-  let rtl =
-    Benchmarks.Workload.make_rtl ~n_modules:n ~n_instructions:32 ~usage:0.4
-      ~n_groups:spec.Benchmarks.Rbench.n_groups
-      ~seed:(spec.Benchmarks.Rbench.seed * 13) ()
-  in
-  let model = Benchmarks.Workload.cpu_model rtl in
-  let config = Gcr.Config.make ~die:(Benchmarks.Rbench.die spec) () in
-  let exact_profile = Activity.Profile.of_model model in
-  let tree = Gcr.Router.route config exact_profile sinks in
-  let w_exact = Gcr.Cost.w_total tree in
-  let open Util.Text_table in
-  let table =
-    create [ ("stream cycles", Right); ("estimated W (pF)", Right); ("error", Right) ]
-  in
-  List.iter
-    (fun cycles ->
-      let profile = Activity.Profile.generate model ~seed:71 ~length:cycles in
-      let recost =
-        Gcr.Gated_tree.build config profile sinks tree.Gcr.Gated_tree.topo
-          ~kind:(fun _ -> Gcr.Gated_tree.Gated)
-      in
-      let w = Gcr.Cost.w_total recost in
-      add_row table
-        [
-          string_of_int cycles;
-          Printf.sprintf "%.2f" (w /. 1000.0);
-          Printf.sprintf "%+.2f%%" (100.0 *. ((w -. w_exact) /. w_exact));
-        ])
-    (if quick then [ 100; 1_000; 10_000 ] else [ 100; 300; 1_000; 3_000; 10_000; 30_000 ]);
-  print table;
-  pf "\nExact (closed-form Markov) W = %.2f pF. A few thousand cycles give\n"
-    (w_exact /. 1000.0);
-  pf "percent-level accuracy; the one-scan tables make even very long\n";
-  pf "streams cheap, which is the paper's point.\n"
-
-let variation_study () =
-  section "Process variation: how robust is the zero-skew guarantee?";
-  let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:128 in
-  let { Benchmarks.Suite.config; profile; sinks; _ } =
-    Benchmarks.Suite.case ~stream_length:2_000 spec
-  in
-  let tree = Gcr.Router.route config profile sinks in
-  let runs = if quick then 30 else 200 in
-  let open Util.Text_table in
-  let table =
-    create
-      [ ("wire sigma", Right); ("mean skew (ps)", Right); ("p95 skew (ps)", Right);
-        ("max skew (ps)", Right); ("of phase delay", Right) ]
-  in
-  List.iter
-    (fun sigma ->
-      let r = Gsim.Variation.monte_carlo ~seed:3 ~sigma ~runs tree in
-      add_row table
-        [
-          Printf.sprintf "%.0f%%" (100.0 *. sigma);
-          Printf.sprintf "%.2f" (r.Gsim.Variation.mean_skew /. 1000.0);
-          Printf.sprintf "%.2f" (r.Gsim.Variation.p95_skew /. 1000.0);
-          Printf.sprintf "%.2f" (r.Gsim.Variation.max_skew /. 1000.0);
-          Printf.sprintf "%.2f%%"
-            (100.0 *. r.Gsim.Variation.p95_skew /. r.Gsim.Variation.nominal_delay);
-        ])
-    [ 0.01; 0.03; 0.05; 0.10 ];
-  print table;
-  pf "\nNominal zero skew is exactly that — nominal; wire variation turns it\n";
-  pf "into a distribution (%d Monte-Carlo runs per row). Any skew budget a\n" runs;
-  pf "design signs off must leave this much margin.\n"
-
-(* ------------------------------------------------------------------ *)
-(* End-to-end validation spot check                                   *)
-(* ------------------------------------------------------------------ *)
-
-let validation () =
-  section "Cross-validation: analytic cost vs cycle-accurate simulation (r1)";
-  let { Benchmarks.Suite.config; profile; sinks; _ } = case "r1" in
-  let reduced =
-    Gcr.Gate_reduction.reduce_greedy (Gcr.Router.route config profile sinks)
-  in
-  let c = Gsim.Check.compare reduced in
-  Format.printf "%a@." Gsim.Check.pp c;
-  Gsim.Check.validate reduced;
-  pf "OK: table-driven probabilities reproduce the simulated switched\n";
-  pf "capacitance exactly (same stream, same counts).\n"
-
-(* ------------------------------------------------------------------ *)
-(* Bechamel micro/kernel benchmarks: one Test.make per experiment     *)
-(* ------------------------------------------------------------------ *)
-
-let bechamel_tests () =
-  let open Bechamel in
-  (* small shared instances so each test runs in microseconds-to-millis *)
-  let spec64 = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:64 in
-  let case64 = Benchmarks.Suite.case ~stream_length:1_000 spec64 in
-  let { Benchmarks.Suite.config; profile; sinks; _ } = case64 in
-  let routed = Gcr.Router.route config profile sinks in
-  let stream = Activity.Profile.stream profile in
-  let n_mods = Activity.Profile.n_modules profile in
-  let big_set = Activity.Module_set.of_list n_mods [ 0; 13; 27; 41; 63 ] in
-  let die = Benchmarks.Rbench.die spec64 in
-  let distributed = Gcr.Controller.distributed die ~k:16 in
-  let tech = config.Gcr.Config.tech in
-  let branch =
-    { Clocktree.Zskew.delay = 120.0; cap = 40.0; gate = Some tech.Clocktree.Tech.and_gate }
-  in
-  [
-    (* Table 4 kernel: one-scan table construction *)
-    Test.make ~name:"table4/profile-build"
-      (Staged.stage (fun () -> ignore (Activity.Profile.of_stream stream)));
-    (* Figure 3 kernel: full gated route of a 64-sink suite *)
-    Test.make ~name:"fig3/route-64"
-      (Staged.stage (fun () -> ignore (Gcr.Router.route config profile sinks)));
-    (* Figure 4 kernel: the probability queries behind every enable *)
-    Test.make ~name:"fig4/p-any"
-      (Staged.stage (fun () -> ignore (Activity.Profile.p profile big_set)));
-    Test.make ~name:"fig4/ptr"
-      (Staged.stage (fun () -> ignore (Activity.Profile.ptr profile big_set)));
-    (* Figure 5 kernel: a half-fraction gate reduction *)
-    Test.make ~name:"fig5/reduce-half"
-      (Staged.stage (fun () ->
-           ignore (Gcr.Gate_reduction.reduce_fraction routed ~fraction:0.5)));
-    (* Figure 6 kernel: routing against a 16-way distributed controller *)
-    Test.make ~name:"fig6/route-distributed"
-      (Staged.stage (fun () ->
-           let config = Gcr.Config.make ~controller:distributed ~die () in
-           ignore (Gcr.Router.route config profile sinks)));
-    (* probability-kernel micro-benchmarks: table scans vs the
-       instruction-hit signature kernel, same set *)
-    Test.make ~name:"micro/sig-p"
-      (let kern =
-         match Activity.Profile.signature_kernel profile with
-         | Some k -> k
-         | None -> assert false
-       in
-       let s = Activity.Signature.of_set kern big_set in
-       Staged.stage (fun () -> ignore (Activity.Signature.p kern s)));
-    Test.make ~name:"micro/sig-ptr"
-      (let kern =
-         match Activity.Profile.signature_kernel profile with
-         | Some k -> k
-         | None -> assert false
-       in
-       let s = Activity.Signature.of_set kern big_set in
-       Staged.stage (fun () -> ignore (Activity.Signature.ptr kern s)));
-    (* substrate micro-benchmarks *)
-    Test.make ~name:"micro/zskew-split"
-      (Staged.stage (fun () -> ignore (Clocktree.Zskew.split tech branch branch ~dist:300.0)));
-    Test.make ~name:"micro/simulate-1k-cycles"
-      (Staged.stage (fun () -> ignore (Gsim.Gate_sim.run routed stream)));
-    Test.make ~name:"micro/tapered-sizing"
-      (Staged.stage (fun () -> ignore (Gcr.Sizing.tapered routed)));
-    Test.make ~name:"micro/power-trace"
-      (Staged.stage (fun () ->
-           ignore (Gsim.Trace.power_trace routed stream ~window:100)));
-  ]
-
-let run_bechamel () =
-  section "Bechamel kernel timings (one per table/figure + micro)";
-  let open Bechamel in
-  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
-  let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:200
-      ~quota:(Time.second (if quick then 0.25 else 1.0))
-      ~kde:None ()
-  in
-  let tests = Test.make_grouped ~name:"gcr" (bechamel_tests ()) in
-  let raw = Benchmark.all cfg instances tests in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols ->
-      let ns = match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan in
-      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
-      rows := (name, ns, r2) :: !rows)
-    results;
-  let open Util.Text_table in
-  let table = create [ ("kernel", Left); ("time/run", Right); ("r^2", Right) ] in
-  let pretty ns =
-    if ns >= 1.0e9 then Printf.sprintf "%.2f s" (ns /. 1.0e9)
-    else if ns >= 1.0e6 then Printf.sprintf "%.2f ms" (ns /. 1.0e6)
-    else if ns >= 1.0e3 then Printf.sprintf "%.2f us" (ns /. 1.0e3)
-    else Printf.sprintf "%.0f ns" ns
-  in
-  List.iter
-    (fun (name, ns, r2) -> add_row table [ name; pretty ns; Printf.sprintf "%.3f" r2 ])
-    (List.sort compare !rows);
-  print table
-
-(* ------------------------------------------------------------------ *)
-(* Scaling: the O(K N^2 log N) construction in practice               *)
-(* ------------------------------------------------------------------ *)
-
-let scaling () =
-  section "Construction-time scaling (paper Sec. 4.2 complexity)";
-  let sizes = if quick then [ 32; 64; 128 ] else [ 64; 128; 256; 512; 1024 ] in
-  let open Util.Text_table in
-  let table = create [ ("sinks", Right); ("route (ms)", Right); ("reduce (ms)", Right) ] in
-  List.iter
-    (fun n ->
-      let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n in
-      let { Benchmarks.Suite.config; profile; sinks; _ } =
-        Benchmarks.Suite.case ~stream_length:1_000 spec
-      in
-      let t0 = Util.Obs.Clock.now () in
-      let tree = Gcr.Router.route config profile sinks in
-      let t1 = Util.Obs.Clock.now () in
-      ignore (Gcr.Gate_reduction.reduce_greedy tree);
-      let t2 = Util.Obs.Clock.now () in
-      add_row table
-        [
-          string_of_int n;
-          Printf.sprintf "%.1f" (1000.0 *. (t1 -. t0));
-          Printf.sprintf "%.1f" (1000.0 *. (t2 -. t1));
-        ])
-    sizes;
-  print table
-
-(* ------------------------------------------------------------------ *)
-(* Greedy-merge scaling: NN-heap (+ spatial grid) vs all-pairs heap   *)
-(* ------------------------------------------------------------------ *)
-
-(* The pre-optimization activity-only merge, replicated inline as the
-   baseline: a fresh Module_set.union + Profile.p per candidate
-   evaluation (no memoization, no scratch buffers) on the all-pairs
-   heap. *)
-let old_activity_topology (config : Gcr.Config.t) profile sinks =
-  let tech = config.Gcr.Config.tech in
-  let n = Array.length sinks in
-  let grow =
-    Clocktree.Grow.create tech ~edge_gate:(Some tech.Clocktree.Tech.and_gate) sinks
-  in
-  let enables = Array.make ((2 * n) - 1) None in
-  for v = 0 to n - 1 do
-    enables.(v) <- Some (Gcr.Enable.of_sink profile sinks.(v))
-  done;
-  let enable v = match enables.(v) with Some e -> e | None -> assert false in
-  let tie = 1e-6 /. (1.0 +. Geometry.Bbox.width config.Gcr.Config.die) in
-  let cost a b =
-    let u =
-      Activity.Module_set.union (enable a).Gcr.Enable.mods (enable b).Gcr.Enable.mods
-    in
-    Activity.Profile.p profile u +. (tie *. Clocktree.Grow.dist grow a b)
-  in
-  let merge a b =
-    let k = Clocktree.Grow.merge grow a b in
-    enables.(k) <- Some (Gcr.Enable.merge profile (enable a) (enable b));
-    k
-  in
-  let _root = Clocktree.Greedy.merge_all_dense ~n ~cost ~merge in
-  Clocktree.Grow.topology grow
-
-let greedy_scaling () =
-  section "Greedy-merge scaling: NN-heap (+ spatial grid) vs all-pairs heap";
-  let geo_sizes = if quick then [ 100; 250 ] else [ 250; 500; 1000; 2000; 3101; 6000 ] in
-  let act_sizes = if quick then [ 100 ] else [ 250; 500; 1000; 2000; 4000; 6000 ] in
-  let geo_dense_cap = if quick then 250 else 3101 in
-  let act_dense_cap = if quick then 100 else 2000 in
-  let time f =
-    let t0 = Util.Obs.Clock.now () in
-    let r = f () in
-    (r, Util.Obs.Clock.now () -. t0)
-  in
-  let js = Buffer.create 1024 in
-  Buffer.add_string js "{\n";
-  Buffer.add_string js (Printf.sprintf "  \"quick\": %b,\n" quick);
-  let open Util.Text_table in
-  (* geometric: Nn spatial grid vs dense all-pairs heap *)
-  let geo =
-    create ~title:"Geometric merge (Grow.dist cost)"
-      [ ("sinks", Right); ("spatial (s)", Right); ("all-pairs (s)", Right);
-        ("speedup", Right); ("wirelength rel err", Right) ]
-  in
-  Buffer.add_string js "  \"geometric\": [\n";
-  let first = ref true in
-  List.iter
-    (fun n ->
-      let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n in
-      let sinks = Benchmarks.Rbench.sinks spec in
-      let tech = Clocktree.Tech.default in
-      let wirelength topo =
-        Clocktree.Mseg.total_wirelength
-          (Clocktree.Mseg.build tech topo ~sinks ~gate_on_edge:(fun _ -> None))
-      in
-      let fast_topo, fast_t =
-        time (fun () -> Clocktree.Nn.topology tech ~edge_gate:None sinks)
-      in
-      let dense =
-        if n <= geo_dense_cap then begin
-          let dense_topo, dense_t =
-            time (fun () -> Clocktree.Nn.topology_dense tech ~edge_gate:None sinks)
-          in
-          let wf = wirelength fast_topo and wd = wirelength dense_topo in
-          Some (dense_t, Float.abs (wf -. wd) /. (1.0 +. Float.abs wd))
-        end
-        else None
-      in
-      (match dense with
-      | Some (dense_t, err) ->
-        add_row geo
-          [ string_of_int n; Printf.sprintf "%.3f" fast_t; Printf.sprintf "%.3f" dense_t;
-            Printf.sprintf "%.1fx" (dense_t /. fast_t); Printf.sprintf "%.2e" err ];
-        if not !first then Buffer.add_string js ",\n";
-        Buffer.add_string js
-          (Printf.sprintf
-             "    {\"n\": %d, \"spatial_s\": %.6f, \"dense_s\": %.6f, \"speedup\": \
-              %.2f, \"wirelength_rel_err\": %.3e}"
-             n fast_t dense_t (dense_t /. fast_t) err)
-      | None ->
-        add_row geo
-          [ string_of_int n; Printf.sprintf "%.3f" fast_t; "-"; "-"; "-" ];
-        if not !first then Buffer.add_string js ",\n";
-        Buffer.add_string js
-          (Printf.sprintf
-             "    {\"n\": %d, \"spatial_s\": %.6f, \"dense_s\": null, \"speedup\": \
-              null, \"wirelength_rel_err\": null}"
-             n fast_t));
-      first := false)
-    geo_sizes;
-  Buffer.add_string js "\n  ],\n";
-  print geo;
-  print_newline ();
-  (* activity: signature kernel + bound-pruned NN-heap vs the unmemoized
-     all-pairs baseline *)
-  let act =
-    create ~title:"Activity-only merge (P(union) cost, Tellez-style)"
-      [ ("sinks", Right); ("signature (s)", Right); ("old dense (s)", Right);
-        ("speedup", Right); ("W_total rel err", Right) ]
-  in
-  Buffer.add_string js "  \"activity\": [\n";
-  first := true;
-  List.iter
-    (fun n ->
-      let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n in
-      let { Benchmarks.Suite.config; profile; sinks; _ } =
-        Benchmarks.Suite.case ~stream_length:1_000 spec
-      in
-      let w topo =
-        Gcr.Cost.w_total
-          (Gcr.Gated_tree.build config profile sinks topo ~kind:(fun _ ->
-               Gcr.Gated_tree.Gated))
-      in
-      let fast_topo, fast_t =
-        time (fun () -> Gcr.Activity_router.topology config profile sinks)
-      in
-      if n <= act_dense_cap then begin
-        let old_topo, old_t = time (fun () -> old_activity_topology config profile sinks) in
-        let wf = w fast_topo and wo = w old_topo in
-        let err = Float.abs (wf -. wo) /. (1.0 +. Float.abs wo) in
-        add_row act
-          [ string_of_int n; Printf.sprintf "%.3f" fast_t; Printf.sprintf "%.3f" old_t;
-            Printf.sprintf "%.1fx" (old_t /. fast_t); Printf.sprintf "%.2e" err ];
-        if not !first then Buffer.add_string js ",\n";
-        Buffer.add_string js
-          (Printf.sprintf
-             "    {\"n\": %d, \"signature_s\": %.6f, \"old_dense_s\": %.6f, \
-              \"speedup\": %.2f, \"w_total_rel_err\": %.3e}"
-             n fast_t old_t (old_t /. fast_t) err)
-      end
-      else begin
-        add_row act
-          [ string_of_int n; Printf.sprintf "%.3f" fast_t; "-"; "-"; "-" ];
-        if not !first then Buffer.add_string js ",\n";
-        Buffer.add_string js
-          (Printf.sprintf
-             "    {\"n\": %d, \"signature_s\": %.6f, \"old_dense_s\": null, \
-              \"speedup\": null, \"w_total_rel_err\": null}"
-             n fast_t)
-      end;
-      first := false)
-    act_sizes;
-  Buffer.add_string js "\n  ],\n";
-  print act;
-  print_newline ();
-  (* probability-kernel microbench: per-query cost of the raw table
-     scans vs the signature kernel, identical random sets *)
-  let micro_n = if quick then 100 else 2000 in
-  let spec =
-    Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:micro_n
-  in
-  let { Benchmarks.Suite.profile; _ } =
-    Benchmarks.Suite.case ~stream_length:1_000 spec
-  in
-  let ift = Activity.Profile.ift profile and imatt = Activity.Profile.imatt profile in
-  let kern =
-    match Activity.Profile.signature_kernel profile with
-    | Some k -> k
-    | None -> assert false
-  in
-  let n_mods = Activity.Profile.n_modules profile in
-  let prng = Util.Prng.create 42 in
-  let n_sets = 256 in
-  let sets =
-    Array.init n_sets (fun _ ->
-        let s = ref (Activity.Module_set.empty n_mods) in
-        for _ = 1 to 16 do
-          s := Activity.Module_set.add !s (Util.Prng.int prng n_mods)
-        done;
-        !s)
-  in
-  let sigs = Array.map (Activity.Signature.of_set kern) sets in
-  let iters = if quick then 2_000 else 200_000 in
-  let per_query f =
-    let sink = ref 0.0 in
-    for i = 0 to n_sets - 1 do
-      sink := !sink +. f i
-    done;
-    let t0 = Util.Obs.Clock.now () in
-    for it = 0 to iters - 1 do
-      sink := !sink +. f (it land (n_sets - 1))
-    done;
-    let dt = Util.Obs.Clock.now () -. t0 in
-    Sys.opaque_identity !sink |> ignore;
-    1e9 *. dt /. float_of_int iters
-  in
-  let next i = (i + 1) land (n_sets - 1) in
-  let kernel_rows =
-    [
-      ("p_any_ns", "Ift.p_any (scan)",
-       per_query (fun i -> Activity.Ift.p_any ift sets.(i)));
-      ("sig_p_ns", "Signature.p",
-       per_query (fun i -> Activity.Signature.p kern sigs.(i)));
-      ("ptr_ns", "Imatt.ptr (scan)",
-       per_query (fun i -> Activity.Imatt.ptr imatt sets.(i)));
-      ("sig_ptr_ns", "Signature.ptr",
-       per_query (fun i -> Activity.Signature.ptr kern sigs.(i)));
-      ("sig_p_union_ns", "Signature.p_union",
-       per_query (fun i -> Activity.Signature.p_union kern sigs.(i) sigs.(next i)));
-    ]
-  in
-  let micro =
-    create
-      ~title:
-        (Printf.sprintf "Probability kernels (%d-module universe, ns/query)"
-           n_mods)
-      [ ("kernel", Left); ("ns/query", Right) ]
-  in
-  List.iter
-    (fun (_, label, ns) -> add_row micro [ label; Printf.sprintf "%.0f" ns ])
-    kernel_rows;
-  print micro;
-  Buffer.add_string js
-    (Printf.sprintf "  \"kernel_micro\": {\"n_modules\": %d" n_mods);
-  List.iter
-    (fun (key, _, ns) -> Buffer.add_string js (Printf.sprintf ", \"%s\": %.1f" key ns))
-    kernel_rows;
-  Buffer.add_string js "}\n}\n";
-  let out =
-    match Sys.getenv_opt "GCR_BENCH_OUT" with Some p -> p | None -> "BENCH_greedy.json"
-  in
-  let oc = open_out out in
-  output_string oc (Buffer.contents js);
-  close_out oc;
-  pf "\nWrote %s. The all-pairs heap seeds n(n-1)/2 entries (~4.8M at 3101\n" out;
-  pf "sinks); the NN-heap keeps one entry per active root and asks the grid\n";
-  pf "(geometric) or a bound-pruned signature scan (activity) for each\n";
-  pf "root's best partner.\n"
-
-(* ------------------------------------------------------------------ *)
-(* Guard overhead: Flow.run vs run_checked Default vs Paranoid         *)
-(* ------------------------------------------------------------------ *)
-
-let guard_overhead () =
-  section "Checked-pipeline overhead: run vs run_checked (default / paranoid)";
-  let n = if quick then 250 else 2000 in
-  let reps = if quick then 2 else 3 in
-  let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n in
-  let { Benchmarks.Suite.sinks; profile; config; _ } =
-    Benchmarks.Suite.case ~stream_length:1_000 spec
-  in
-  let best f =
-    let t = ref infinity in
-    for _ = 1 to reps do
-      let t0 = Util.Obs.Clock.now () in
-      Sys.opaque_identity (f ()) |> ignore;
-      t := Float.min !t (Util.Obs.Clock.now () -. t0)
-    done;
-    !t
-  in
-  let plain = best (fun () -> Gcr.Flow.run config profile sinks) in
-  let checked mode =
-    best (fun () ->
-        match Gcr.Flow.run_checked ~mode config profile sinks with
-        | Ok tree -> tree
-        | Error _ -> assert false)
-  in
-  let dflt = checked Gcr.Flow.Default in
-  let para = checked Gcr.Flow.Paranoid in
-  let open Util.Text_table in
-  let t =
-    create
-      ~title:(Printf.sprintf "Full pipeline, %d sinks (best of %d)" n reps)
-      [ ("variant", Left); ("time (s)", Right); ("vs run", Right) ]
-  in
-  add_row t [ "Flow.run (unchecked)"; Printf.sprintf "%.3f" plain; "1.00x" ];
-  add_row t
-    [ "run_checked Default"; Printf.sprintf "%.3f" dflt;
-      Printf.sprintf "%.2fx" (dflt /. plain) ];
-  add_row t
-    [ "run_checked Paranoid"; Printf.sprintf "%.3f" para;
-      Printf.sprintf "%.2fx" (para /. plain) ];
-  print t;
-  pf "\nBudgets (ISSUE 4): default guards <= 1.05x, paranoid <= 2x.\n"
-
-(* ------------------------------------------------------------------ *)
-(* Trace overhead: Obs instrumentation disabled vs enabled            *)
-(* ------------------------------------------------------------------ *)
-
-let trace_overhead () =
-  section "Observability overhead: Obs tracing off vs on";
-  let n = if quick then 250 else 2000 in
-  let reps = if quick then 2 else 3 in
-  let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n in
-  let { Benchmarks.Suite.sinks; profile; config; _ } =
-    Benchmarks.Suite.case ~stream_length:1_000 spec
-  in
-  let was_on = Util.Obs.enabled () in
-  let best enabled =
-    Util.Obs.set_enabled enabled;
-    let t = ref infinity in
-    for _ = 1 to reps do
-      let t0 = Util.Obs.Clock.now () in
-      Sys.opaque_identity (Gcr.Flow.run config profile sinks) |> ignore;
-      t := Float.min !t (Util.Obs.Clock.now () -. t0)
-    done;
-    !t
-  in
-  let off = best false in
-  let on = best true in
-  Util.Obs.set_enabled was_on;
-  let open Util.Text_table in
-  let t =
-    create
-      ~title:(Printf.sprintf "Flow.run, %d sinks (best of %d)" n reps)
-      [ ("variant", Left); ("time (s)", Right); ("vs off", Right) ]
-  in
-  add_row t [ "trace off"; Printf.sprintf "%.3f" off; "1.00x" ];
-  add_row t [ "trace on"; Printf.sprintf "%.3f" on; Printf.sprintf "%.2fx" (on /. off) ];
-  print t;
-  pf "\nBudget (ISSUE 5): trace-on <= 1.05x at 2000 sinks.\n"
-
-(* When this process itself ran traced (GCR_TRACE=1), dump its own run
-   report so CI can archive it next to BENCH_greedy.json. *)
-let dump_obs_report () =
-  if Util.Obs.enabled () then begin
-    let out =
-      match Sys.getenv_opt "GCR_OBS_OUT" with
-      | Some p -> p
-      | None -> "BENCH_obs_report.json"
-    in
-    let oc = open_out out in
-    output_string oc (Util.Obs.to_json (Util.Obs.snapshot ()));
-    close_out oc;
-    pf "Wrote %s (Obs run report).\n" out
-  end
+   `gcr bench` exposes the same knobs as proper flags. Unknown section
+   names exit 64 (usage error) after listing the known ones. *)
 
 let () =
-  pf "Gated Clock Routing Minimizing the Switched Capacitance (DATE'98)\n";
-  pf "Reproduction harness%s\n" (if quick then " [quick mode]" else "");
-  (* GCR_BENCH_ONLY=guard-overhead runs just the checked-pipeline timing
-     (the EXPERIMENTS.md overhead entry) without the full harness;
-     trace-overhead likewise for the ISSUE 5 observability entry. *)
-  match Sys.getenv_opt "GCR_BENCH_ONLY" with
-  | Some "guard-overhead" ->
-    guard_overhead ();
-    dump_obs_report ()
-  | Some "trace-overhead" ->
-    trace_overhead ();
-    dump_obs_report ()
-  | Some other -> pf "unknown GCR_BENCH_ONLY section %S\n" other
-  | None ->
-  table4 ();
-  fig3 ();
-  fig4 ();
-  fig5 ();
-  fig6 ();
-  ablate_cost ();
-  ablate_ctrl_terms ();
-  ablate_forced_insertion ();
-  ablate_sizing ();
-  ablate_skew_budget ();
-  ablate_refinement ();
-  stream_sensitivity ();
-  variation_study ();
-  validation ();
-  scaling ();
-  greedy_scaling ();
-  guard_overhead ();
-  trace_overhead ();
-  run_bechamel ();
-  dump_obs_report ();
-  pf "\nDone. See EXPERIMENTS.md for the paper-vs-measured record.\n"
+  let quick =
+    match Sys.getenv_opt "GCR_BENCH_QUICK" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true
+  in
+  let only =
+    match Sys.getenv_opt "GCR_BENCH_ONLY" with
+    | None | Some "" -> None
+    | Some s -> Some (String.split_on_char ',' (String.trim s))
+  in
+  let out =
+    match Sys.getenv_opt "GCR_BENCH_OUT" with
+    | None | Some "" -> "BENCH_greedy.json"
+    | Some p -> p
+  in
+  try Bench_harness.run ~quick ?only ~out ()
+  with Invalid_argument msg ->
+    prerr_endline msg;
+    exit 64

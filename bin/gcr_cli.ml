@@ -579,6 +579,42 @@ let stats_cmd file =
 let stats_t = Term.(const stats_cmd $ stats_file_arg)
 
 (* ------------------------------------------------------------------ *)
+(* bench: the full benchmark harness as a subcommand                   *)
+(* ------------------------------------------------------------------ *)
+
+let bench_quick_arg =
+  let doc =
+    "Shrink every experiment to its smoke size (what CI runs per PR)."
+  in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let bench_only_arg =
+  let doc =
+    "Run only these harness sections (repeatable, or comma-separated; \
+     unknown names list the known ones and exit 64)."
+  in
+  Arg.(value & opt_all (list string) [] & info [ "only" ] ~docv:"SECTION" ~doc)
+
+let bench_out_arg =
+  let doc = "Write the assembled JSON results document to $(docv)." in
+  Arg.(
+    value
+    & opt string "BENCH_greedy.json"
+    & info [ "out" ] ~docv:"FILE" ~doc)
+
+let bench_cmd quick only out =
+  with_diagnostics @@ fun () ->
+  let only = match List.concat only with [] -> None | l -> Some l in
+  try Bench_harness.run ~quick ?only ~out ()
+  with Invalid_argument msg ->
+    (* unknown section name: a usage error, not bad data *)
+    Format.eprintf "gcr: %s@." msg;
+    exit 64
+
+let bench_t =
+  Term.(const bench_cmd $ bench_quick_arg $ bench_only_arg $ bench_out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* assembly                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -597,6 +633,7 @@ let main =
       cmd "sweep-activity" "Module-activity sweep (Figure 4)." sweep_activity_t;
       cmd "controllers" "Distributed-controller study (Figure 6)." controllers_t;
       cmd "table4" "Benchmark characteristics (Table 4)." table4_t;
+      cmd "bench" "Run the benchmark harness (subset via --only)." bench_t;
       cmd "fuzz" "Randomized whole-pipeline conformance fuzzing." fuzz_t;
       cmd "stats" "Render a saved --trace=json run report." stats_t;
       cmd "svg" "Render a routed tree to SVG." svg_t;

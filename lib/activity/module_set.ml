@@ -71,13 +71,8 @@ let subset a b =
   in
   scan 0
 
-(* Kernighan: each iteration clears the lowest set bit, so the loop runs
-   once per member rather than once per bit of the word. *)
-let popcount w =
-  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
-  go w 0
-
-let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.bits
+let cardinal s =
+  Array.fold_left (fun acc w -> acc + Util.Popcnt.count w) 0 s.bits
 
 let equal a b = a.n = b.n && Array.for_all2 ( = ) a.bits b.bits
 

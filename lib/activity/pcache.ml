@@ -111,6 +111,23 @@ let p_union t a b =
   Module_set.union_into t.buf a b;
   lookup t
 
+(* Element-wise [p_union] over one base set: the batched shape the greedy
+   engine's [cost_many] hands us. Each element runs the ordinary
+   union-into-scratch + lookup, so it counts exactly one hit or one miss
+   and fills the memo table exactly as [cnt] scalar calls would — the
+   batching here is purely the call shape (the scratch buffer and hash
+   state are reused across the loop with no per-element setup). *)
+let p_union_batch t a ?n bs out =
+  let cnt = match n with Some n -> n | None -> Array.length bs in
+  if cnt < 0 || cnt > Array.length bs then
+    invalid_arg "Pcache.p_union_batch: n exceeds input array";
+  if cnt > Array.length out then
+    invalid_arg "Pcache.p_union_batch: output array too short";
+  for i = 0 to cnt - 1 do
+    Module_set.union_into t.buf a bs.(i);
+    out.(i) <- lookup t
+  done
+
 let p t s =
   Module_set.blit_into t.buf s;
   lookup t

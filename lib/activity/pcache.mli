@@ -29,6 +29,14 @@ val p_union : t -> Module_set.t -> Module_set.t -> float
     the union (except on the first query for that set). Raises
     [Invalid_argument] on a universe mismatch. *)
 
+val p_union_batch : t -> Module_set.t -> ?n:int -> Module_set.t array -> float array -> unit
+(** [p_union_batch c a bs out] fills [out.(i)] with [p_union c a bs.(i)]
+    for [i < n] (default: all of [bs]) — the batched call shape
+    {!Clocktree.Greedy}'s [cost_many] wants. Element-wise identical to
+    the scalar calls: each element counts exactly one hit or one miss in
+    {!stats} and populates the memo table the same way. Raises
+    [Invalid_argument] when [n] exceeds either array. *)
+
 val stats : t -> int * int
 (** [(hits, misses)] since creation or the last {!reset_stats}. *)
 

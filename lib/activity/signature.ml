@@ -1,16 +1,37 @@
 (* Bit layout mirrors Module_set: 62 bits per word, clear of the tag bit
-   and sign. Weighted popcounts go through per-byte count-sum tables —
-   [sum.(((word * 8) + byte) * 256 + v)] is the total count of the bits
-   set in byte value [v] at that byte position — so a query is 8 table
-   adds per word instead of a loop over set bits. Sums are integers; the
-   final division is the same [hits / total] the table scans perform, so
-   results are bit-for-bit identical to Ift.p_any / Imatt.ptr. *)
+   and sign. Weighted popcounts are word-parallel over bit-sliced weight
+   planes: plane [b] of word [w] holds exactly the bits whose integer
+   count has bit [b] set, so the count-weighted popcount of a query word
+   [x] is [Σ_b 2^b · popcnt (x land plane_b)] — a few hardware popcounts
+   per word instead of the per-byte count-sum tables (8 table adds) this
+   replaces. Planes encode only the low [np] bits of each count; the few
+   bits with larger counts are flagged in a per-word [heavy] mask and top
+   the sum up via a CTZ walk over the full [weights] (see build_arena for
+   how [np] is chosen). Each section (instruction counts; IMATT row
+   counts) lives in one flat int Bigarray
+
+     [ planes : nwords * np | masks : nwords | heavy : nwords
+     | totals : nwords | weights : nwords * 62 ]
+
+   word-major ([w * np + b]; weight of bit [b] of word [w] at
+   [nwords * (np + 3) + w * 62 + b]), shared verbatim with
+   signature_stubs.c: the C kernels walk the raw intnat data, the OCaml
+   fallback reads the same arena through Util.Popcnt. [masks] (the
+   weighted bits of each word), [totals] (their weight sum) and the
+   per-bit [weights] feed density shortcuts — a zero query word
+   contributes nothing, a saturated one ([x land mask = mask])
+   contributes [totals.(w)] outright, and when the set (or missing) bits
+   number fewer than [np] a count-trailing-zeros walk over them against
+   [weights] beats the plane loop. Every path computes the same exact
+   integer sum; the final division is the same [hits / total] the table
+   scans perform, so results are bit-for-bit identical to Ift.p_any /
+   Imatt.ptr whichever implementation answers. *)
 
 let bits_per_word = 62
 
-let bytes_per_word = 8 (* bits 0..61: 7 full bytes + 6 bits *)
-
 let words_for n = max 1 ((n + bits_per_word - 1) / bits_per_word)
+
+type planes = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type kernel = {
   rtl : Rtl.t;
@@ -22,24 +43,148 @@ type kernel = {
   row_second : int array;
   total : int; (* IFT cycles *)
   total_pairs : int; (* IMATT pairs *)
-  psum : int array; (* instruction-count byte tables, hwords * 8 * 256 *)
-  rsum : int array; (* row-count byte tables, rwords * 8 * 256 *)
+  p_np : int; (* low-weight planes for instruction counts *)
+  p_arena : planes; (* hwords * (p_np + 3 + 62); see build_arena *)
+  r_np : int; (* low-weight planes for row counts *)
+  r_arena : planes; (* rwords * (r_np + 3 + 62); see build_arena *)
+  use_c : bool; (* answer queries in C; false = OCaml fallback *)
 }
 
-type t = { hits : int array; now : int array; next : int array }
+(* Field order is ABI: signature_stubs.c reads hits/now/next/tog as
+   Field 0/1/2/3 of this record. [tog] caches [now lxor next] — the Ptr
+   query word — and is maintained by every constructor, so the ptr
+   kernels load one array per signature instead of two plus an xor. *)
+type t = { hits : int array; now : int array; next : int array; tog : int array }
 
-let set_bit words i = words.(i / bits_per_word) <- words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+(* ------------------------------------------------------------------ *)
+(* C kernels (see signature_stubs.c for the layout contract).         *)
+(* ------------------------------------------------------------------ *)
 
-let get_bit words i = words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+external c_p :
+  planes -> (int[@untagged]) -> (int[@untagged]) -> t -> (int[@untagged])
+  -> (float[@unboxed]) = "gcr_sig_p_byte" "gcr_sig_p"
+[@@noalloc]
 
-(* Add [weight] to every table entry whose byte value has bit [i] set. *)
-let table_add sum i weight =
-  let w = i / bits_per_word and b = i mod bits_per_word in
-  let base = ((w * bytes_per_word) + (b / 8)) * 256 in
-  let bit = 1 lsl (b mod 8) in
-  for v = 0 to 255 do
-    if v land bit <> 0 then sum.(base + v) <- sum.(base + v) + weight
-  done
+external c_ptr :
+  planes -> (int[@untagged]) -> (int[@untagged]) -> t -> (int[@untagged])
+  -> (float[@unboxed]) = "gcr_sig_ptr_byte" "gcr_sig_ptr"
+[@@noalloc]
+
+external c_p_union :
+  planes -> (int[@untagged]) -> (int[@untagged]) -> t -> t -> (int[@untagged])
+  -> (float[@unboxed]) = "gcr_sig_p_union_byte" "gcr_sig_p_union"
+[@@noalloc]
+
+external c_ptr_union :
+  planes -> (int[@untagged]) -> (int[@untagged]) -> t -> t -> (int[@untagged])
+  -> (float[@unboxed]) = "gcr_sig_ptr_union_byte" "gcr_sig_ptr_union"
+[@@noalloc]
+
+(* The batch stubs validate each signature's geometry in their own loop
+   (a header-word read) and return the first mismatching index, -1 when
+   the whole batch was computed. *)
+external c_p_batch :
+  planes -> (int[@untagged]) -> (int[@untagged]) -> t array -> float array
+  -> (int[@untagged]) -> (int[@untagged]) -> (int[@untagged])
+  = "gcr_sig_p_batch_byte" "gcr_sig_p_batch"
+[@@noalloc]
+
+external c_ptr_batch :
+  planes -> (int[@untagged]) -> (int[@untagged]) -> t array -> float array
+  -> (int[@untagged]) -> (int[@untagged]) -> (int[@untagged])
+  = "gcr_sig_ptr_batch_byte" "gcr_sig_ptr_batch"
+[@@noalloc]
+
+external c_p_union_batch :
+  planes -> (int[@untagged]) -> (int[@untagged]) -> t -> t array -> float array
+  -> (int[@untagged]) -> (int[@untagged]) -> (int[@untagged])
+  = "gcr_sig_p_union_batch_byte" "gcr_sig_p_union_batch"
+[@@noalloc]
+
+(* ------------------------------------------------------------------ *)
+(* OCaml fallback: same arena, same integer sums.                     *)
+(* ------------------------------------------------------------------ *)
+
+let[@inline] wsum_word arena np base x =
+  let acc = ref 0 in
+  for b = 0 to np - 1 do
+    acc :=
+      !acc
+      + (Util.Popcnt.count (x land Bigarray.Array1.unsafe_get arena (base + b))
+        lsl b)
+  done;
+  !acc
+
+let[@inline] word_contrib arena np nwords w x =
+  if x = 0 then 0
+  else
+    let mask = Bigarray.Array1.unsafe_get arena ((nwords * np) + w) in
+    if x land mask = mask then
+      Bigarray.Array1.unsafe_get arena ((nwords * (np + 2)) + w)
+    else begin
+      let acc = ref (wsum_word arena np (w * np) x) in
+      (* Heavy bits: add the weight part the low-[np] planes can't hold. *)
+      let yh = ref (x land Bigarray.Array1.unsafe_get arena ((nwords * (np + 1)) + w)) in
+      if !yh <> 0 then begin
+        let hi_mask = -(1 lsl np) in
+        let woff = (nwords * (np + 3)) + (w * bits_per_word) in
+        while !yh <> 0 do
+          let low = !yh land - !yh in
+          let b = Util.Popcnt.count (low - 1) in
+          acc :=
+            !acc + (Bigarray.Array1.unsafe_get arena (woff + b) land hi_mask);
+          yh := !yh lxor low
+        done
+      end;
+      !acc
+    end
+
+let p_sum_ml kern s =
+  let acc = ref 0 in
+  for w = 0 to kern.hwords - 1 do
+    acc := !acc + word_contrib kern.p_arena kern.p_np kern.hwords w s.hits.(w)
+  done;
+  !acc
+
+let p_union_sum_ml kern a b =
+  let acc = ref 0 in
+  for w = 0 to kern.hwords - 1 do
+    acc :=
+      !acc
+      + word_contrib kern.p_arena kern.p_np kern.hwords w
+          (a.hits.(w) lor b.hits.(w))
+  done;
+  !acc
+
+let ptr_sum_ml kern s =
+  let acc = ref 0 in
+  for w = 0 to kern.rwords - 1 do
+    acc :=
+      !acc
+      + word_contrib kern.r_arena kern.r_np kern.rwords w s.tog.(w)
+  done;
+  !acc
+
+let ptr_union_sum_ml kern a b =
+  let acc = ref 0 in
+  for w = 0 to kern.rwords - 1 do
+    acc :=
+      !acc
+      + word_contrib kern.r_arena kern.r_np kern.rwords w
+          ((a.now.(w) lor b.now.(w)) lxor (a.next.(w) lor b.next.(w)))
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Kernel construction.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let set_bit words i =
+  words.(i / bits_per_word) <-
+    words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+
+let get_bit words i =
+  words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
 
 let same_rtl a b =
   a == b
@@ -51,43 +196,198 @@ let same_rtl a b =
          in
          eq 0)
 
-let kernel ift imatt =
-  let rtl = Ift.rtl ift in
-  if not (same_rtl rtl (Imatt.rtl imatt)) then
-    invalid_arg "Signature.kernel: IFT and IMATT built from different RTLs";
-  let k = Rtl.n_instructions rtl in
-  let rows = Imatt.rows imatt in
-  let n_rows = Array.length rows in
-  let hwords = words_for k and rwords = words_for n_rows in
-  let psum = Array.make (hwords * bytes_per_word * 256) 0 in
-  for i = 0 to k - 1 do
-    table_add psum i (Ift.count ift i)
+let bits_needed m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + 1) in
+  max 1 (go m 0)
+
+(* Pack per-bit integer weights straight into a section arena — one pass
+   over the weights, no 256-entry byte-table sweeps. Layout (word-major,
+   shared with signature_stubs.c):
+   [ planes : nwords*np | masks : nwords | heavy : nwords
+   | totals : nwords | weights : nwords*62 ].
+
+   The planes encode only the low [np] bits of each weight; bits needing
+   more are flagged in [heavy] and top the plane walk up through a CTZ
+   walk over the full [weights]. [np] is chosen per section so a handful
+   of outlier counts (one hot instruction or IMATT row) stops costing
+   every word an extra popcount plane: with [rho] the caller's estimate
+   of query-word density, a plane costs one popcount per word while a
+   heavy bit costs ~[rho] CTZ steps, so we minimize
+   [t + rho * max_heavy_bits_per_word t]. *)
+let build_arena ~rho nwords n weight_of =
+  let maxw = ref 0 in
+  for i = 0 to n - 1 do
+    let c = weight_of i in
+    if c > !maxw then maxw := c
   done;
-  let rsum = Array.make (rwords * bytes_per_word * 256) 0 in
-  Array.iteri (fun r row -> table_add rsum r row.Imatt.count) rows;
-  {
-    rtl;
-    k;
-    n_rows;
-    hwords;
-    rwords;
-    row_first = Array.map (fun r -> r.Imatt.first) rows;
-    row_second = Array.map (fun r -> r.Imatt.second) rows;
-    total = Ift.total_cycles ift;
-    total_pairs = Imatt.total_pairs imatt;
-    psum;
-    rsum;
-  }
+  let np_full = bits_needed !maxw in
+  let heavy_cnt = Array.make_matrix (np_full + 1) nwords 0 in
+  for i = 0 to n - 1 do
+    let c = weight_of i in
+    if c <> 0 then begin
+      let w = i / bits_per_word and need = bits_needed c in
+      for t = 1 to need - 1 do
+        heavy_cnt.(t).(w) <- heavy_cnt.(t).(w) + 1
+      done
+    end
+  done;
+  let hmax t = Array.fold_left max 0 heavy_cnt.(t) in
+  let cost t =
+    let h = hmax t in
+    float_of_int t +. (rho *. float_of_int h)
+    +. (if h > 0 then 0.5 else 0.0)
+  in
+  let np = ref np_full in
+  for t = np_full - 1 downto 1 do
+    if cost t < cost !np then np := t
+  done;
+  let np = !np in
+  let arena =
+    Bigarray.Array1.create Bigarray.int Bigarray.c_layout
+      (nwords * (np + 3 + bits_per_word))
+  in
+  Bigarray.Array1.fill arena 0;
+  let masks_off = nwords * np in
+  let heavy_off = masks_off + nwords in
+  let totals_off = heavy_off + nwords in
+  let weights_off = totals_off + nwords in
+  for i = 0 to n - 1 do
+    let c = weight_of i in
+    if c <> 0 then begin
+      let w = i / bits_per_word and b = i mod bits_per_word in
+      let bit = 1 lsl b in
+      arena.{masks_off + w} <- arena.{masks_off + w} lor bit;
+      if c lsr np <> 0 then
+        arena.{heavy_off + w} <- arena.{heavy_off + w} lor bit;
+      arena.{totals_off + w} <- arena.{totals_off + w} + c;
+      arena.{weights_off + (w * bits_per_word) + b} <- c;
+      for pb = 0 to np - 1 do
+        if c land (1 lsl pb) <> 0 then
+          arena.{(w * np) + pb} <- arena.{(w * np) + pb} lor bit
+      done
+    end
+  done;
+  (np, arena)
+
+let default_use_c =
+  match Sys.getenv_opt "GCR_SIG_KERNEL" with
+  | Some "ocaml" -> false
+  | Some _ | None -> true
+
+let word_mask = (1 lsl bits_per_word) - 1
+
+(* Deterministic probe words: a mix of zero, saturated and pseudo-random
+   words so the self-check crosses all three per-word branches. *)
+let probe_words nwords seed =
+  Array.init nwords (fun w ->
+      match (w + seed) land 3 with
+      | 0 -> 0
+      | 1 -> word_mask
+      | _ ->
+        (((w + seed + 1) * 0x2545F4914F6CDD1D)
+        lxor ((w + seed + 7) * 0x01000193))
+        land word_mask)
+
+(* Confirm the C kernels against the OCaml fallback on this kernel's own
+   arenas. A disagreement means a miscompiled stub; the caller then pins
+   [use_c] to false rather than serve wrong answers fast. *)
+let self_check kern =
+  let mk seed =
+    let now = probe_words kern.rwords (seed + 11)
+    and next = probe_words kern.rwords (seed + 23) in
+    {
+      hits = probe_words kern.hwords seed;
+      now;
+      next;
+      tog = Array.init kern.rwords (fun w -> now.(w) lxor next.(w));
+    }
+  in
+  let a = mk 1 and b = mk 5 in
+  let fl sum total = float_of_int sum /. float_of_int total in
+  let scalar_ok =
+    c_p kern.p_arena kern.p_np kern.hwords a kern.total
+    = fl (p_sum_ml kern a) kern.total
+    && c_ptr kern.r_arena kern.r_np kern.rwords a kern.total_pairs
+       = fl (ptr_sum_ml kern a) kern.total_pairs
+    && c_p_union kern.p_arena kern.p_np kern.hwords a b kern.total
+       = fl (p_union_sum_ml kern a b) kern.total
+    && c_ptr_union kern.r_arena kern.r_np kern.rwords a b kern.total_pairs
+       = fl (ptr_union_sum_ml kern a b) kern.total_pairs
+  in
+  scalar_ok
+  &&
+  let sigs = [| a; b |] in
+  let out = [| 0.0; 0.0 |] in
+  c_p_batch kern.p_arena kern.p_np kern.hwords sigs out 2 kern.total < 0
+  && out.(0) = fl (p_sum_ml kern a) kern.total
+  && out.(1) = fl (p_sum_ml kern b) kern.total
+  && c_ptr_batch kern.r_arena kern.r_np kern.rwords sigs out 2 kern.total_pairs
+     < 0
+  && out.(0) = fl (ptr_sum_ml kern a) kern.total_pairs
+  && out.(1) = fl (ptr_sum_ml kern b) kern.total_pairs
+  && c_p_union_batch kern.p_arena kern.p_np kern.hwords a sigs out 2 kern.total
+     < 0
+  && out.(0) = fl (p_union_sum_ml kern a a) kern.total
+  && out.(1) = fl (p_union_sum_ml kern a b) kern.total
+
+let kernel ?(force_ocaml = false) ift imatt =
+  Util.Obs.span ~name:"sig.kernel_build" (fun () ->
+      let rtl = Ift.rtl ift in
+      if not (same_rtl rtl (Imatt.rtl imatt)) then
+        invalid_arg "Signature.kernel: IFT and IMATT built from different RTLs";
+      let k = Rtl.n_instructions rtl in
+      let rows = Imatt.rows imatt in
+      let n_rows = Array.length rows in
+      let hwords = words_for k and rwords = words_for n_rows in
+      (* Density estimates for the plane-count choice: P queries are hit
+         unions of whole subtrees (dense), Ptr queries are NOW lxor NEXT
+         toggle words (sparse — most rows keep the same enable across
+         the pair). *)
+      let p_np, p_arena = build_arena ~rho:0.6 hwords k (Ift.count ift) in
+      let r_np, r_arena =
+        build_arena ~rho:0.2 rwords n_rows (fun r -> rows.(r).Imatt.count)
+      in
+      let kern =
+        {
+          rtl;
+          k;
+          n_rows;
+          hwords;
+          rwords;
+          row_first = Array.map (fun r -> r.Imatt.first) rows;
+          row_second = Array.map (fun r -> r.Imatt.second) rows;
+          total = Ift.total_cycles ift;
+          total_pairs = Imatt.total_pairs imatt;
+          p_np;
+          p_arena;
+          r_np;
+          r_arena;
+          use_c = (not force_ocaml) && default_use_c;
+        }
+      in
+      if kern.use_c && not (self_check kern) then { kern with use_c = false }
+      else kern)
+
+let uses_c_kernel kern = kern.use_c
+
+(* ------------------------------------------------------------------ *)
+(* Signatures.                                                        *)
+(* ------------------------------------------------------------------ *)
 
 let queries_counter = Util.Obs.counter "signature.queries"
 
 let sets_counter = Util.Obs.counter "signature.sets"
+
+let batch_calls_counter = Util.Obs.counter "sig.batch_calls"
+
+let batch_size_counter = Util.Obs.counter "sig.batch_size"
 
 let create kern =
   {
     hits = Array.make kern.hwords 0;
     now = Array.make kern.rwords 0;
     next = Array.make kern.rwords 0;
+    tog = Array.make kern.rwords 0;
   }
 
 let of_set kern set =
@@ -103,6 +403,9 @@ let of_set kern set =
     if get_bit s.hits kern.row_first.(r) then set_bit s.now r;
     if get_bit s.hits kern.row_second.(r) then set_bit s.next r
   done;
+  for w = 0 to kern.rwords - 1 do
+    s.tog.(w) <- s.now.(w) lxor s.next.(w)
+  done;
   s
 
 let or_words dst a b =
@@ -110,62 +413,143 @@ let or_words dst a b =
     dst.(w) <- a.(w) lor b.(w)
   done
 
+(* [tog] of a union is NOT tog_a lor tog_b — it must be recomputed from
+   the unioned now/next words (a row toggles iff the union's bits
+   differ). Both constructors derive it from the words just written. *)
 let union_into dst a b =
   or_words dst.hits a.hits b.hits;
   or_words dst.now a.now b.now;
-  or_words dst.next a.next b.next
+  or_words dst.next a.next b.next;
+  for w = 0 to Array.length dst.tog - 1 do
+    dst.tog.(w) <- dst.now.(w) lxor dst.next.(w)
+  done
 
 let union a b =
+  let now = Array.init (Array.length a.now) (fun w -> a.now.(w) lor b.now.(w))
+  and next =
+    Array.init (Array.length a.next) (fun w -> a.next.(w) lor b.next.(w))
+  in
   {
     hits = Array.init (Array.length a.hits) (fun w -> a.hits.(w) lor b.hits.(w));
-    now = Array.init (Array.length a.now) (fun w -> a.now.(w) lor b.now.(w));
-    next = Array.init (Array.length a.next) (fun w -> a.next.(w) lor b.next.(w));
+    now;
+    next;
+    tog = Array.init (Array.length now) (fun w -> now.(w) lxor next.(w));
   }
 
-(* Count-weighted popcount of word [x] at word position [w]. *)
-let[@inline] word_sum sum w x =
-  let base = w * bytes_per_word * 256 in
-  sum.(base + (x land 0xff))
-  + sum.(base + 256 + ((x lsr 8) land 0xff))
-  + sum.(base + 512 + ((x lsr 16) land 0xff))
-  + sum.(base + 768 + ((x lsr 24) land 0xff))
-  + sum.(base + 1024 + ((x lsr 32) land 0xff))
-  + sum.(base + 1280 + ((x lsr 40) land 0xff))
-  + sum.(base + 1536 + ((x lsr 48) land 0xff))
-  + sum.(base + 1792 + (x lsr 56))
+(* The C kernels read signature word arrays unchecked, so every array an
+   operation hands to C must be proven to match the kernel's geometry
+   first. P queries touch [hits] only, Ptr queries [tog] only, Ptr-union
+   queries [now]/[next] only; checking just what each path reads keeps
+   the scalar paths lean. *)
+let[@inline] check_hits name kern s =
+  if Array.length s.hits <> kern.hwords then
+    invalid_arg ("Signature." ^ name ^ ": signature/kernel mismatch")
+
+let[@inline] check_tog name kern s =
+  if Array.length s.tog <> kern.rwords then
+    invalid_arg ("Signature." ^ name ^ ": signature/kernel mismatch")
+
+let[@inline] check_rows name kern s =
+  if Array.length s.now <> kern.rwords || Array.length s.next <> kern.rwords
+  then invalid_arg ("Signature." ^ name ^ ": signature/kernel mismatch")
+
+
+(* ------------------------------------------------------------------ *)
+(* Scalar queries.                                                    *)
+(* ------------------------------------------------------------------ *)
 
 let p kern s =
   Util.Obs.incr queries_counter;
-  let acc = ref 0 in
-  for w = 0 to kern.hwords - 1 do
-    let x = s.hits.(w) in
-    if x <> 0 then acc := !acc + word_sum kern.psum w x
-  done;
-  float_of_int !acc /. float_of_int kern.total
+  check_hits "p" kern s;
+  if kern.use_c then c_p kern.p_arena kern.p_np kern.hwords s kern.total
+  else float_of_int (p_sum_ml kern s) /. float_of_int kern.total
 
 let p_union kern a b =
   Util.Obs.incr queries_counter;
-  let acc = ref 0 in
-  for w = 0 to kern.hwords - 1 do
-    let x = a.hits.(w) lor b.hits.(w) in
-    if x <> 0 then acc := !acc + word_sum kern.psum w x
-  done;
-  float_of_int !acc /. float_of_int kern.total
+  check_hits "p_union" kern a;
+  check_hits "p_union" kern b;
+  if kern.use_c then c_p_union kern.p_arena kern.p_np kern.hwords a b kern.total
+  else float_of_int (p_union_sum_ml kern a b) /. float_of_int kern.total
 
 let ptr kern s =
   Util.Obs.incr queries_counter;
-  let acc = ref 0 in
-  for w = 0 to kern.rwords - 1 do
-    let x = s.now.(w) lxor s.next.(w) in
-    if x <> 0 then acc := !acc + word_sum kern.rsum w x
-  done;
-  float_of_int !acc /. float_of_int kern.total_pairs
+  check_tog "ptr" kern s;
+  if kern.use_c then c_ptr kern.r_arena kern.r_np kern.rwords s kern.total_pairs
+  else float_of_int (ptr_sum_ml kern s) /. float_of_int kern.total_pairs
 
 let ptr_union kern a b =
   Util.Obs.incr queries_counter;
-  let acc = ref 0 in
-  for w = 0 to kern.rwords - 1 do
-    let x = (a.now.(w) lor b.now.(w)) lxor (a.next.(w) lor b.next.(w)) in
-    if x <> 0 then acc := !acc + word_sum kern.rsum w x
-  done;
-  float_of_int !acc /. float_of_int kern.total_pairs
+  check_rows "ptr_union" kern a;
+  check_rows "ptr_union" kern b;
+  if kern.use_c then
+    c_ptr_union kern.r_arena kern.r_np kern.rwords a b kern.total_pairs
+  else float_of_int (ptr_union_sum_ml kern a b) /. float_of_int kern.total_pairs
+
+(* ------------------------------------------------------------------ *)
+(* Batched queries: one bounds-checked C call per candidate frontier.  *)
+(* ------------------------------------------------------------------ *)
+
+let batch_n name sigs n out =
+  let n = match n with Some n -> n | None -> Array.length sigs in
+  if n < 0 || n > Array.length sigs then
+    invalid_arg ("Signature." ^ name ^ ": batch count out of range");
+  if n > Array.length out then
+    invalid_arg ("Signature." ^ name ^ ": output array too short");
+  n
+
+let[@inline] batch_obs n =
+  Util.Obs.incr batch_calls_counter;
+  Util.Obs.add batch_size_counter n;
+  Util.Obs.add queries_counter n
+
+(* Geometry validation happens inside the kernel loops (C returns the
+   first bad index; the OCaml fallback checks as it goes), so a raise
+   can leave [out] partially written — documented in the mli. *)
+let[@inline never] bad_batch name =
+  invalid_arg ("Signature." ^ name ^ ": signature/kernel mismatch")
+
+let p_batch kern ?n sigs out =
+  let n = batch_n "p_batch" sigs n out in
+  batch_obs n;
+  if kern.use_c then begin
+    if c_p_batch kern.p_arena kern.p_np kern.hwords sigs out n kern.total >= 0
+    then bad_batch "p_batch"
+  end
+  else
+    for i = 0 to n - 1 do
+      check_hits "p_batch" kern sigs.(i);
+      out.(i) <- float_of_int (p_sum_ml kern sigs.(i)) /. float_of_int kern.total
+    done
+
+let ptr_batch kern ?n sigs out =
+  let n = batch_n "ptr_batch" sigs n out in
+  batch_obs n;
+  if kern.use_c then begin
+    if
+      c_ptr_batch kern.r_arena kern.r_np kern.rwords sigs out n kern.total_pairs
+      >= 0
+    then bad_batch "ptr_batch"
+  end
+  else
+    for i = 0 to n - 1 do
+      check_tog "ptr_batch" kern sigs.(i);
+      out.(i) <-
+        float_of_int (ptr_sum_ml kern sigs.(i)) /. float_of_int kern.total_pairs
+    done
+
+let p_union_batch kern a ?n sigs out =
+  let n = batch_n "p_union_batch" sigs n out in
+  check_hits "p_union_batch" kern a;
+  batch_obs n;
+  if kern.use_c then begin
+    if
+      c_p_union_batch kern.p_arena kern.p_np kern.hwords a sigs out n kern.total
+      >= 0
+    then bad_batch "p_union_batch"
+  end
+  else
+    for i = 0 to n - 1 do
+      check_hits "p_union_batch" kern sigs.(i);
+      out.(i) <-
+        float_of_int (p_union_sum_ml kern a sigs.(i)) /. float_of_int kern.total
+    done

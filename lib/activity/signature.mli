@@ -20,22 +20,43 @@
     H(T)], and since [now(S ∪ T) = now(S) ∨ now(T)], the union's toggle
     bits are exactly [(NOW_S lor NOW_T) lxor (NEXT_S lor NEXT_T)] — so a
     candidate merge's exact [P]/[Ptr] needs no module sets, no RTL walk
-    and no allocation. Weighted popcounts are answered from per-byte
-    count-sum tables (8 lookups per 62-bit word). Hit counters are
-    integers, so {!p} and {!ptr} agree {e bit-for-bit} with {!Ift.p_any}
-    and {!Imatt.ptr}. *)
+    and no allocation.
+
+    Weighted popcounts are answered from bit-sliced weight planes: plane
+    [b] holds the bits whose count has bit [b] set, so one query word
+    costs [⌈log₂ max_count⌉] hardware popcounts —
+    [Σ_b 2^b · popcnt (x land plane_b)] — evaluated by a noalloc C stub
+    (or a pure-OCaml fallback over the same arena; see {!kernel}). Hit
+    sums are integers either way, so {!p} and {!ptr} agree {e bit-for-bit}
+    with {!Ift.p_any} and {!Imatt.ptr}. The batched entry points
+    ({!p_batch}, {!ptr_batch}, {!p_union_batch}) evaluate a whole
+    candidate frontier in one C call, amortizing bounds checks and
+    call overhead. *)
 
 type kernel
-(** The tables: per-instruction and per-row count-sum lookups, shared by
+(** The weight-plane arenas: per-instruction and per-IMATT-row, shared by
     every signature derived from one profile. *)
 
-type t = { hits : int array; now : int array; next : int array }
-(** The signature of one module set. Treat as immutable: {!union_into}
-    writes only into signatures created by {!create}. *)
+type t = { hits : int array; now : int array; next : int array; tog : int array }
+(** The signature of one module set. [tog] caches [now lxor next] — the
+    [Ptr] query word — and is kept consistent by every constructor here;
+    build [t] values only through {!of_set}, {!create} and {!union}.
+    Treat as immutable: {!union_into} writes only into signatures
+    created by {!create}. (Field order is ABI with the C stubs — do not
+    reorder.) *)
 
-val kernel : Ift.t -> Imatt.t -> kernel
+val kernel : ?force_ocaml:bool -> Ift.t -> Imatt.t -> kernel
 (** Build the kernel for one profile's table pair. Raises
-    [Invalid_argument] when the two tables disagree on their RTL. *)
+    [Invalid_argument] when the two tables disagree on their RTL.
+
+    Queries run through the C stub unless [force_ocaml] is set,
+    [GCR_SIG_KERNEL=ocaml] is in the environment, or the build-time
+    self-check (C vs OCaml on probe signatures) disagrees — all three
+    pin the kernel to the pure-OCaml fallback, which computes the same
+    integer sums over the same arena. *)
+
+val uses_c_kernel : kernel -> bool
+(** Whether this kernel answers queries in C (for tests/diagnostics). *)
 
 val of_set : kernel -> Module_set.t -> t
 (** Signature of a module set: one scan of the RTL's used-module sets
@@ -64,3 +85,23 @@ val p_union : kernel -> t -> t -> float
 
 val ptr_union : kernel -> t -> t -> float
 (** [Ptr(EN)] of the union, likewise. *)
+
+(** {1 Batched evaluation}
+
+    Each call writes results for the first [n] signatures (default: the
+    whole array) into [out.(0 .. n-1)], bit-for-bit equal to the scalar
+    query on each element. One C call per batch; each signature's
+    geometry is validated inside the kernel loop as it is reached.
+    Raises [Invalid_argument] if [n] exceeds either array, or on a
+    signature/kernel mismatch — in the latter case [out] may already be
+    partially written. *)
+
+val p_batch : kernel -> ?n:int -> t array -> float array -> unit
+(** [p_batch k sigs out]: [out.(i) = p k sigs.(i)]. *)
+
+val ptr_batch : kernel -> ?n:int -> t array -> float array -> unit
+(** [ptr_batch k sigs out]: [out.(i) = ptr k sigs.(i)]. *)
+
+val p_union_batch : kernel -> t -> ?n:int -> t array -> float array -> unit
+(** [p_union_batch k a sigs out]: [out.(i) = p_union k a sigs.(i)] — the
+    fused merge-candidate evaluation. *)

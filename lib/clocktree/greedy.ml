@@ -28,9 +28,26 @@ let stale_discards = Util.Obs.counter "greedy.stale_discards"
 type view = {
   n : int;
   cost : int -> int -> float;
+  cost_many : int -> int array -> int -> float array -> unit;
   is_active : int -> bool;
   iter_active : (int -> unit) -> unit;
 }
+
+(* Candidate partners are gathered into a fixed-size buffer and costed
+   [chunk] at a time through [view.cost_many], so a batched cost (one C
+   kernel call per chunk — see Activity.Signature) amortizes its call
+   overhead without the source holding O(n) scratch. The buffer is
+   domain-local because the initial seedings run across domains under
+   [par_seed]; within a domain a [best] query uses it only between calls
+   out to [cost_many], so sources may not call back into another source's
+   [best] from inside a cost function (nothing does). *)
+let chunk = 64
+
+type scratch = { ids : int array; costs : float array }
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { ids = Array.make chunk 0; costs = Array.make chunk 0.0 })
 
 type candidates = {
   best : int -> (int * float) option;
@@ -46,15 +63,26 @@ type source = view -> candidates
    root's entry is revalidated its smaller-id partners are all rescanned. *)
 let scan view =
   let best v =
+    let s = Domain.DLS.get scratch_key in
     let best_id = ref (-1) and best_cost = ref infinity in
+    let fill = ref 0 in
+    let flush () =
+      view.cost_many v s.ids !fill s.costs;
+      for i = 0 to !fill - 1 do
+        if s.costs.(i) < !best_cost then begin
+          best_cost := s.costs.(i);
+          best_id := s.ids.(i)
+        end
+      done;
+      fill := 0
+    in
     view.iter_active (fun u ->
         if u < v then begin
-          let c = view.cost v u in
-          if c < !best_cost then begin
-            best_cost := c;
-            best_id := u
-          end
+          s.ids.(!fill) <- u;
+          incr fill;
+          if !fill = chunk then flush ()
         end);
+    if !fill > 0 then flush ();
     if !best_id < 0 then None else Some (!best_id, !best_cost)
   in
   { best; merged = (fun ~a:_ ~b:_ ~k:_ -> ()) }
@@ -103,21 +131,41 @@ let bound_scan ~lower view =
     rank.(v) <- -1
   in
   view.iter_active insert;
+  (* Chunked walk: gather up to [chunk] candidates whose bound can still
+     beat the best flushed so far, then cost them in one [cost_many]
+     call. The running best only tightens at flush boundaries, so the
+     stopping test fires no earlier than the per-candidate walk's and a
+     superset of its candidates gets costed — but every extra candidate
+     was skippable (cost >= its bound >= the final minimum) and sits
+     after the walk's winner in order, so under the same strict-< update
+     the returned (partner, cost) is identical, ties included. *)
   let best v =
+    let s = Domain.DLS.get scratch_key in
     let best_id = ref (-1) and best_cost = ref infinity in
     let i = ref 0 in
     let stop = ref false in
     while (not !stop) && !i < !count do
-      let u = order.(!i) in
-      if key.(u) >= !best_cost then stop := true
-      else if u <> v then begin
-        let c = view.cost v u in
-        if c < !best_cost then begin
-          best_cost := c;
-          best_id := u
+      let fill = ref 0 in
+      while (not !stop) && !fill < chunk && !i < !count do
+        let u = order.(!i) in
+        if key.(u) >= !best_cost then stop := true
+        else begin
+          if u <> v then begin
+            s.ids.(!fill) <- u;
+            incr fill
+          end;
+          incr i
         end
-      end;
-      incr i
+      done;
+      if !fill > 0 then begin
+        view.cost_many v s.ids !fill s.costs;
+        for j = 0 to !fill - 1 do
+          if s.costs.(j) < !best_cost then begin
+            best_cost := s.costs.(j);
+            best_id := s.ids.(j)
+          end
+        done
+      end
     done;
     if !best_id < 0 then None else Some (!best_id, !best_cost)
   in
@@ -144,7 +192,7 @@ let bound_scan ~lower view =
    (u, v), whichever endpoint was created (or last revalidated) latest
    computed its best over a set containing the other, so its key <= m.
    Hence the first both-alive pop is exactly a minimum-cost pair. *)
-let merge_all_with ?(par_seed = false) source ~n ~cost ~merge =
+let merge_all_with ?(par_seed = false) ?cost_many source ~n ~cost ~merge =
   validate n;
   if n = 1 then 0
   else begin
@@ -154,10 +202,20 @@ let merge_all_with ?(par_seed = false) source ~n ~cost ~merge =
     let active = Array.init size (fun v -> v) in
     let pos = Array.init size (fun v -> v) in
     let n_active = ref n in
+    let cost_many =
+      match cost_many with
+      | Some f -> f
+      | None ->
+        fun v us cnt out ->
+          for i = 0 to cnt - 1 do
+            out.(i) <- cost v us.(i)
+          done
+    in
     let view =
       {
         n;
         cost;
+        cost_many;
         is_active = (fun v -> v >= 0 && v < size && alive.(v));
         iter_active =
           (fun f ->

@@ -20,6 +20,13 @@
 type view = {
   n : int;  (** initial element count; merged ids are [n], [n+1], ... *)
   cost : int -> int -> float;  (** the engine's symmetric cost function *)
+  cost_many : int -> int array -> int -> float array -> unit;
+      (** [cost_many v us cnt out] fills [out.(i)] with [cost v us.(i)]
+          for [i < cnt] — the batched form sources should prefer when
+          costing several candidates of one root, so a vectorized cost
+          (e.g. {!Activity.Signature.p_union_batch}) is one kernel call
+          per chunk instead of [cnt] scalar calls. Always agrees with
+          [cost] bit-for-bit. *)
   is_active : int -> bool;
   iter_active : (int -> unit) -> unit;  (** visit every active root *)
 }
@@ -43,7 +50,9 @@ type source = view -> candidates
 
 val scan : source
 (** Exhaustive per-query scan of the active set: exact for any cost
-    function, O(n) memory. The default. *)
+    function, O(n) memory. The default. Candidates are costed through
+    [view.cost_many] in fixed-size chunks (identical results — every
+    candidate is costed either way, in the same order). *)
 
 val bound_scan : lower:(int -> float) -> source
 (** Best-first scan under an admissible per-root lower bound: [lower v]
@@ -55,10 +64,15 @@ val bound_scan : lower:(int -> float) -> source
     results, most candidates never costed. The activity merge uses
     [lower v = P(EN_v)]: probabilities only grow under union, so a
     candidate whose own probability exceeds the best cost so far can be
-    dismissed without evaluating the union. *)
+    dismissed without evaluating the union. Candidates are costed
+    through [view.cost_many] in fixed-size chunks; the chunked walk may
+    cost a few candidates past the scalar stopping point, but returns
+    the identical (partner, cost), ties included (see the proof sketch
+    in the implementation). *)
 
 val merge_all_with :
   ?par_seed:bool ->
+  ?cost_many:(int -> int array -> int -> float array -> unit) ->
   source ->
   n:int ->
   cost:(int -> int -> float) ->
@@ -79,14 +93,21 @@ val merge_all_with :
     the domain count. Only pass it when [cost] and the source's [best]
     are safe to call concurrently against the initial (pre-merge)
     state — pure reads of the problem data, as {!bound_scan} and
-    {!scan} are. *)
+    {!scan} are.
+
+    [cost_many v us cnt out] must fill [out.(i)] with a value equal to
+    [cost v us.(i)] for [i < cnt] (bit-for-bit: the engine mixes both
+    paths freely). When omitted it is derived from [cost]; pass it when
+    a batched evaluation (one kernel call per chunk) beats [cnt] scalar
+    calls. Under [par_seed] it must be concurrency-safe like [cost]. *)
 
 val merge_all :
   n:int ->
   cost:(int -> int -> float) ->
   merge:(int -> int -> int) ->
   int
-(** [merge_all_with scan]. *)
+(** [merge_all_with scan]. Batched costing goes through
+    [merge_all_with ~cost_many scan]. *)
 
 val merge_all_dense :
   n:int ->

@@ -9,6 +9,26 @@ let check_sink_modules profile sinks =
              "Activity_router: sink module %d outside the %d-module profile" m n_mods))
     sinks
 
+(* Per-domain gather buffers for batched candidate costing: [cost_many]
+   collects the partner signatures (or module sets) contiguously before
+   one batched probability call. Domain-local because the engine's
+   initial best-partner seedings run across domains under par_seed; the
+   buffers only live for the duration of one cost_many call. *)
+let sig_gather : Activity.Signature.t array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+let mods_gather : Activity.Module_set.t array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+let gather buf_key cnt seed get =
+  let buf = Domain.DLS.get buf_key in
+  if Array.length !buf < cnt then buf := Array.make cnt seed;
+  let b = !buf in
+  for i = 0 to cnt - 1 do
+    b.(i) <- get i
+  done;
+  b
+
 (* Sampled profiles route on instruction-hit signatures (Activity.Signature):
    each root carries the bitset of instructions that touch its subtree, a
    candidate's exact P(EN) is a word-wise OR plus a count-weighted popcount,
@@ -16,7 +36,9 @@ let check_sink_modules profile sinks =
    Greedy.bound_scan an admissible per-root bound, so most candidates are
    dismissed before any probability is evaluated. Leaf signatures are
    independent, so they and the initial best-partner seedings run across
-   domains (Util.Parallel). *)
+   domains (Util.Parallel); candidate chunks are costed through
+   Signature.p_union_batch — one C kernel call and one packed-divide
+   sweep per chunk instead of a boxed scalar call per candidate. *)
 let signature_topology ~dense (config : Config.t) profile kern sinks =
   let tech = config.Config.tech in
   let n = Array.length sinks in
@@ -42,6 +64,16 @@ let signature_topology ~dense (config : Config.t) profile kern sinks =
     Activity.Signature.p_union kern sigs.(a) sigs.(b)
     +. (tie *. Clocktree.Grow.dist grow a b)
   in
+  (* Batched [cost]: same probability (packed division is bit-identical
+     per lane to the scalar divide) and the same `p +. tie *. dist`
+     float expression, so the engine can mix both paths freely. *)
+  let cost_many v us cnt out =
+    let b = gather sig_gather cnt sigs.(v) (fun i -> sigs.(us.(i))) in
+    Activity.Signature.p_union_batch kern sigs.(v) ~n:cnt b out;
+    for i = 0 to cnt - 1 do
+      out.(i) <- out.(i) +. (tie *. Clocktree.Grow.dist grow v us.(i))
+    done
+  in
   let merge a b =
     let k = Clocktree.Grow.merge grow a b in
     sigs.(k) <- Activity.Signature.union sigs.(a) sigs.(b);
@@ -51,7 +83,7 @@ let signature_topology ~dense (config : Config.t) profile kern sinks =
   let _root =
     if dense then Clocktree.Greedy.merge_all_dense ~n ~cost ~merge
     else
-      Clocktree.Greedy.merge_all_with ~par_seed:true
+      Clocktree.Greedy.merge_all_with ~par_seed:true ~cost_many
         (Clocktree.Greedy.bound_scan ~lower:(fun v -> p.(v)))
         ~n ~cost ~merge
   in
@@ -76,6 +108,16 @@ let pcache_topology ~dense (config : Config.t) profile sinks =
     let p = Activity.Pcache.p_union cache (mods_of a) (mods_of b) in
     p +. (tie *. Clocktree.Grow.dist grow a b)
   in
+  (* Pcache is single-domain state, so no par_seed here; batching still
+     saves the per-candidate closure dispatch and keeps the memo scratch
+     hot across a chunk. Element-wise identical to [cost]. *)
+  let cost_many v us cnt out =
+    let b = gather mods_gather cnt (mods_of v) (fun i -> mods_of us.(i)) in
+    Activity.Pcache.p_union_batch cache (mods_of v) ~n:cnt b out;
+    for i = 0 to cnt - 1 do
+      out.(i) <- out.(i) +. (tie *. Clocktree.Grow.dist grow v us.(i))
+    done
+  in
   let merge a b =
     let k = Clocktree.Grow.merge grow a b in
     mods.(k) <- Some (Activity.Module_set.union (mods_of a) (mods_of b));
@@ -83,7 +125,7 @@ let pcache_topology ~dense (config : Config.t) profile sinks =
   in
   let _root =
     if dense then Clocktree.Greedy.merge_all_dense ~n ~cost ~merge
-    else Clocktree.Greedy.merge_all ~n ~cost ~merge
+    else Clocktree.Greedy.merge_all_with ~cost_many Clocktree.Greedy.scan ~n ~cost ~merge
   in
   Clocktree.Grow.topology grow
 

@@ -36,10 +36,13 @@ let compute_all profile topo sinks =
   (match Activity.Profile.signature_kernel profile with
   | Some kern ->
     (* Bottom-up over signatures: a parent's hit bitset is the word-wise
-       OR of its children's, so only the leaves ever scan instructions. *)
+       OR of its children's, so only the leaves ever scan instructions.
+       Probabilities are filled afterwards by two batched kernel calls
+       over the whole node array (bit-for-bit the per-node queries)
+       instead of 2n scalar calls. *)
     let sigs = Array.make n (Activity.Signature.create kern) in
     Clocktree.Topo.iter_bottom_up topo (fun v ->
-        (match Clocktree.Topo.children topo v with
+        match Clocktree.Topo.children topo v with
         | None ->
           let m = sinks.(v).Clocktree.Sink.module_id in
           if m >= n_mods then
@@ -57,12 +60,12 @@ let compute_all profile topo sinks =
               enables.(v) with
               mods = Activity.Module_set.union enables.(a).mods enables.(b).mods;
             });
-        enables.(v) <-
-          {
-            enables.(v) with
-            p = Activity.Signature.p kern sigs.(v);
-            ptr = Activity.Signature.ptr kern sigs.(v);
-          })
+    let ps = Array.make n 0.0 and ptrs = Array.make n 0.0 in
+    Activity.Signature.p_batch kern sigs ps;
+    Activity.Signature.ptr_batch kern sigs ptrs;
+    for v = 0 to n - 1 do
+      enables.(v) <- { enables.(v) with p = ps.(v); ptr = ptrs.(v) }
+    done
   | None ->
     Clocktree.Topo.iter_bottom_up topo (fun v ->
         match Clocktree.Topo.children topo v with

@@ -384,15 +384,23 @@ let to_json r =
   Buffer.add_string buf "}}\n";
   Buffer.contents buf
 
-type json =
-  | J_num of float
-  | J_str of string
-  | J_list of json list
-  | J_obj of (string * json) list
-
 exception Bad_json of string
 
-let of_json text =
+(* Tiny dependency-free JSON reader, public so tooling that consumes the
+   harness artifacts (bench trajectory compare, report diffing) parses
+   them with the same code that round-trips run reports. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+  let parse text =
   let n = String.length text in
   let i = ref 0 in
   let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !i)) in
@@ -448,13 +456,26 @@ let of_json text =
     in
     go ()
   in
+  let literal word v =
+    if
+      !i + String.length word <= n
+      && String.sub text !i (String.length word) = word
+    then begin
+      i := !i + String.length word;
+      v
+    end
+    else fail "expected a JSON value"
+  in
   let rec value () =
     skip_ws ();
     match peek () with
-    | Some '"' -> J_str (string_lit ())
+    | Some '"' -> Str (string_lit ())
     | Some '{' -> obj ()
     | Some '[' -> arr ()
     | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
     | _ -> fail "expected a JSON value"
   and number () =
     let start = !i in
@@ -468,14 +489,14 @@ let of_json text =
       Stdlib.incr i
     done;
     (match float_of_string_opt (String.sub text start (!i - start)) with
-    | Some f -> J_num f
+    | Some f -> Num f
     | None -> fail "malformed number")
   and arr () =
     expect '[';
     skip_ws ();
     if peek () = Some ']' then begin
       Stdlib.incr i;
-      J_list []
+      List []
     end
     else begin
       let rec go acc =
@@ -487,7 +508,7 @@ let of_json text =
           go (v :: acc)
         | Some ']' ->
           Stdlib.incr i;
-          J_list (List.rev (v :: acc))
+          List (Stdlib.List.rev (v :: acc))
         | _ -> fail "expected ',' or ']'"
       in
       go []
@@ -497,7 +518,7 @@ let of_json text =
     skip_ws ();
     if peek () = Some '}' then begin
       Stdlib.incr i;
-      J_obj []
+      Obj []
     end
     else begin
       let field () =
@@ -515,31 +536,40 @@ let of_json text =
           go (kv :: acc)
         | Some '}' ->
           Stdlib.incr i;
-          J_obj (List.rev (kv :: acc))
+          Obj (Stdlib.List.rev (kv :: acc))
         | _ -> fail "expected ',' or '}'"
       in
       go []
     end
   in
+  try
+    let v = value () in
+    skip_ws ();
+    if !i <> n then fail "trailing content";
+    Ok v
+  with Bad_json msg -> Error msg
+end
+
+let of_json text =
   let field fields k =
     match List.assoc_opt k fields with
     | Some v -> v
     | None -> raise (Bad_json (Printf.sprintf "missing field %S" k))
   in
   let num = function
-    | J_num f -> f
+    | Json.Num f -> f
     | _ -> raise (Bad_json "expected a number")
   in
   let rec decode_span = function
-    | J_obj fields ->
+    | Json.Obj fields ->
       let name =
         match field fields "name" with
-        | J_str s -> s
+        | Json.Str s -> s
         | _ -> raise (Bad_json "span name must be a string")
       in
       let children =
         match field fields "children" with
-        | J_list l -> List.map decode_span l
+        | Json.List l -> List.map decode_span l
         | _ -> raise (Bad_json "span children must be an array")
       in
       {
@@ -551,32 +581,32 @@ let of_json text =
       }
     | _ -> raise (Bad_json "span must be an object")
   in
-  try
-    let v = value () in
-    skip_ws ();
-    if !i <> n then fail "trailing content";
-    match v with
-    | J_obj fields ->
-      let version = int_of_float (num (field fields "version")) in
-      if version <> json_version then
-        Error (Printf.sprintf "unsupported report version %d" version)
-      else begin
-        let spans =
-          match field fields "spans" with
-          | J_list l -> List.map decode_span l
-          | _ -> raise (Bad_json "spans must be an array")
-        in
-        let assoc kind conv =
-          match field fields kind with
-          | J_obj kvs -> List.map (fun (k, v) -> (k, conv (num v))) kvs
-          | _ -> raise (Bad_json (kind ^ " must be an object"))
-        in
-        Ok
-          {
-            spans;
-            counters = assoc "counters" int_of_float;
-            gauges = assoc "gauges" Fun.id;
-          }
-      end
-    | _ -> Error "report must be a JSON object"
-  with Bad_json msg -> Error msg
+  match Json.parse text with
+  | Error msg -> Error msg
+  | Ok v -> (
+    try
+      match v with
+      | Json.Obj fields ->
+        let version = int_of_float (num (field fields "version")) in
+        if version <> json_version then
+          Error (Printf.sprintf "unsupported report version %d" version)
+        else begin
+          let spans =
+            match field fields "spans" with
+            | Json.List l -> List.map decode_span l
+            | _ -> raise (Bad_json "spans must be an array")
+          in
+          let assoc kind conv =
+            match field fields kind with
+            | Json.Obj kvs -> List.map (fun (k, v) -> (k, conv (num v))) kvs
+            | _ -> raise (Bad_json (kind ^ " must be an object"))
+          in
+          Ok
+            {
+              spans;
+              counters = assoc "counters" int_of_float;
+              gauges = assoc "gauges" Fun.id;
+            }
+        end
+      | _ -> Error "report must be a JSON object"
+    with Bad_json msg -> Error msg)

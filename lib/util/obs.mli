@@ -126,3 +126,23 @@ val to_json : report -> string
 val of_json : string -> (report, string) result
 (** Parse a document produced by {!to_json}. [Error msg] on malformed
     input or an unsupported version. [of_json (to_json r) = Ok r]. *)
+
+(** Minimal dependency-free JSON reader, shared with the tooling that
+    consumes harness artifacts (bench trajectory compare, report
+    diffing). Numbers are floats; strings must be ASCII after escape
+    processing (the only form the writers emit). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val member : string -> t -> t option
+  (** Field of an [Obj], [None] on a missing field or a non-object. *)
+
+  val parse : string -> (t, string) result
+  (** Parse one complete JSON document (trailing whitespace allowed). *)
+end

@@ -470,6 +470,39 @@ let test_pcache_reset_stats () =
   Alcotest.(check (pair int int)) "per-run rate restarts" (1, 0)
     (Activity.Pcache.stats cache)
 
+let test_pcache_batch_stats () =
+  (* a batch counts exactly one hit or miss per element and fills the
+     memo as the equivalent scalar calls would — no double-counting *)
+  let cache = Activity.Pcache.create paper_profile in
+  let a = Ms.singleton 6 0 in
+  let b1 = Ms.singleton 6 1 and b2 = Ms.singleton 6 2 in
+  let bs = [| b1; b2; b1 |] in
+  let out = Array.make 3 nan in
+  Activity.Pcache.p_union_batch cache a bs out;
+  let hits, misses = Activity.Pcache.stats cache in
+  Alcotest.(check int) "one count per element" 3 (hits + misses);
+  (* the third element repeats the first union: it must hit the memo *)
+  Alcotest.(check bool) "duplicate element hits" true (hits >= 1);
+  Array.iteri
+    (fun i b ->
+      check_float "batch element = profile of union"
+        (Activity.Profile.p paper_profile (Ms.union a b))
+        out.(i))
+    bs;
+  Activity.Pcache.reset_stats cache;
+  let out2 = Array.make 3 nan in
+  Activity.Pcache.p_union_batch cache a bs out2;
+  Alcotest.(check (pair int int)) "second pass pure hits" (3, 0)
+    (Activity.Pcache.stats cache);
+  Alcotest.(check bool) "values stable" true (out = out2);
+  (* a partial batch touches (and counts) only the first n elements *)
+  Activity.Pcache.reset_stats cache;
+  let out3 = Array.make 3 (-1.0) in
+  Activity.Pcache.p_union_batch cache a ~n:2 bs out3;
+  let hits3, misses3 = Activity.Pcache.stats cache in
+  Alcotest.(check int) "n elements counted" 2 (hits3 + misses3);
+  Alcotest.(check (float 0.0)) "tail untouched" (-1.0) out3.(2)
+
 let prop_pcache_matches_profile =
   QCheck.Test.make ~name:"Pcache.p_union = Profile.p of the union" ~count:60
     (QCheck.int_range 1 100_000)
@@ -641,6 +674,128 @@ let prop_signature_union_matches_materialized =
       done;
       !ok)
 
+(* Shared body for the batched-equivalence properties: every batched
+   entry point must agree bit-for-bit with its scalar query and with the
+   raw table scans, on every element. *)
+let check_batches_match kern ift imatt sets sigs acc_set acc =
+  let m = Array.length sigs in
+  let out = Array.make m nan in
+  let ok = ref true in
+  Activity.Signature.p_batch kern sigs out;
+  Array.iteri
+    (fun i s ->
+      if
+        out.(i) <> Activity.Signature.p kern s
+        || out.(i) <> Activity.Ift.p_any ift sets.(i)
+      then ok := false)
+    sigs;
+  Activity.Signature.ptr_batch kern sigs out;
+  Array.iteri
+    (fun i s ->
+      if
+        out.(i) <> Activity.Signature.ptr kern s
+        || out.(i) <> Activity.Imatt.ptr imatt sets.(i)
+      then ok := false)
+    sigs;
+  Activity.Signature.p_union_batch kern acc sigs out;
+  Array.iteri
+    (fun i s ->
+      if
+        out.(i) <> Activity.Signature.p_union kern acc s
+        || out.(i) <> Activity.Ift.p_any ift (Ms.union acc_set sets.(i))
+      then ok := false)
+    sigs;
+  (* a partial batch must leave the tail of [out] untouched *)
+  if m > 1 then begin
+    let out2 = Array.make m (-1.0) in
+    Activity.Signature.p_batch kern ~n:(m - 1) sigs out2;
+    if out2.(m - 1) <> -1.0 then ok := false;
+    if out2.(0) <> Activity.Signature.p kern sigs.(0) then ok := false
+  end;
+  !ok
+
+let prop_signature_batch_matches_scalar =
+  QCheck.Test.make
+    ~name:"batched p/ptr/p_union equal scalar queries and table scans"
+    ~count:40
+    (QCheck.int_range 1 10_000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let n_modules = 2 + Util.Prng.int prng 60 in
+      let rtl = random_rtl prng ~n_modules ~n_instr:(1 + Util.Prng.int prng 10) in
+      let model = Activity.Cpu_model.make rtl in
+      let stream = Activity.Cpu_model.generate model prng 400 in
+      let ift = Activity.Ift.build stream and imatt = Activity.Imatt.build stream in
+      let kern = Activity.Signature.kernel ift imatt in
+      let m = 1 + Util.Prng.int prng 7 in
+      let sets = Array.init m (fun _ -> random_set prng n_modules) in
+      let sigs = Array.map (Activity.Signature.of_set kern) sets in
+      let acc_set = random_set prng n_modules in
+      let acc = Activity.Signature.of_set kern acc_set in
+      check_batches_match kern ift imatt sets sigs acc_set acc)
+
+let prop_signature_c_matches_ocaml =
+  QCheck.Test.make
+    ~name:"C kernel and OCaml fallback agree bit-for-bit" ~count:30
+    (QCheck.int_range 1 10_000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let n_modules = 2 + Util.Prng.int prng 60 in
+      let rtl = random_rtl prng ~n_modules ~n_instr:(1 + Util.Prng.int prng 12) in
+      let model = Activity.Cpu_model.make ~locality:0.3 rtl in
+      let stream = Activity.Cpu_model.generate model prng 500 in
+      let ift = Activity.Ift.build stream and imatt = Activity.Imatt.build stream in
+      let kc = Activity.Signature.kernel ift imatt in
+      let ko = Activity.Signature.kernel ~force_ocaml:true ift imatt in
+      let ok = ref (not (Activity.Signature.uses_c_kernel ko)) in
+      let m = 2 + Util.Prng.int prng 5 in
+      let sigs =
+        Array.init m (fun _ ->
+            Activity.Signature.of_set kc (random_set prng n_modules))
+      in
+      let a = sigs.(0) and b = sigs.(1) in
+      if Activity.Signature.p kc a <> Activity.Signature.p ko a then ok := false;
+      if Activity.Signature.ptr kc a <> Activity.Signature.ptr ko a then
+        ok := false;
+      if Activity.Signature.p_union kc a b <> Activity.Signature.p_union ko a b
+      then ok := false;
+      if
+        Activity.Signature.ptr_union kc a b
+        <> Activity.Signature.ptr_union ko a b
+      then ok := false;
+      let oc = Array.make m nan and oo = Array.make m nan in
+      Activity.Signature.p_batch kc sigs oc;
+      Activity.Signature.p_batch ko sigs oo;
+      if oc <> oo then ok := false;
+      Activity.Signature.ptr_batch kc sigs oc;
+      Activity.Signature.ptr_batch ko sigs oo;
+      if oc <> oo then ok := false;
+      Activity.Signature.p_union_batch kc a sigs oc;
+      Activity.Signature.p_union_batch ko a sigs oo;
+      if oc <> oo then ok := false;
+      !ok)
+
+let prop_signature_word_boundary =
+  QCheck.Test.make
+    ~name:"signature kernels agree across the 62-bit word boundary" ~count:12
+    QCheck.(pair (oneofl [ 60; 61; 62; 63; 64; 124 ]) (int_range 1 10_000))
+    (fun (k_instr, seed) ->
+      let prng = Util.Prng.create seed in
+      let n_modules = 10 + Util.Prng.int prng 40 in
+      let rtl = random_rtl prng ~n_modules ~n_instr:k_instr in
+      (* low locality and a long stream so the IMATT row count also
+         crosses a word boundary, not just the instruction count *)
+      let model = Activity.Cpu_model.make ~locality:0.1 rtl in
+      let stream = Activity.Cpu_model.generate model prng 3_000 in
+      let ift = Activity.Ift.build stream and imatt = Activity.Imatt.build stream in
+      let kern = Activity.Signature.kernel ift imatt in
+      let m = 4 in
+      let sets = Array.init m (fun _ -> random_set prng n_modules) in
+      let sigs = Array.map (Activity.Signature.of_set kern) sets in
+      let acc_set = random_set prng n_modules in
+      let acc = Activity.Signature.of_set kern acc_set in
+      check_batches_match kern ift imatt sets sigs acc_set acc)
+
 let test_signature_single_instruction () =
   (* one-instruction RTL: every non-empty intersecting set has P = 1,
      Ptr = 0 — the smallest edge the bitset layout must survive *)
@@ -759,6 +914,7 @@ let () =
         [
           Alcotest.test_case "paper values" `Quick test_pcache_matches_profile;
           Alcotest.test_case "reset_stats" `Quick test_pcache_reset_stats;
+          Alcotest.test_case "batch stats" `Quick test_pcache_batch_stats;
           qt prop_pcache_matches_profile;
         ] );
       ( "tables_vs_brute",
@@ -767,6 +923,9 @@ let () =
         [
           qt prop_signature_matches_tables;
           qt prop_signature_union_matches_materialized;
+          qt prop_signature_batch_matches_scalar;
+          qt prop_signature_c_matches_ocaml;
+          qt prop_signature_word_boundary;
           Alcotest.test_case "single instruction" `Quick test_signature_single_instruction;
           Alcotest.test_case "universe mismatch" `Quick test_signature_universe_mismatch;
           Alcotest.test_case "kernel cached" `Quick test_signature_kernel_cached;

@@ -402,10 +402,41 @@ let test_obs_json_rejects_garbage () =
     [ ""; "{"; "[1,2]"; "{\"version\":99,\"spans\":[],\"counters\":{},\"gauges\":{}}";
       "{\"version\":1}"; "{\"version\":1,\"spans\":[],\"counters\":{},\"gauges\":{}}x" ]
 
+(* ------------------------------------------------------------------ *)
+(* Popcnt                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_popcnt_edges () =
+  List.iter
+    (fun (x, expect) ->
+      Alcotest.(check int) (Printf.sprintf "count %d" x) expect (Util.Popcnt.count x))
+    [
+      (0, 0);
+      (1, 1);
+      (-1, Sys.int_size);
+      (min_int, 1);
+      (max_int, Sys.int_size - 1);
+      (0b1011, 3);
+    ]
+
+let prop_popcnt_stub_matches_ocaml =
+  QCheck.Test.make ~name:"Popcnt.stub_count = count_ocaml on all inputs"
+    ~count:1000
+    QCheck.(
+      oneof [ int; oneofl [ 0; 1; -1; min_int; max_int; 1 lsl 62; -2 ] ])
+    (fun x ->
+      Util.Popcnt.count_ocaml x = Util.Popcnt.stub_count x
+      && Util.Popcnt.count x = Util.Popcnt.count_ocaml x)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "util"
     [
+      ( "popcnt",
+        [
+          Alcotest.test_case "edge inputs" `Quick test_popcnt_edges;
+          qt prop_popcnt_stub_matches_ocaml;
+        ] );
       ( "prng",
         [
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
