@@ -856,6 +856,102 @@ let greedy_scaling () =
   pf "partner.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Sharded region-parallel routing: scaling to 10^5 sinks              *)
+(* ------------------------------------------------------------------ *)
+
+(* Sizes beyond the r-benchmarks need the grouped module universe
+   (Suite.case_grouped): per-sink modules would cost O(n) bits per
+   enable set — gigabytes of bitsets at 10^5 sinks. *)
+let shard_case n =
+  let spec =
+    Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n
+  in
+  let spec = { spec with Benchmarks.Rbench.n_groups = max 4 (min 1024 (n / 96)) } in
+  Benchmarks.Suite.case_grouped ~stream_length:1_000 spec
+
+let shard_scaling () =
+  section "Sharded region-parallel routing (flat arena, 10^4-10^5 sinks)";
+  let sizes = if quick () then [ 10_000 ] else [ 10_000; 100_000 ] in
+  let time f =
+    let t0 = Util.Obs.Clock.now () in
+    let r = f () in
+    (r, Util.Obs.Clock.now () -. t0)
+  in
+  let open Util.Text_table in
+  let table =
+    create ~title:"Sharded topology construction (single domain vs pool)"
+      [ ("sinks", Right); ("regions", Right); ("domains", Right);
+        ("1 domain (s)", Right); ("pool (s)", Right); ("speedup", Right) ]
+  in
+  let js = Buffer.create 512 in
+  Buffer.add_string js "{";
+  let points = Buffer.create 256 in
+  List.iteri
+    (fun i n ->
+      let { Benchmarks.Suite.config; profile; sinks; _ } = shard_case n in
+      let domains = Util.Parallel.default_domains () in
+      let regions = Gcr.Shard_router.auto_shards ~n in
+      let _, t1 =
+        time (fun () ->
+            Gcr.Shard_router.route_topology ~domains:1 config profile sinks)
+      in
+      let _, tp =
+        time (fun () -> Gcr.Shard_router.route_topology config profile sinks)
+      in
+      let speedup = t1 /. tp in
+      add_row table
+        [
+          string_of_int n; string_of_int regions; string_of_int domains;
+          Printf.sprintf "%.2f" t1; Printf.sprintf "%.2f" tp;
+          Printf.sprintf "%.2fx" speedup;
+        ];
+      (* The first (10^4) point gates the trajectory: per-sink ns keys at
+         top level (the compare gate skips lists), both domain settings. *)
+      if i = 0 then
+        Buffer.add_string js
+          (Printf.sprintf
+             "\"n\": %d, \"regions\": %d, \"domains\": %d, \
+              \"single_domain_per_sink_ns\": %.1f, \"pool_per_sink_ns\": \
+              %.1f, \"speedup\": %.3f"
+             n regions domains
+             (1e9 *. t1 /. float_of_int n)
+             (1e9 *. tp /. float_of_int n)
+             speedup);
+      if i > 0 then Buffer.add_string points ", ";
+      Buffer.add_string points
+        (Printf.sprintf
+           "{\"n\": %d, \"regions\": %d, \"domains\": %d, \"single_s\": %.3f, \
+            \"pool_s\": %.3f, \"speedup\": %.3f}"
+           n regions domains t1 tp speedup))
+    sizes;
+  Buffer.add_string js
+    (Printf.sprintf ", \"points\": [%s]" (Buffer.contents points));
+  print table;
+  (* Cost fidelity: the stitch's merges never cross a region boundary, so
+     the sharded tree pays a bounded switched-capacitance premium over
+     the flat greedy route. Measured where the flat route is affordable. *)
+  if not (quick ()) then begin
+    let n = 3_000 in
+    let { Benchmarks.Suite.config; profile; sinks; _ } = shard_case n in
+    let flat, flat_t = time (fun () -> Gcr.Router.route config profile sinks) in
+    let sharded, shard_t =
+      time (fun () -> Gcr.Shard_router.route config profile sinks)
+    in
+    let wf = Gcr.Cost.w_total flat and ws = Gcr.Cost.w_total sharded in
+    pf "\nCost fidelity at %d sinks: flat W %.2f pF (%.1f s), sharded W %.2f \
+        pF (%.1f s), ratio %.4f\n"
+      n (wf /. 1000.0) flat_t (ws /. 1000.0) shard_t (ws /. wf);
+    Buffer.add_string js
+      (Printf.sprintf ", \"cost_n\": %d, \"cost_ratio\": %.6f" n (ws /. wf))
+  end;
+  Buffer.add_string js "}";
+  record "shard_scaling" (Buffer.contents js);
+  pf "\nEach region is routed by the flat NN-heap engine on its own arena;\n";
+  pf "the stitch replays region merge lists into one forest and greedy-\n";
+  pf "merges the region roots (same Eq.(3) cost). Speedup reflects the\n";
+  pf "machine: a single-core runner shows ~1.0x regardless of shards.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Probability-kernel microbenchmark                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1189,6 +1285,7 @@ let sections : (string * (unit -> unit)) list =
     ("validation", validation);
     ("scaling", scaling);
     ("greedy-scaling", greedy_scaling);
+    ("shard-scaling", shard_scaling);
     ("kernel-micro", kernel_micro);
     ("guard-overhead", guard_overhead);
     ("trace-overhead", trace_overhead);

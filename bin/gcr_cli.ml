@@ -127,6 +127,16 @@ let trace_out_arg =
   Arg.(
     value & opt string "gcr-trace.json" & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let shards_arg =
+  let doc =
+    "Route region-parallel with $(docv) shards on the domain pool \
+     ($(b,auto) picks a count from the sink count alone, so the routed \
+     tree never depends on the available cores). The default routes \
+     flat (single region). Shard spans and counters show up under \
+     $(b,--trace)."
+  in
+  Arg.(value & opt (some string) None & info [ "shards" ] ~docv:"N" ~doc)
+
 let paranoid_arg =
   let doc =
     "Run the checked pipeline: validate inputs up front, re-derive every \
@@ -158,8 +168,8 @@ let reduce_tree mode tree =
       tree
   | None -> usage_error "--reduce expects greedy | rules | none | fraction"
 
-let run_comparison config profile sinks ~reduction ~skew_budget ~size ~paranoid
-    ~svg ~spice ~csv ~verify ~trace ~trace_out =
+let run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
+    ~paranoid ~svg ~spice ~csv ~verify ~trace ~trace_out =
   let trace =
     match trace with
     | None -> None
@@ -176,6 +186,14 @@ let run_comparison config profile sinks ~reduction ~skew_budget ~size ~paranoid
         | None ->
           usage_error "--reduce expects greedy | rules | none | fraction");
       sizing = (if size then Gcr.Flow.Proportional else Gcr.Flow.No_sizing);
+      shards =
+        (match shards with
+        | None -> Gcr.Flow.Flat
+        | Some "auto" -> Gcr.Flow.Auto_shards
+        | Some s -> (
+          match int_of_string_opt s with
+          | Some n when n >= 1 -> Gcr.Flow.Shards n
+          | _ -> usage_error "--shards expects a positive integer or auto"));
     }
   in
   let skew_budget = if skew_budget > 0.0 then Some skew_budget else None in
@@ -186,7 +204,7 @@ let run_comparison config profile sinks ~reduction ~skew_budget ~size ~paranoid
     in
     let gated =
       Util.Obs.span ~name:"route:gated" (fun () ->
-          Gcr.Router.route ?skew_budget config profile sinks)
+          Gcr.Flow.route_with_options options config profile sinks)
     in
     let reduced =
       if paranoid then
@@ -257,19 +275,19 @@ let run_comparison config profile sinks ~reduction ~skew_budget ~size ~paranoid
       close_out oc;
       Format.printf "wrote %s (replay with: gcr stats %s)@." trace_out trace_out)
 
-let route_cmd bench n_sinks stream usage k reduction skew_budget size paranoid
-    svg spice csv verify trace trace_out =
+let route_cmd bench n_sinks stream usage k reduction skew_budget size shards
+    paranoid svg spice csv verify trace trace_out =
   handle_unknown_bench @@ fun () ->
   let case = load_case bench n_sinks stream usage k in
   let { Benchmarks.Suite.config; profile; sinks; _ } = case in
-  run_comparison config profile sinks ~reduction ~skew_budget ~size ~paranoid
-    ~svg ~spice ~csv ~verify ~trace ~trace_out
+  run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
+    ~paranoid ~svg ~spice ~csv ~verify ~trace ~trace_out
 
 let route_t =
   Term.(
     const route_cmd $ bench_arg $ sinks_arg $ stream_arg $ usage_arg $ k_arg
-    $ reduction_arg $ skew_arg $ size_arg $ paranoid_arg $ svg_arg $ spice_arg
-    $ csv_arg $ verify_arg $ trace_arg $ trace_out_arg)
+    $ reduction_arg $ skew_arg $ size_arg $ shards_arg $ paranoid_arg $ svg_arg
+    $ spice_arg $ csv_arg $ verify_arg $ trace_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* route-files: user designs from disk                                *)
@@ -280,7 +298,7 @@ let req_file arg_name =
   Arg.(required & opt (some file) None & info [ arg_name ] ~docv:"FILE" ~doc)
 
 let route_files_cmd sinks_file rtl_file stream_file k reduction skew_budget size
-    paranoid svg spice csv verify trace trace_out =
+    shards paranoid svg spice csv verify trace trace_out =
   with_diagnostics @@ fun () ->
   let sinks = Formats.Sinks_format.load sinks_file in
   let rtl = Formats.Rtl_format.load rtl_file in
@@ -294,14 +312,14 @@ let route_files_cmd sinks_file rtl_file stream_file k reduction skew_budget size
   in
   let controller = Gcr.Controller.distributed die ~k in
   let config = Gcr.Config.make ~controller ~die () in
-  run_comparison config profile sinks ~reduction ~skew_budget ~size ~paranoid
-    ~svg ~spice ~csv ~verify ~trace ~trace_out
+  run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
+    ~paranoid ~svg ~spice ~csv ~verify ~trace ~trace_out
 
 let route_files_t =
   Term.(
     const route_files_cmd $ req_file "sinks" $ req_file "rtl" $ req_file "stream"
-    $ k_arg $ reduction_arg $ skew_arg $ size_arg $ paranoid_arg $ svg_arg
-    $ spice_arg $ csv_arg $ verify_arg $ trace_arg $ trace_out_arg)
+    $ k_arg $ reduction_arg $ skew_arg $ size_arg $ shards_arg $ paranoid_arg
+    $ svg_arg $ spice_arg $ csv_arg $ verify_arg $ trace_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                              *)

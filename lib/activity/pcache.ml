@@ -32,6 +32,8 @@ type t = {
   mutable size : int;
   mutable hits : int;
   mutable misses : int;
+  mutable flushed_hits : int;
+  mutable flushed_misses : int;
   mutable bypass : bool;
 }
 
@@ -41,24 +43,45 @@ let chain_cap = 4
 
 let bypass_window = 1 lsl 14
 
-let create profile =
+(* Initial bucket count sized so [capacity] entries fit without any
+   resize (growth triggers at size > 2 x buckets), clamped to
+   [256, max_buckets] and rounded up to a power of two. *)
+let initial_buckets capacity =
+  let target = max 256 (min max_buckets ((capacity + 1) / 2)) in
+  let rec pow2 b = if b >= target then b else pow2 (2 * b) in
+  pow2 256
+
+let create ?(capacity = 0) profile =
+  if capacity < 0 then invalid_arg "Pcache.create: negative capacity";
   {
     profile;
     buf = Module_set.scratch (Profile.n_modules profile);
-    buckets = Array.make 256 [];
+    buckets = Array.make (initial_buckets capacity) [];
     size = 0;
     hits = 0;
     misses = 0;
+    flushed_hits = 0;
+    flushed_misses = 0;
     bypass = false;
   }
 
 let profile t = t.profile
 
-(* Per-instance [hits]/[misses] feed the bypass heuristic; the Obs pair
-   aggregates across every cache in the process for run reports. *)
+(* The global Obs pair aggregates across every cache in the process.
+   Per-query increments from worker domains would contend on the atomics
+   (and a cache shared by accident would double-count racily), so each
+   instance accumulates plain ints and publishes the delta once, from
+   whichever domain owns it, via [flush_obs]. *)
 let hits_counter = Util.Obs.counter "pcache.hits"
 
 let misses_counter = Util.Obs.counter "pcache.misses"
+
+let flush_obs t =
+  let dh = t.hits - t.flushed_hits and dm = t.misses - t.flushed_misses in
+  if dh > 0 then Util.Obs.add hits_counter dh;
+  if dm > 0 then Util.Obs.add misses_counter dm;
+  t.flushed_hits <- t.hits;
+  t.flushed_misses <- t.misses
 
 let resize t =
   let old = t.buckets in
@@ -75,7 +98,6 @@ let resize t =
 let lookup t =
   if t.bypass then begin
     t.misses <- t.misses + 1;
-    Util.Obs.incr misses_counter;
     Profile.p_scratch t.profile t.buf
   end
   else begin
@@ -84,7 +106,6 @@ let lookup t =
   let rec find len = function
     | [] ->
       t.misses <- t.misses + 1;
-      Util.Obs.incr misses_counter;
       if t.misses land (bypass_window - 1) = 0 && t.hits * 16 < t.misses then
         t.bypass <- true;
       let p = Profile.p_scratch t.profile t.buf in
@@ -99,7 +120,6 @@ let lookup t =
     | e :: tl ->
       if e.h = h && Module_set.scratch_equal t.buf e.key then begin
         t.hits <- t.hits + 1;
-        Util.Obs.incr hits_counter;
         e.p
       end
       else find (len + 1) tl
@@ -138,4 +158,12 @@ let stats t = (t.hits, t.misses)
    a long-lived cache can report meaningful per-run numbers. *)
 let reset_stats t =
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.flushed_hits <- 0;
+  t.flushed_misses <- 0
+
+let reset t =
+  Array.fill t.buckets 0 (Array.length t.buckets) [];
+  t.size <- 0;
+  t.bypass <- false;
+  reset_stats t

@@ -16,8 +16,12 @@
 
 type t
 
-val create : Profile.t -> t
-(** Fresh, empty cache over the profile's module universe. *)
+val create : ?capacity:int -> Profile.t -> t
+(** Fresh, empty cache over the profile's module universe. [capacity]
+    (expected number of distinct memoized sets, default 0) pre-sizes the
+    bucket array so that many entries are admitted without intermediate
+    resizes — useful for cheap short-lived per-region caches in the
+    sharded router. Raises [Invalid_argument] when negative. *)
 
 val profile : t -> Profile.t
 
@@ -43,4 +47,19 @@ val stats : t -> int * int
 val reset_stats : t -> unit
 (** Zero the hit/miss counters so long-lived caches (fuzz loops, benches)
     can report per-run rates. Keeps the memoized entries and the bypass
-    decision — only the accounting restarts. *)
+    decision — only the accounting restarts. Un-flushed {!flush_obs}
+    deltas are discarded. *)
+
+val reset : t -> unit
+(** Empty the cache for reuse: drop every memoized entry (the bucket
+    array keeps its size), clear the bypass decision and zero the stats.
+    A per-region cache can be reset between regions instead of
+    reallocated. *)
+
+val flush_obs : t -> unit
+(** Publish the hit/miss counts accumulated since the last flush to the
+    process-wide [pcache.hits]/[pcache.misses] {!Util.Obs} counters.
+    Instances owned by worker domains count locally (no atomics on the
+    query path) and their owners flush once at the end, so the global
+    counters are an exact sum across domains instead of a racy
+    interleaving. *)

@@ -80,3 +80,17 @@ let sinks spec =
       Clocktree.Sink.make ~id ~loc
         ~cap:(Util.Prng.range prng spec.cap_lo spec.cap_hi)
         ~module_id:id)
+
+(* Same placement, but the module universe is the functional groups: all
+   sinks of a group share its module id. Enable bitsets then cost
+   O(n_groups) bits instead of O(n_sinks), which is what keeps 10^5-sink
+   scaling runs inside memory. *)
+let sinks_grouped spec =
+  Array.map
+    (fun s ->
+      Clocktree.Sink.make ~id:s.Clocktree.Sink.id ~loc:s.Clocktree.Sink.loc
+        ~cap:s.Clocktree.Sink.cap
+        ~module_id:
+          (Workload.group_of ~n_modules:spec.n_sinks ~n_groups:spec.n_groups
+             s.Clocktree.Sink.id))
+    (sinks spec)

@@ -37,3 +37,9 @@ val die : spec -> Geometry.Bbox.t
 val sinks : spec -> Clocktree.Sink.t array
 (** Deterministic sink set; [module_id = id] (one module per sink, as in
     the paper). *)
+
+val sinks_grouped : spec -> Clocktree.Sink.t array
+(** The same sinks with [module_id = functional group]: a coarse module
+    universe of [spec.n_groups] gated blocks, so enable bitsets cost
+    O(groups) bits instead of O(sinks). The memory-viable setup for
+    10^5-sink scaling runs (see {!Suite.case_grouped}). *)

@@ -18,6 +18,18 @@ let case ?(stream_length = 10_000) ?(usage = 0.4) ?(n_instructions = 32)
   let config = Gcr.Config.make ?controller ~die () in
   { name = spec.Rbench.name; spec; sinks; profile; config }
 
+let case_grouped ?(stream_length = 10_000) ?(usage = 0.4)
+    ?(n_instructions = 32) ?controller spec =
+  let sinks = Rbench.sinks_grouped spec in
+  let profile =
+    Workload.profile ~n_modules:spec.Rbench.n_groups ~n_instructions ~usage
+      ~n_groups:spec.Rbench.n_groups ~stream_length
+      ~seed:(spec.Rbench.seed * 13) ()
+  in
+  let die = Rbench.die spec in
+  let config = Gcr.Config.make ?controller ~die () in
+  { name = spec.Rbench.name ^ "-grouped"; spec; sinks; profile; config }
+
 let by_name ?stream_length ?usage name =
   case ?stream_length ?usage (Rbench.by_name name)
 

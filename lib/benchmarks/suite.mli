@@ -21,6 +21,19 @@ val case :
     module usage, 32 instructions, centralized controller at the die
     center. *)
 
+val case_grouped :
+  ?stream_length:int ->
+  ?usage:float ->
+  ?n_instructions:int ->
+  ?controller:Gcr.Controller.t ->
+  Rbench.spec ->
+  case
+(** Like {!case}, but over {!Rbench.sinks_grouped}: the module universe
+    is the spec's functional groups rather than one module per sink, so
+    the per-node enable bitsets stay O(groups) bits. Use for large-n
+    scaling runs (10^4-10^5 sinks), where a per-sink universe would need
+    gigabytes of enable sets. The case name gets a ["-grouped"] suffix. *)
+
 val by_name : ?stream_length:int -> ?usage:float -> string -> case
 (** ["r1"] .. ["r5"]. Raises [Not_found] on an unknown name. *)
 

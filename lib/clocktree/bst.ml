@@ -73,37 +73,49 @@ let build tech topo ~sinks ~gate_on_edge ~budget =
   if Array.length sinks <> Topo.n_sinks topo then
     invalid_arg "Bst.build: sink count does not match topology";
   let n = Topo.n_nodes topo in
-  let region = Array.make n (Geometry.Rect.of_point Geometry.Point.origin) in
+  let n_sinks = Topo.n_sinks topo in
+  let t = Arena.create ~n_sinks in
+  t.Arena.n_nodes <- n;
   let dmin = Array.make n 0.0 in
   let dmax = Array.make n 0.0 in
-  let cap = Array.make n 0.0 in
-  let edge_len = Array.make n 0.0 in
-  let snaked = Array.make n false in
   Topo.iter_bottom_up topo (fun v ->
+      (match Topo.parent topo v with
+      | Some p -> t.Arena.parent.(v) <- p
+      | None -> t.Arena.parent.(v) <- -1);
       match Topo.children topo v with
       | None ->
-        region.(v) <- Geometry.Rect.of_point sinks.(v).Sink.loc;
-        cap.(v) <- sinks.(v).Sink.cap
+        Arena.set_region_point t v sinks.(v).Sink.loc;
+        t.Arena.cap.(v) <- sinks.(v).Sink.cap
       | Some (a, b) ->
+        t.Arena.left.(v) <- a;
+        t.Arena.right.(v) <- b;
         let branch c =
-          { dmin = dmin.(c); dmax = dmax.(c); cap = cap.(c); gate = gate_on_edge c }
+          {
+            dmin = dmin.(c);
+            dmax = dmax.(c);
+            cap = t.Arena.cap.(c);
+            gate = gate_on_edge c;
+          }
         in
-        let dist = Geometry.Rect.distance region.(a) region.(b) in
+        let dist = Arena.dist t a b in
         let s = split tech (branch a) (branch b) ~dist ~budget in
-        edge_len.(a) <- s.ea;
-        edge_len.(b) <- s.eb;
+        t.Arena.edge_len.(a) <- s.ea;
+        t.Arena.edge_len.(b) <- s.eb;
         if s.snaked then begin
           (* attribute the elongation to the stretched side *)
           if s.ea +. s.eb > dist +. 1e-9 then
-            if s.ea > dist -. s.eb then snaked.(a) <- true else snaked.(b) <- true
+            if s.ea > dist -. s.eb then Arena.set_snaked t a true
+            else Arena.set_snaked t b true
         end;
-        region.(v) <- Mseg.merge_region region.(a) s.ea region.(b) s.eb dist;
+        Arena.set_region t v
+          (Mseg.merge_region (Arena.region t a) s.ea (Arena.region t b) s.eb dist);
         dmin.(v) <- s.dmin;
         dmax.(v) <- s.dmax;
-        cap.(v) <- s.merged_cap);
-  ( { Mseg.region; delay = Array.copy dmax; cap; edge_len; snaked },
-    dmin,
-    dmax )
+        t.Arena.cap.(v) <- s.merged_cap;
+        t.Arena.wl.(v) <- t.Arena.wl.(a) +. t.Arena.wl.(b) +. s.ea +. s.eb;
+        (* the arena's delay column carries the late (dmax) bound *)
+        t.Arena.delay.(v) <- s.dmax);
+  (t, dmin, dmax)
 
 let embed tech topo ~sinks ~gate_on_edge ~budget ~root_anchor =
   let mseg, _, _ = build tech topo ~sinks ~gate_on_edge ~budget in

@@ -13,7 +13,7 @@ let evaluate tech (embed : Embed.t) ~gate_on_edge =
   let cap = Array.make n 0.0 in
   Topo.iter_bottom_up topo (fun v ->
       match Topo.children topo v with
-      | None -> cap.(v) <- embed.Embed.mseg.Mseg.cap.(v) (* sink load *)
+      | None -> cap.(v) <- Mseg.cap embed.Embed.mseg v (* sink load *)
       | Some (a, b) ->
         let side c =
           let e = Embed.edge_len embed c in

@@ -1,27 +1,29 @@
-type t = { topo : Topo.t; mseg : Mseg.t; loc : Geometry.Point.t array }
+type t = { topo : Topo.t; mseg : Mseg.t }
 
-let of_mseg topo mseg ~root_anchor =
-  let n = Topo.n_nodes topo in
-  let loc = Array.make n Geometry.Point.origin in
+let of_mseg topo (mseg : Mseg.t) ~root_anchor =
   Topo.iter_top_down topo (fun v ->
       let target =
         match Topo.parent topo v with
         | None -> Geometry.Rot.of_point root_anchor
-        | Some p -> Geometry.Rot.of_point loc.(p)
+        | Some p -> Geometry.Rot.of_point (Arena.loc mseg p)
       in
-      loc.(v) <-
-        Geometry.Rot.to_point (Geometry.Rect.nearest_to mseg.Mseg.region.(v) target));
-  { topo; mseg; loc }
+      Arena.set_loc mseg v
+        (Geometry.Rot.to_point (Geometry.Rect.nearest_to (Arena.region mseg v) target)));
+  { topo; mseg }
 
 let build tech topo ~sinks ~gate_on_edge ~root_anchor =
   of_mseg topo (Mseg.build tech topo ~sinks ~gate_on_edge) ~root_anchor
 
-let edge_len t v = t.mseg.Mseg.edge_len.(v)
+let loc t v = Arena.loc t.mseg v
+
+let edge_len t v = Mseg.edge_len t.mseg v
 
 let total_wirelength t = Mseg.total_wirelength t.mseg
 
+let copy t = { t with mseg = Mseg.copy t.mseg }
+
 let gate_location t v =
-  match Topo.parent t.topo v with None -> t.loc.(v) | Some p -> t.loc.(p)
+  match Topo.parent t.topo v with None -> loc t v | Some p -> loc t p
 
 let check_consistency t =
   let n = Topo.n_nodes t.topo in
@@ -34,7 +36,7 @@ let check_consistency t =
       fmt
   in
   for v = 0 to n - 1 do
-    let { Geometry.Point.x; y } = t.loc.(v) in
+    let { Geometry.Point.x; y } = loc t v in
     (* A NaN coordinate passes every tolerance comparison below (NaN
        compares false), so finiteness is asserted first. *)
     if not (Float.is_finite x && Float.is_finite y) then
@@ -43,15 +45,16 @@ let check_consistency t =
         "node %d has a non-finite coordinate (%g, %g)" v x y;
     Util.Gcr_error.check_finite ~stage:"Embed.check_consistency"
       ~context:(Printf.sprintf "edge length of node %d" v)
-      t.mseg.Mseg.edge_len.(v);
-    let region = t.mseg.Mseg.region.(v) in
-    if not (Geometry.Rect.contains ~eps:1e-6 region (Geometry.Rot.of_point t.loc.(v)))
+      (Mseg.edge_len t.mseg v);
+    let region = Mseg.region t.mseg v in
+    if not (Geometry.Rect.contains ~eps:1e-6 region (Geometry.Rot.of_point (loc t v)))
     then fail "node %d placed outside its region" v;
     match Topo.parent t.topo v with
     | None -> ()
     | Some p ->
-      let d = Geometry.Point.manhattan t.loc.(v) t.loc.(p) in
-      let e = t.mseg.Mseg.edge_len.(v) in
+      let lp = loc t p in
+      let d = Geometry.Point.manhattan (loc t v) lp in
+      let e = Mseg.edge_len t.mseg v in
       (* Mseg.merge_region recovers a float-hair intersection miss with
          slack relative to the merge distance, so a placement can overshoot
          the wire by an amount that scales with the coordinate magnitude,
@@ -59,8 +62,7 @@ let check_consistency t =
          the tolerance as the [scale] term (1e-6 · 0.01·coord = the old
          1e-8·coord allowance). *)
       let coord_scale =
-        Float.abs t.loc.(p).Geometry.Point.x
-        +. Float.abs t.loc.(p).Geometry.Point.y
+        Float.abs lp.Geometry.Point.x +. Float.abs lp.Geometry.Point.y
       in
       if
         not

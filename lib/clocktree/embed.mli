@@ -4,13 +4,15 @@
     the root is placed at the region point nearest to a given anchor
     (typically the clock source at the chip center); every other node at
     the point of its region nearest to its parent's location, which is
-    always within the zero-skew wire length. *)
+    always within the zero-skew wire length.
 
-type t = {
-  topo : Topo.t;
-  mseg : Mseg.t;
-  loc : Geometry.Point.t array;  (** embedded location per node *)
-}
+    Locations are written into the merging-segment arena's [px]/[py]
+    columns: an embedding is the arena plus the topology, with no
+    separate per-node boxes. {!of_mseg} therefore mutates the arena it is
+    given — use {!copy} first when the un-embedded segments must
+    survive. *)
+
+type t = { topo : Topo.t; mseg : Mseg.t }
 
 val build :
   Tech.t ->
@@ -23,12 +25,20 @@ val build :
 
 val of_mseg :
   Topo.t -> Mseg.t -> root_anchor:Geometry.Point.t -> t
-(** Placement only, for callers that already hold the merging segments. *)
+(** Placement only, for callers that already hold the merging segments.
+    Writes the locations into the given arena. *)
+
+val loc : t -> int -> Geometry.Point.t
+(** Embedded location of node [v]. *)
 
 val edge_len : t -> int -> float
 (** Wire length of the edge above the node (detours included). *)
 
 val total_wirelength : t -> float
+
+val copy : t -> t
+(** Deep copy: the arena is duplicated, so mutating one embedding (e.g.
+    fault injection on an edge length) leaves the other intact. *)
 
 val gate_location : t -> int -> Geometry.Point.t
 (** Location of the masking gate on the edge above node [v]: the head of

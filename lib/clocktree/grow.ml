@@ -1,12 +1,8 @@
 type t = {
   tech : Tech.t;
   edge_gate : Tech.gate option;
-  n_sinks : int;
-  region : Geometry.Rect.t array; (* sized 2N-1 *)
-  delay : float array;
-  cap : float array;
+  arena : Arena.t; (* capacity 2N-1; n_nodes = ids allocated so far *)
   alive : bool array;
-  mutable next_id : int;
   mutable n_active : int;
   merge_list : (int * int) array;
 }
@@ -14,53 +10,49 @@ type t = {
 let create tech ~edge_gate sinks =
   Sink.validate_array sinks;
   let n = Array.length sinks in
-  let size = (2 * n) - 1 in
-  let region =
-    Array.init size (fun v ->
-        if v < n then Geometry.Rect.of_point sinks.(v).Sink.loc
-        else Geometry.Rect.of_point Geometry.Point.origin)
-  in
-  let cap =
-    Array.init size (fun v -> if v < n then sinks.(v).Sink.cap else 0.0)
-  in
+  let arena = Arena.create ~n_sinks:n in
+  for v = 0 to n - 1 do
+    Arena.set_region_point arena v sinks.(v).Sink.loc;
+    arena.Arena.cap.(v) <- sinks.(v).Sink.cap
+  done;
+  arena.Arena.n_nodes <- n;
   {
     tech;
     edge_gate;
-    n_sinks = n;
-    region;
-    delay = Array.make size 0.0;
-    cap;
-    alive = Array.init size (fun v -> v < n);
-    next_id = n;
+    arena;
+    alive = Array.init (Arena.capacity arena) (fun v -> v < n);
     n_active = n;
     merge_list = Array.make (max 0 (n - 1)) (0, 0);
   }
 
-let n_sinks t = t.n_sinks
+let n_sinks t = t.arena.Arena.n_sinks
 
-let n_nodes t = t.next_id
+let n_nodes t = t.arena.Arena.n_nodes
 
 let n_active t = t.n_active
 
-let is_active t v = v >= 0 && v < t.next_id && t.alive.(v)
+let is_active t v = v >= 0 && v < t.arena.Arena.n_nodes && t.alive.(v)
 
 let active t =
   let rec go v acc = if v < 0 then acc else go (v - 1) (if t.alive.(v) then v :: acc else acc) in
-  go (t.next_id - 1) []
+  go (t.arena.Arena.n_nodes - 1) []
 
 let check_active name t v =
   if not (is_active t v) then
     invalid_arg (Printf.sprintf "Grow.%s: %d is not an active root" name v)
 
-let region t v = t.region.(v)
+let region t v = Arena.region t.arena v
 
-let delay t v = t.delay.(v)
+let center_point t v = Arena.center_point t.arena v
 
-let cap t v = t.cap.(v)
+let delay t v = t.arena.Arena.delay.(v)
 
-let dist t a b = Geometry.Rect.distance t.region.(a) t.region.(b)
+let cap t v = t.arena.Arena.cap.(v)
 
-let branch t v = { Zskew.delay = t.delay.(v); cap = t.cap.(v); gate = t.edge_gate }
+let dist t a b = Arena.dist t.arena a b
+
+let branch t v =
+  { Zskew.delay = t.arena.Arena.delay.(v); cap = t.arena.Arena.cap.(v); gate = t.edge_gate }
 
 let peek_split t a b =
   check_active "peek_split" t a;
@@ -72,24 +64,35 @@ let merge t a b =
   check_active "merge" t b;
   if a = b then invalid_arg "Grow.merge: merging a root with itself";
   let split = peek_split t a b in
-  let k = t.next_id in
-  t.region.(k) <-
-    Mseg.merge_region t.region.(a) split.Zskew.ea t.region.(b) split.Zskew.eb
-      (dist t a b);
-  t.delay.(k) <- split.Zskew.merged_delay;
-  t.cap.(k) <- split.Zskew.merged_cap;
-  t.merge_list.(k - t.n_sinks) <- (a, b);
+  let ar = t.arena in
+  let k = ar.Arena.n_nodes in
+  Arena.set_region ar k
+    (Mseg.merge_region (region t a) split.Zskew.ea (region t b) split.Zskew.eb
+       (dist t a b));
+  ar.Arena.delay.(k) <- split.Zskew.merged_delay;
+  ar.Arena.cap.(k) <- split.Zskew.merged_cap;
+  ar.Arena.edge_len.(a) <- split.Zskew.ea;
+  ar.Arena.edge_len.(b) <- split.Zskew.eb;
+  ar.Arena.wl.(k) <-
+    ar.Arena.wl.(a) +. ar.Arena.wl.(b) +. split.Zskew.ea +. split.Zskew.eb;
+  ar.Arena.left.(k) <- a;
+  ar.Arena.right.(k) <- b;
+  ar.Arena.parent.(a) <- k;
+  ar.Arena.parent.(b) <- k;
+  t.merge_list.(k - ar.Arena.n_sinks) <- (a, b);
   t.alive.(a) <- false;
   t.alive.(b) <- false;
   t.alive.(k) <- true;
-  t.next_id <- k + 1;
+  ar.Arena.n_nodes <- k + 1;
   t.n_active <- t.n_active - 1;
   k
 
-let merges t = Array.sub t.merge_list 0 (t.next_id - t.n_sinks)
+let subtree_wirelength t v = t.arena.Arena.wl.(v)
+
+let merges t = Array.sub t.merge_list 0 (t.arena.Arena.n_nodes - t.arena.Arena.n_sinks)
 
 let topology t =
   if t.n_active <> 1 then
     invalid_arg
       (Printf.sprintf "Grow.topology: %d roots still active" t.n_active);
-  Topo.of_merges ~n_sinks:t.n_sinks (merges t)
+  Topo.of_merges ~n_sinks:(n_sinks t) (merges t)

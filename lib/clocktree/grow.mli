@@ -32,6 +32,10 @@ val active : t -> int list
 
 val region : t -> int -> Geometry.Rect.t
 
+val center_point : t -> int -> Geometry.Point.t
+(** Chip-space center of a root's merging region, without materializing
+    the rectangle (the paper's controller-distance estimate point). *)
+
 val delay : t -> int -> float
 
 val cap : t -> int -> float
@@ -47,6 +51,9 @@ val merge : t -> int -> int -> int
 (** Commit a merge; returns the id of the new root. Raises
     [Invalid_argument] if either id is not an active root or both are the
     same. *)
+
+val subtree_wirelength : t -> int -> float
+(** Total wire length committed below a node so far. *)
 
 val merges : t -> (int * int) array
 (** Merge list so far, in commit order (feed to {!Topo.of_merges} once a

@@ -31,11 +31,11 @@ let of_embed (embed : Embed.t) =
       | Some p ->
         let len = Embed.edge_len embed v in
         let direct =
-          Geometry.Point.manhattan embed.Embed.loc.(v) embed.Embed.loc.(p)
+          Geometry.Point.manhattan (Embed.loc embed v) (Embed.loc embed p)
         in
         Util.Kahan.add total len;
         Util.Kahan.add detour (Float.max 0.0 (len -. direct));
-        if embed.Embed.mseg.Mseg.snaked.(v) then incr snaked;
+        if Mseg.snaked embed.Embed.mseg v then incr snaked;
         if len > !max_edge then max_edge := len;
         let d = Topo.depth topo v in
         if d >= 1 then by_depth.(d - 1) <- by_depth.(d - 1) +. len);

@@ -1,10 +1,4 @@
-type t = {
-  region : Geometry.Rect.t array;
-  delay : float array;
-  cap : float array;
-  edge_len : float array;
-  snaked : bool array;
-}
+type t = Arena.t
 
 (* The two inflated child regions meet in exact arithmetic; under floating
    point they can miss by a hair, so retry with a small relative slack and
@@ -31,33 +25,52 @@ let build tech topo ~sinks ~gate_on_edge =
   Sink.validate_array sinks;
   if Array.length sinks <> Topo.n_sinks topo then
     invalid_arg "Mseg.build: sink count does not match topology";
-  let n = Topo.n_nodes topo in
-  let region = Array.make n (Geometry.Rect.of_point Geometry.Point.origin) in
-  let delay = Array.make n 0.0 in
-  let cap = Array.make n 0.0 in
-  let edge_len = Array.make n 0.0 in
-  let snaked = Array.make n false in
+  let n_sinks = Topo.n_sinks topo in
+  let t = Arena.create ~n_sinks in
+  t.Arena.n_nodes <- Topo.n_nodes topo;
   Topo.iter_bottom_up topo (fun v ->
+      (match Topo.parent topo v with
+      | Some p -> t.Arena.parent.(v) <- p
+      | None -> t.Arena.parent.(v) <- -1);
       match Topo.children topo v with
       | None ->
-        region.(v) <- Geometry.Rect.of_point sinks.(v).Sink.loc;
-        cap.(v) <- sinks.(v).Sink.cap
+        Arena.set_region_point t v sinks.(v).Sink.loc;
+        t.Arena.cap.(v) <- sinks.(v).Sink.cap
       | Some (a, b) ->
+        t.Arena.left.(v) <- a;
+        t.Arena.right.(v) <- b;
         let branch c =
-          { Zskew.delay = delay.(c); cap = cap.(c); gate = gate_on_edge c }
+          { Zskew.delay = t.Arena.delay.(c); cap = t.Arena.cap.(c); gate = gate_on_edge c }
         in
-        let dist = Geometry.Rect.distance region.(a) region.(b) in
+        let dist = Arena.dist t a b in
         let split = Zskew.split tech (branch a) (branch b) ~dist in
-        edge_len.(a) <- split.Zskew.ea;
-        edge_len.(b) <- split.Zskew.eb;
+        t.Arena.edge_len.(a) <- split.Zskew.ea;
+        t.Arena.edge_len.(b) <- split.Zskew.eb;
         (match split.Zskew.snaked with
         | Zskew.No_snake -> ()
-        | Zskew.Snake_a -> snaked.(a) <- true
-        | Zskew.Snake_b -> snaked.(b) <- true);
-        region.(v) <-
-          merge_region region.(a) split.Zskew.ea region.(b) split.Zskew.eb dist;
-        delay.(v) <- split.Zskew.merged_delay;
-        cap.(v) <- split.Zskew.merged_cap);
-  { region; delay; cap; edge_len; snaked }
+        | Zskew.Snake_a -> Arena.set_snaked t a true
+        | Zskew.Snake_b -> Arena.set_snaked t b true);
+        Arena.set_region t v
+          (merge_region (Arena.region t a) split.Zskew.ea (Arena.region t b)
+             split.Zskew.eb dist);
+        t.Arena.delay.(v) <- split.Zskew.merged_delay;
+        t.Arena.cap.(v) <- split.Zskew.merged_cap;
+        t.Arena.wl.(v) <-
+          t.Arena.wl.(a) +. t.Arena.wl.(b) +. split.Zskew.ea +. split.Zskew.eb);
+  t
 
-let total_wirelength t = Array.fold_left ( +. ) 0.0 t.edge_len
+let region = Arena.region
+let delay (t : t) v = t.Arena.delay.(v)
+let cap (t : t) v = t.Arena.cap.(v)
+let edge_len (t : t) v = t.Arena.edge_len.(v)
+let set_edge_len (t : t) v x = t.Arena.edge_len.(v) <- x
+let snaked = Arena.snaked
+let subtree_wirelength (t : t) v = t.Arena.wl.(v)
+let copy = Arena.copy
+
+let total_wirelength (t : t) =
+  let acc = ref 0.0 in
+  for v = 0 to t.Arena.n_nodes - 1 do
+    acc := !acc +. t.Arena.edge_len.(v)
+  done;
+  !acc

@@ -4,15 +4,15 @@
     Given a topology and a gate assignment, computes for every node its
     merging region (the locus of zero-skew placements, a Manhattan arc
     represented as a rotated-frame rectangle), the wire length of the edge
-    to its parent, and the subtree delay/capacitance at the node. *)
+    to its parent, and the subtree delay/capacitance at the node.
 
-type t = {
-  region : Geometry.Rect.t array;  (** merging region per node *)
-  delay : float array;  (** zero-skew Elmore delay node -> sinks *)
-  cap : float array;  (** downstream capacitance at the node *)
-  edge_len : float array;  (** wire length of the edge above the node; 0 at the root *)
-  snaked : bool array;  (** true when the edge above the node is elongated *)
-}
+    The result is a flat {!Arena.t} — one float column per field instead
+    of boxed per-node records — read through the accessors below. The
+    arena also carries the topology links and per-subtree wirelength, and
+    has room ([px]/[py] columns) for {!Embed} to write the final
+    placement into the same storage. *)
+
+type t = Arena.t
 
 val build :
   Tech.t ->
@@ -24,8 +24,32 @@ val build :
     above node [v] (queried for every non-root node). Raises
     [Invalid_argument] when the sink array does not match the topology. *)
 
+val region : t -> int -> Geometry.Rect.t
+(** Merging region of node [v]. *)
+
+val delay : t -> int -> float
+(** Zero-skew Elmore delay from node [v] down to its sinks. *)
+
+val cap : t -> int -> float
+(** Downstream capacitance at node [v]. *)
+
+val edge_len : t -> int -> float
+(** Wire length of the edge above node [v]; 0 at the root. *)
+
+val set_edge_len : t -> int -> float -> unit
+(** Overwrite one edge length (fault injection / tamper tests). *)
+
+val snaked : t -> int -> bool
+(** Whether the edge above node [v] is elongated (snaked). *)
+
+val subtree_wirelength : t -> int -> float
+(** Total wire length of the subtree hanging below node [v]. *)
+
 val total_wirelength : t -> float
 (** Sum of all edge lengths (detour wire included). *)
+
+val copy : t -> t
+(** Deep copy (no shared columns). *)
 
 val merge_region :
   Geometry.Rect.t -> float -> Geometry.Rect.t -> float -> float -> Geometry.Rect.t

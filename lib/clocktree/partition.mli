@@ -1,0 +1,23 @@
+(** Deterministic recursive bisection of a sink set into regions, for the
+    sharded router.
+
+    Splits along the wider chip-space axis at a proportional order
+    statistic, recursing until the requested region count is reached.
+    When a [groups] labelling is supplied (floorplan clusters — e.g. the
+    {!Benchmarks.Rbench} functional groups carried as sink module ids),
+    each cut snaps to the nearest group boundary within a window around
+    the proportional point, so clusters land whole inside one region
+    whenever the balance allows: sinks of one cluster share enable
+    activity, and keeping them together lets the region router merge them
+    under one gate instead of leaving that to the top-level stitch. *)
+
+val bisect :
+  ?groups:int array -> n_regions:int -> Sink.t array -> int array array
+(** [bisect ~n_regions sinks] partitions [0 .. n-1] (sink ids) into at
+    most [n_regions] non-empty index sets, covering every sink exactly
+    once. The effective region count is clamped to [n]; [n_regions <= 1]
+    yields one region. [groups], when given, must have one label per
+    sink. Output is deterministic: regions in recursion order (left
+    before right), indices within a region sorted ascending. Raises
+    [Invalid_argument] on an empty sink array, a non-positive clamp, or a
+    mis-sized [groups]. *)

@@ -195,16 +195,16 @@ let families :
         let tree = all_gated sc in
         let v = victim prng tree in
         let mseg = tree.Gcr.Gated_tree.embed.Clocktree.Embed.mseg in
-        mseg.Clocktree.Mseg.edge_len.(v) <-
-          mseg.Clocktree.Mseg.edge_len.(v)
-          +. (0.05 *. Float.max 1.0 sc.Scenario.die_side);
+        Clocktree.Mseg.set_edge_len mseg v
+          (Clocktree.Mseg.edge_len mseg v
+          +. (0.05 *. Float.max 1.0 sc.Scenario.die_side));
         expect_verify_rejects tree );
     ( "tree:nan-edge-len",
       fun prng sc ->
         let tree = all_gated sc in
         let v = victim prng tree in
         let mseg = tree.Gcr.Gated_tree.embed.Clocktree.Embed.mseg in
-        mseg.Clocktree.Mseg.edge_len.(v) <- Float.nan;
+        Clocktree.Mseg.set_edge_len mseg v Float.nan;
         expect_verify_rejects tree );
     ( "tree:poison-sink-cap",
       fun prng sc ->

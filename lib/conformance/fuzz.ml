@@ -8,11 +8,7 @@ let check (sc : Scenario.t) =
   Oracles.signature_vs_tables tree;
   (* Staged determinism: the bundled pipeline is exactly its three stages
      composed, bit for bit. *)
-  let budget =
-    if options.Gcr.Flow.skew_budget > 0.0 then Some options.Gcr.Flow.skew_budget
-    else None
-  in
-  let routed = Gcr.Router.route ?skew_budget:budget config profile sc.Scenario.sinks in
+  let routed = Gcr.Flow.route_with_options options config profile sc.Scenario.sinks in
   let staged =
     Gcr.Flow.apply_sizing options (Gcr.Flow.apply_reduction options routed)
   in
@@ -27,6 +23,12 @@ let check (sc : Scenario.t) =
         "greedy gate reduction increased W (%.17g -> %.17g)" before after
   | Gcr.Flow.No_reduction | Gcr.Flow.Rules | Gcr.Flow.Fraction _ -> ());
   Oracles.engine_vs_dense sc;
+  (match options.Gcr.Flow.shards with
+  | Gcr.Flow.Flat -> ()
+  | Gcr.Flow.Auto_shards ->
+    Oracles.sharded_regions_optimal config profile sc.Scenario.sinks
+  | Gcr.Flow.Shards s ->
+    Oracles.sharded_regions_optimal ~shards:s config profile sc.Scenario.sinks);
   Oracles.domains_determinism sc
 
 let fails check sc =
@@ -109,6 +111,14 @@ let candidates (sc : Scenario.t) =
        else []);
       (if opts.Gcr.Flow.skew_budget > 0.0 then
          [ { sc with Scenario.options = { opts with Gcr.Flow.skew_budget = 0.0 } } ]
+       else []);
+      (if opts.Gcr.Flow.shards <> Gcr.Flow.Flat then
+         [
+           {
+             sc with
+             Scenario.options = { opts with Gcr.Flow.shards = Gcr.Flow.Flat };
+           };
+         ]
        else []);
       (if sc.Scenario.k_controllers <> 1 then
          [ { sc with Scenario.k_controllers = 1 } ]

@@ -40,17 +40,16 @@ let same_tree ~what (a : Gcr.Gated_tree.t) (b : Gcr.Gated_tree.t) =
     then
       fail "node %d: enable statistics differ (P %.17g vs %.17g, Ptr %.17g vs %.17g)"
         v ea.Gcr.Enable.p eb.Gcr.Enable.p ea.Gcr.Enable.ptr eb.Gcr.Enable.ptr;
-    let la = a.Gcr.Gated_tree.embed.Clocktree.Embed.loc.(v)
-    and lb = b.Gcr.Gated_tree.embed.Clocktree.Embed.loc.(v) in
+    let la = Clocktree.Embed.loc a.Gcr.Gated_tree.embed v
+    and lb = Clocktree.Embed.loc b.Gcr.Gated_tree.embed v in
     if la.Geometry.Point.x <> lb.Geometry.Point.x
        || la.Geometry.Point.y <> lb.Geometry.Point.y
     then
       fail "node %d: embedded locations differ ((%.17g, %.17g) vs (%.17g, %.17g))"
         v la.Geometry.Point.x la.Geometry.Point.y lb.Geometry.Point.x
         lb.Geometry.Point.y;
-    let wa = a.Gcr.Gated_tree.embed.Clocktree.Embed.mseg.Clocktree.Mseg.edge_len.(v)
-    and wb = b.Gcr.Gated_tree.embed.Clocktree.Embed.mseg.Clocktree.Mseg.edge_len.(v)
-    in
+    let wa = Clocktree.Embed.edge_len a.Gcr.Gated_tree.embed v
+    and wb = Clocktree.Embed.edge_len b.Gcr.Gated_tree.embed v in
     if wa <> wb then
       fail "node %d: edge lengths differ (%.17g vs %.17g)" v wa wb
   done
@@ -173,6 +172,56 @@ let greedy_optimal ~what (config : Gcr.Config.t) profile sinks topo =
       active.(b) <- false;
       active.(k) <- true
     done
+
+(* Each region of a sharded plan is routed by the same greedy engine over
+   its own sinks, so each region's merge list must be greedy-optimal over
+   that region in isolation — replayed through a fresh {!Gcr.Router.forest}
+   whose Eq. (3) cost evolves through exactly the operations the region
+   router performed, so the comparison is bit-exact and, like
+   [greedy_optimal], tie-immune. (The stitch above the regions is not
+   globally greedy-optimal by design; its tolerance is measured in
+   EXPERIMENTS.md, not asserted here.) *)
+let sharded_regions_optimal ?shards (config : Gcr.Config.t) profile sinks =
+  let plan = Gcr.Shard_router.plan ?shards ~domains:1 config profile sinks in
+  Array.iteri
+    (fun r ls ->
+      let k = Array.length ls in
+      if k > 1 then begin
+        let forest = Gcr.Router.forest config profile ls in
+        let active = Array.make ((2 * k) - 1) false in
+        for v = 0 to k - 1 do
+          active.(v) <- true
+        done;
+        Array.iteri
+          (fun step (a, b) ->
+            if not (active.(a) && active.(b)) then
+              fail "sharded_regions_optimal"
+                "region %d: merge %d joins non-roots (%d, %d)" r step a b;
+            let chosen = Gcr.Router.cost forest a b in
+            let m = k + step in
+            let best = ref infinity in
+            for i = 0 to m - 1 do
+              if active.(i) then
+                for j = i + 1 to m - 1 do
+                  if active.(j) then
+                    best := Float.min !best (Gcr.Router.cost forest i j)
+                done
+            done;
+            if chosen > !best then
+              fail "sharded_regions_optimal"
+                "region %d: merge %d chose (%d, %d) at cost %.17g but the \
+                 cheapest available pair costs %.17g"
+                r step a b chosen !best;
+            let v = Gcr.Router.merge forest a b in
+            if v <> m then
+              fail "sharded_regions_optimal"
+                "region %d: replay numbered merge %d as %d" r m v;
+            active.(a) <- false;
+            active.(b) <- false;
+            active.(v) <- true)
+          plan.Gcr.Shard_router.region_merges.(r)
+      end)
+    plan.Gcr.Shard_router.region_sinks
 
 let engine_vs_dense (sc : Scenario.t) =
   let config = Scenario.config sc in

@@ -40,6 +40,20 @@ val greedy_optimal :
     engines legally diverge cannot produce false alarms. No-op on
     profiles without a signature kernel. *)
 
+val sharded_regions_optimal :
+  ?shards:int ->
+  Gcr.Config.t ->
+  Activity.Profile.t ->
+  Clocktree.Sink.t array ->
+  unit
+(** Per-region counterpart of {!greedy_optimal} for the sharded router:
+    builds a {!Gcr.Shard_router.plan} and requires every region's merge
+    list to be greedy-optimal — under the router's own Eq. (3) switched
+    capacitance, replayed bit-exactly through a fresh
+    {!Gcr.Router.forest} — over that region's sinks in isolation (the
+    stitch above the regions trades optimality for scaling by design and
+    is not asserted). [shards] as in {!Gcr.Shard_router.plan}. *)
+
 val engine_vs_dense : Scenario.t -> unit
 (** Per-step greedy optimality of both merge engines —
     {!Gcr.Activity_router.topology} (nearest-neighbor heap with

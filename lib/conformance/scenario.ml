@@ -87,6 +87,12 @@ let generate prng ~tag =
       *. die_side
       *. Util.Prng.range prng 0.001 0.05
   in
+  let shards =
+    match Util.Prng.int prng 4 with
+    | 0 -> Gcr.Flow.Auto_shards
+    | 1 -> Gcr.Flow.Shards (2 + Util.Prng.int prng 3)
+    | _ -> Gcr.Flow.Flat
+  in
   let k_controllers = Util.Prng.choose prng [| 1; 4; 9; 16 |] in
   let control_weight = Util.Prng.choose prng [| 1.0; 0.5; 2.0 |] in
   {
@@ -98,7 +104,7 @@ let generate prng ~tag =
     sinks;
     rtl;
     stream;
-    options = { Gcr.Flow.skew_budget; reduction; sizing };
+    options = { Gcr.Flow.skew_budget; reduction; sizing; shards };
   }
 
 let config t =
@@ -153,6 +159,10 @@ let render t =
   | Gcr.Flow.Tapered -> add "sizing tapered"
   | Gcr.Flow.Proportional -> add "sizing proportional"
   | Gcr.Flow.Uniform k -> add "sizing uniform %.17g" k);
+  (match t.options.Gcr.Flow.shards with
+  | Gcr.Flow.Flat -> add "shards flat"
+  | Gcr.Flow.Auto_shards -> add "shards auto"
+  | Gcr.Flow.Shards s -> add "shards %d" s);
   add "begin sinks";
   Buffer.add_string b (Formats.Sinks_format.render t.sinks);
   add "end sinks";
@@ -268,6 +278,19 @@ let parse ?(source = "<scenario>") contents =
       Formats.Parse.fail ~source ~line
         "sizing expects none | tapered | proportional | uniform <k>"
   in
+  (* Optional for compatibility with pre-sharding scenario files. *)
+  let shards =
+    match Hashtbl.find_opt header "shards" with
+    | None | Some (_, [ "flat" ]) -> Gcr.Flow.Flat
+    | Some (_, [ "auto" ]) -> Gcr.Flow.Auto_shards
+    | Some (line, [ s ]) ->
+      let s = Formats.Parse.int_field ~source ~line ~what:"shard count" s in
+      if s < 1 then
+        Formats.Parse.fail ~source ~line "shard count must be positive";
+      Gcr.Flow.Shards s
+    | Some (line, _) ->
+      Formats.Parse.fail ~source ~line "shards expects flat | auto | <n>"
+  in
   let tag =
     match Hashtbl.find_opt header "tag" with
     | Some (_, rest) -> String.concat " " rest
@@ -306,7 +329,7 @@ let parse ?(source = "<scenario>") contents =
     sinks;
     rtl;
     stream;
-    options = { Gcr.Flow.skew_budget; reduction; sizing };
+    options = { Gcr.Flow.skew_budget; reduction; sizing; shards };
   }
 
 let save path t =

@@ -127,6 +127,7 @@ let pcache_topology ~dense (config : Config.t) profile sinks =
     if dense then Clocktree.Greedy.merge_all_dense ~n ~cost ~merge
     else Clocktree.Greedy.merge_all_with ~cost_many Clocktree.Greedy.scan ~n ~cost ~merge
   in
+  Activity.Pcache.flush_obs cache;
   Clocktree.Grow.topology grow
 
 let build_topology ~dense config profile sinks =

@@ -2,13 +2,17 @@ type reduction = No_reduction | Greedy | Rules | Fraction of float
 
 type sizing = No_sizing | Tapered | Uniform of float | Proportional
 
+type shards = Flat | Auto_shards | Shards of int
+
 type options = {
   skew_budget : float;
   reduction : reduction;
   sizing : sizing;
+  shards : shards;
 }
 
-let default = { skew_budget = 0.0; reduction = Greedy; sizing = No_sizing }
+let default =
+  { skew_budget = 0.0; reduction = Greedy; sizing = No_sizing; shards = Flat }
 
 let apply_reduction options tree =
   match options.reduction with
@@ -27,10 +31,17 @@ let apply_sizing options tree =
 let budget options =
   if options.skew_budget > 0.0 then Some options.skew_budget else None
 
+let route_with_options options config profile sinks =
+  let skew_budget = budget options in
+  match options.shards with
+  | Flat -> Router.route ?skew_budget config profile sinks
+  | Auto_shards -> Shard_router.route ?skew_budget config profile sinks
+  | Shards s -> Shard_router.route ?skew_budget ~shards:s config profile sinks
+
 let run ?(options = default) config profile sinks =
   let tree =
     Util.Obs.span ~name:"route" (fun () ->
-        Router.route ?skew_budget:(budget options) config profile sinks)
+        route_with_options options config profile sinks)
   in
   let reduced =
     Util.Obs.span ~name:"reduce" (fun () -> apply_reduction options tree)
@@ -113,6 +124,9 @@ let validate_inputs config profile sinks options =
   (match options.sizing with
    | Uniform k when not (Float.is_finite k && k > 0.0) ->
      bad "options" "uniform sizing factor %g must be finite and positive" k
+   | _ -> ());
+  (match options.shards with
+   | Shards s when s < 1 -> bad "options" "shard count %d must be positive" s
    | _ -> ());
   List.rev !errs
 
@@ -221,8 +235,31 @@ let run_checked ?(mode = Default) ?(limits = no_limits)
               (Option.value skew_budget ~default:0.0)
               (retry_skew_budget config sinks))
        in
+       (* With sharding requested, the sharded route is a rung above the
+          flat NN-heap engine: a failure there degrades to the flat route
+          (same answer contract, more wall time), then down the usual
+          ladder. *)
+       let sharded_rungs =
+         match options.shards with
+         | Flat -> []
+         | Auto_shards ->
+           [
+             ( "route:sharded",
+               "routing region-parallel with the sharded engine",
+               fun () -> Shard_router.route ?skew_budget config profile sinks );
+           ]
+         | Shards s ->
+           [
+             ( "route:sharded",
+               Printf.sprintf
+                 "routing region-parallel with the sharded engine (%d shards)" s,
+               fun () ->
+                 Shard_router.route ?skew_budget ~shards:s config profile sinks );
+           ]
+       in
        let rungs =
-         [
+         sharded_rungs
+         @ [
            ( "route",
              "routing with the NN-heap engine",
              fun () -> Router.route ?skew_budget config profile sinks );
@@ -309,7 +346,13 @@ let label options =
     | Uniform k -> Printf.sprintf "+uniform %g" k
     | Proportional -> "+proportional"
   in
-  "gated" ^ r ^ s
+  let sh =
+    match options.shards with
+    | Flat -> ""
+    | Auto_shards -> "+sharded"
+    | Shards n -> Printf.sprintf "+sharded:%d" n
+  in
+  "gated" ^ r ^ s ^ sh
 
 let standard_comparison ?(options = default) config profile sinks =
   let skew_budget = budget options in

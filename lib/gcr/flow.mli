@@ -8,15 +8,31 @@ type reduction = No_reduction | Greedy | Rules | Fraction of float
 
 type sizing = No_sizing | Tapered | Uniform of float | Proportional
 
+type shards =
+  | Flat  (** single flat greedy merge (the default) *)
+  | Auto_shards  (** {!Shard_router} with {!Shard_router.auto_shards} *)
+  | Shards of int  (** {!Shard_router} with an explicit region count *)
+
 type options = {
   skew_budget : float;  (** 0 = exact zero skew *)
   reduction : reduction;
   sizing : sizing;
+  shards : shards;  (** region-parallel routing (see {!Shard_router}) *)
 }
 
 val default : options
 (** Zero skew, greedy reduction, no sizing — the configuration behind the
     headline reproduction numbers. *)
+
+val route_with_options :
+  options ->
+  Config.t ->
+  Activity.Profile.t ->
+  Clocktree.Sink.t array ->
+  Gated_tree.t
+(** The routing stage of {!run} alone: {!Router.route} or
+    {!Shard_router.route} according to [options.shards], with
+    [options.skew_budget] applied. *)
 
 val apply_reduction : options -> Gated_tree.t -> Gated_tree.t
 (** The gate-reduction stage of {!run} alone, on an already-routed tree. *)
@@ -83,7 +99,9 @@ val run_checked :
     converted through {!Util.Gcr_error.of_exn} with the stage attached.
 
     Routing walks a degradation ladder, emitting an [event] per
-    downgrade: NN-heap engine, then the all-pairs dense oracle, then
+    downgrade: the sharded region-parallel engine (only when [options]
+    request sharding), then the flat NN-heap engine, then the all-pairs
+    dense oracle, then
     dense with the signature kernel disabled (direct IFT/IMATT scans),
     then a relaxed-skew-budget retry; only when every rung fails is
     [Error] returned, carrying one typed error per rung in order. Gate

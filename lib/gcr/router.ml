@@ -1,4 +1,14 @@
-let grow_and_merge ?(dense = false) (config : Config.t) profile sinks =
+(* The merge core is exposed as a [forest] so the sharded router can
+   drive the same cost/merge machinery per region and again over the
+   region roots during stitching. *)
+type forest = {
+  config : Config.t;
+  profile : Activity.Profile.t;
+  grow : Clocktree.Grow.t;
+  enables : Enable.t option array;
+}
+
+let forest (config : Config.t) profile sinks =
   Clocktree.Sink.validate_array sinks;
   let tech = config.Config.tech in
   let n = Array.length sinks in
@@ -12,29 +22,41 @@ let grow_and_merge ?(dense = false) (config : Config.t) profile sinks =
   for v = 0 to n - 1 do
     enables.(v) <- Some (Enable.of_sink profile sinks.(v))
   done;
-  let enable v =
-    match enables.(v) with Some e -> e | None -> assert false
-  in
-  let cost a b =
-    let split = Clocktree.Grow.peek_split grow a b in
-    Cost.merge_sc config ~ea:split.Clocktree.Zskew.ea ~eb:split.Clocktree.Zskew.eb
-      ~mid_a:(Geometry.Rect.center_point (Clocktree.Grow.region grow a))
-      ~mid_b:(Geometry.Rect.center_point (Clocktree.Grow.region grow b))
-      ~enable_a:(enable a) ~enable_b:(enable b)
-  in
-  let merge a b =
-    let k = Clocktree.Grow.merge grow a b in
-    enables.(k) <- Some (Enable.merge profile (enable a) (enable b));
-    k
-  in
-  (* Eq. (3) mixes probability and star terms, so there is no spatial
-     lower bound to prune with; the scan-source engine still replaces the
-     O(n^2)-entry pair heap with one entry per active root. *)
+  { config; profile; grow; enables }
+
+let grow t = t.grow
+
+let enable t v =
+  match t.enables.(v) with Some e -> e | None -> assert false
+
+let cost t a b =
+  let split = Clocktree.Grow.peek_split t.grow a b in
+  Cost.merge_sc t.config ~ea:split.Clocktree.Zskew.ea ~eb:split.Clocktree.Zskew.eb
+    ~mid_a:(Clocktree.Grow.center_point t.grow a)
+    ~mid_b:(Clocktree.Grow.center_point t.grow b)
+    ~enable_a:(enable t a) ~enable_b:(enable t b)
+
+let merge t a b =
+  let k = Clocktree.Grow.merge t.grow a b in
+  t.enables.(k) <- Some (Enable.merge t.profile (enable t a) (enable t b));
+  k
+
+(* Eq. (3) mixes probability and star terms, so there is no spatial
+   lower bound to prune with; the scan-source engine still replaces the
+   O(n^2)-entry pair heap with one entry per active root. *)
+let run ?(dense = false) t =
+  let n = Clocktree.Grow.n_sinks t.grow in
+  let cost a b = cost t a b and merge a b = merge t a b in
   let _root =
     if dense then Clocktree.Greedy.merge_all_dense ~n ~cost ~merge
     else Clocktree.Greedy.merge_all ~n ~cost ~merge
   in
-  Clocktree.Grow.topology grow
+  ()
+
+let grow_and_merge ?dense (config : Config.t) profile sinks =
+  let f = forest config profile sinks in
+  run ?dense f;
+  Clocktree.Grow.topology f.grow
 
 let route_topology_only config profile sinks = grow_and_merge config profile sinks
 

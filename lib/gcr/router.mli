@@ -39,3 +39,35 @@ val route_topology_only :
   Config.t -> Activity.Profile.t -> Clocktree.Sink.t array -> Clocktree.Topo.t
 (** Just the min-switched-capacitance topology (used by ablations that
     re-cost the same topology under different embeddings). *)
+
+(** {1 The merge core}
+
+    The greedy loop factored out as an explicit forest, so the sharded
+    router ({!Shard_router}) can drive the same cost/merge machinery
+    per region and again over the region roots during stitching. *)
+
+type forest
+(** A growing forest of zero-skew subtrees with the paper's Eq. (3)
+    enable bookkeeping alongside ({!Clocktree.Grow} + per-root
+    {!Enable}). *)
+
+val forest :
+  Config.t -> Activity.Profile.t -> Clocktree.Sink.t array -> forest
+(** Fresh forest, every sink its own root. Raises [Invalid_argument] on a
+    mis-indexed sink array. *)
+
+val grow : forest -> Clocktree.Grow.t
+(** The underlying merge state (active roots, regions, merge list). *)
+
+val cost : forest -> int -> int -> float
+(** Eq. (3) merge switched capacitance of tentatively merging two active
+    roots: clock-tree term from a tentative zero-skew split plus the
+    controller star term from the sector midpoints. *)
+
+val merge : forest -> int -> int -> int
+(** Commit a merge (Grow + enable union); returns the new root id. *)
+
+val run : ?dense:bool -> forest -> unit
+(** Greedy-merge the forest down to a single root with the NN-heap scan
+    engine (or the all-pairs reference engine when [dense]). Must be
+    called on a fresh forest — the engines start from the sink roots. *)

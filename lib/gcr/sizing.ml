@@ -7,7 +7,7 @@ let driver_load t v =
       let tech = t.Gated_tree.config.Config.tech in
       (tech.Clocktree.Tech.unit_cap
       *. Clocktree.Embed.edge_len t.Gated_tree.embed v)
-      +. t.Gated_tree.embed.Clocktree.Embed.mseg.Clocktree.Mseg.cap.(v)
+      +. Clocktree.Mseg.cap t.Gated_tree.embed.Clocktree.Embed.mseg v
 
 let proportional ?(min_scale = 0.5) ?(max_scale = 8.0) ?reference t =
   if min_scale <= 0.0 || max_scale < min_scale then

@@ -26,7 +26,7 @@ let render ?(width = 800) ?(show_control = true) ?(show_regions = false) tree =
     (Geometry.Bbox.width die *. scale)
     (Geometry.Bbox.height die *. scale);
   let topo = tree.Gated_tree.topo in
-  let loc v = tree.Gated_tree.embed.Clocktree.Embed.loc.(v) in
+  let loc v = Clocktree.Embed.loc tree.Gated_tree.embed v in
   (* control star wires first, underneath everything *)
   if show_control then
     Clocktree.Topo.iter_bottom_up topo (fun v ->
@@ -43,7 +43,9 @@ let render ?(width = 800) ?(show_control = true) ?(show_regions = false) tree =
   if show_regions then
     Clocktree.Topo.iter_bottom_up topo (fun v ->
         if not (Clocktree.Topo.is_leaf topo v) then begin
-          let region = tree.Gated_tree.embed.Clocktree.Embed.mseg.Clocktree.Mseg.region.(v) in
+          let region =
+            Clocktree.Mseg.region tree.Gated_tree.embed.Clocktree.Embed.mseg v
+          in
           match Geometry.Rect.corner_points region with
           | [ a; b ] ->
             out

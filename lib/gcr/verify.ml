@@ -25,12 +25,12 @@ let finite (t : Gated_tree.t) =
   let check context v = Util.Gcr_error.check_finite ~stage ~context v in
   let n = Clocktree.Topo.n_nodes t.Gated_tree.topo in
   for v = 0 to n - 1 do
-    let loc = t.Gated_tree.embed.Clocktree.Embed.loc.(v) in
+    let loc = Clocktree.Embed.loc t.Gated_tree.embed v in
     check (Printf.sprintf "x coordinate of node %d" v) loc.Geometry.Point.x;
     check (Printf.sprintf "y coordinate of node %d" v) loc.Geometry.Point.y;
     check
       (Printf.sprintf "edge length of node %d" v)
-      t.Gated_tree.embed.Clocktree.Embed.mseg.Clocktree.Mseg.edge_len.(v);
+      (Clocktree.Mseg.edge_len t.Gated_tree.embed.Clocktree.Embed.mseg v);
     check (Printf.sprintf "hardware scale of node %d" v) t.Gated_tree.scale.(v);
     let en = t.Gated_tree.enables.(v) in
     check (Printf.sprintf "P(EN) of node %d" v) en.Enable.p;

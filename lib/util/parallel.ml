@@ -73,3 +73,58 @@ let init ?domains n f =
   end
 
 let map ?domains f arr = init ?domains (Array.length arr) (fun i -> f arr.(i))
+
+let map_dyn ?domains ~weight f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    (* Heaviest first: with single-item granularity the pool drains the big
+       items while light ones backfill, so one dense item determines the
+       makespan only when it genuinely dominates the total. Ties broken by
+       index so the schedule (not just the result) is deterministic. *)
+    let order = Array.init n (fun i -> i) in
+    let w = Array.map weight arr in
+    Array.sort
+      (fun i j -> match compare w.(j) w.(i) with 0 -> compare i j | c -> c)
+      order;
+    let d =
+      min n (match domains with Some d -> max 1 d | None -> default_domains ())
+    in
+    Obs.incr jobs_counter;
+    Obs.add tasks_counter n;
+    Obs.set domains_gauge (float_of_int d);
+    (* Seed the output with the heaviest item, evaluated on the calling
+       domain (mirrors init's f 0). *)
+    let out = Array.make n (f arr.(order.(0))) in
+    if n > 1 then begin
+      if d = 1 then
+        for pos = 1 to n - 1 do
+          let i = order.(pos) in
+          out.(i) <- f arr.(i)
+        done
+      else begin
+        let next = Atomic.make 1 in
+        let failure = Atomic.make None in
+        let worker () =
+          try
+            let continue = ref true in
+            while !continue do
+              let pos = Atomic.fetch_and_add next 1 in
+              if pos >= n then continue := false
+              else begin
+                Obs.incr chunks_counter;
+                let i = order.(pos) in
+                out.(i) <- f arr.(i)
+              end
+            done
+          with e -> ignore (Atomic.compare_and_set failure None (Some e))
+        in
+        Obs.add spawned_counter (d - 1);
+        let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        Array.iter Domain.join spawned;
+        match Atomic.get failure with None -> () | Some e -> raise e
+      end
+    end;
+    out
+  end

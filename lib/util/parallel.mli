@@ -30,3 +30,14 @@ val init : ?domains:int -> int -> (int -> 'a) -> 'a array
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map], same contract as {!init}. *)
+
+val map_dyn :
+  ?domains:int -> weight:('a -> int) -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_dyn ~weight f arr] is {!map} for {e uneven} workloads: items are
+    handed out one at a time from a shared cursor in decreasing [weight]
+    order (largest first, ties by index), so a single dense item does not
+    serialize the pool behind a chunk of light ones. [out.(i)] is always
+    [f arr.(i)] — scheduling affects wall time only, and the result equals
+    [map f arr] for any domain count. Unlike the chunked entry points,
+    small arrays still fan out: items are assumed heavy (a region route,
+    not an index). The heaviest item runs first on the calling domain. *)

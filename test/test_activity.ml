@@ -503,6 +503,58 @@ let test_pcache_batch_stats () =
   Alcotest.(check int) "n elements counted" 2 (hits3 + misses3);
   Alcotest.(check (float 0.0)) "tail untouched" (-1.0) out3.(2)
 
+let test_pcache_capacity_and_reset () =
+  (* pre-sizing only affects bucket allocation, never answers *)
+  let cache = Activity.Pcache.create ~capacity:1024 paper_profile in
+  let m56 = Ms.of_list 6 [ 4; 5 ] in
+  check_float "p via pre-sized cache" 0.55 (Activity.Pcache.p cache m56);
+  check_float "cached" 0.55 (Activity.Pcache.p cache m56);
+  Alcotest.(check (pair int int)) "hit and miss counted" (1, 1)
+    (Activity.Pcache.stats cache);
+  Activity.Pcache.reset cache;
+  Alcotest.(check (pair int int)) "reset zeroes stats" (0, 0)
+    (Activity.Pcache.stats cache);
+  (* unlike reset_stats, reset drops the memo: the same query misses *)
+  check_float "entry dropped" 0.55 (Activity.Pcache.p cache m56);
+  Alcotest.(check (pair int int)) "fresh miss" (0, 1)
+    (Activity.Pcache.stats cache);
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Pcache.create: negative capacity") (fun () ->
+      ignore (Activity.Pcache.create ~capacity:(-1) paper_profile))
+
+let test_pcache_flush_obs () =
+  let hits_c = Util.Obs.counter "pcache.hits" in
+  let misses_c = Util.Obs.counter "pcache.misses" in
+  let was_on = Util.Obs.enabled () in
+  Util.Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Util.Obs.set_enabled was_on)
+    (fun () ->
+      let h0 = Util.Obs.value hits_c and m0 = Util.Obs.value misses_c in
+      let cache = Activity.Pcache.create paper_profile in
+      let m56 = Ms.of_list 6 [ 4; 5 ] in
+      ignore (Activity.Pcache.p cache m56);
+      ignore (Activity.Pcache.p cache m56);
+      ignore (Activity.Pcache.p cache m56);
+      (* queries alone never touch the shared counters... *)
+      Alcotest.(check (pair int int)) "lookup path publishes nothing"
+        (h0, m0)
+        (Util.Obs.value hits_c, Util.Obs.value misses_c);
+      (* ...flush publishes the deltas once... *)
+      Activity.Pcache.flush_obs cache;
+      Alcotest.(check (pair int int)) "flush publishes totals"
+        (h0 + 2, m0 + 1)
+        (Util.Obs.value hits_c, Util.Obs.value misses_c);
+      (* ...and an idle re-flush adds nothing *)
+      Activity.Pcache.flush_obs cache;
+      Alcotest.(check (pair int int)) "re-flush is idempotent"
+        (h0 + 2, m0 + 1)
+        (Util.Obs.value hits_c, Util.Obs.value misses_c);
+      ignore (Activity.Pcache.p cache m56);
+      Activity.Pcache.flush_obs cache;
+      Alcotest.(check int) "only the new hit flows" (h0 + 3)
+        (Util.Obs.value hits_c))
+
 let prop_pcache_matches_profile =
   QCheck.Test.make ~name:"Pcache.p_union = Profile.p of the union" ~count:60
     (QCheck.int_range 1 100_000)
@@ -915,6 +967,9 @@ let () =
           Alcotest.test_case "paper values" `Quick test_pcache_matches_profile;
           Alcotest.test_case "reset_stats" `Quick test_pcache_reset_stats;
           Alcotest.test_case "batch stats" `Quick test_pcache_batch_stats;
+          Alcotest.test_case "capacity and reset" `Quick
+            test_pcache_capacity_and_reset;
+          Alcotest.test_case "flush_obs deltas" `Quick test_pcache_flush_obs;
           qt prop_pcache_matches_profile;
         ] );
       ( "tables_vs_brute",

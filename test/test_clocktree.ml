@@ -314,11 +314,11 @@ let test_mseg_two_sinks () =
   let topo = Clocktree.Topo.of_merges ~n_sinks:2 [| (0, 1) |] in
   let mseg = Clocktree.Mseg.build tech topo ~sinks ~gate_on_edge:no_gate in
   check_float "edge sum = distance" 100.0
-    (mseg.Clocktree.Mseg.edge_len.(0) +. mseg.Clocktree.Mseg.edge_len.(1));
-  check_float "symmetric split" 50.0 mseg.Clocktree.Mseg.edge_len.(0);
+    (Clocktree.Mseg.edge_len mseg 0 +. Clocktree.Mseg.edge_len mseg 1);
+  check_float "symmetric split" 50.0 (Clocktree.Mseg.edge_len mseg 0);
   (* the root merging region must be a Manhattan arc (or point) midway *)
   Alcotest.(check bool) "region contains midpoint" true
-    (Geometry.Rect.contains ~eps:1e-6 mseg.Clocktree.Mseg.region.(2)
+    (Geometry.Rect.contains ~eps:1e-6 (Clocktree.Mseg.region mseg 2)
        (Geometry.Rot.of_point (pt 50.0 0.0)))
 
 let test_mseg_total_wirelength () =
@@ -350,7 +350,7 @@ let test_embed_sinks_at_their_locations () =
       Alcotest.(check bool)
         (Printf.sprintf "sink %d placed at its pin" i)
         true
-        (Geometry.Point.equal ~eps:1e-9 embed.Clocktree.Embed.loc.(i) s.Clocktree.Sink.loc))
+        (Geometry.Point.equal ~eps:1e-9 (Clocktree.Embed.loc embed i) s.Clocktree.Sink.loc))
     sinks
 
 let test_gate_location () =
@@ -364,7 +364,7 @@ let test_gate_location () =
   Alcotest.(check bool) "gate at parent" true
     (Geometry.Point.equal
        (Clocktree.Embed.gate_location embed 0)
-       embed.Clocktree.Embed.loc.(2))
+       (Clocktree.Embed.loc embed 2))
 
 let zero_skew_case ~seed ~n ~gate () =
   let prng = Util.Prng.create seed in
@@ -559,7 +559,11 @@ let prop_bst_huge_budget_never_snakes =
       let mseg, _, _ =
         Clocktree.Bst.build tech topo ~sinks ~gate_on_edge:no_gate ~budget:1.0e15
       in
-      Array.for_all not mseg.Clocktree.Mseg.snaked)
+      let ok = ref true in
+      for v = 0 to Clocktree.Topo.n_nodes topo - 1 do
+        if Clocktree.Mseg.snaked mseg v then ok := false
+      done;
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Greedy engine                                                      *)
@@ -834,6 +838,117 @@ let prop_nn_spatial_matches_dense =
       let ref_ = wirelength (Clocktree.Nn.topology_dense tech ~edge_gate:None sinks) in
       Float.abs (fast -. ref_) <= 1e-6 *. (1.0 +. Float.abs ref_))
 
+(* ------------------------------------------------------------------ *)
+(* Arena                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let random_node prng =
+  let ulo = Util.Prng.range prng 0.0 500.0 in
+  let vlo = Util.Prng.range prng 0.0 500.0 in
+  {
+    Clocktree.Arena.node_region =
+      Geometry.Rect.make ~ulo ~uhi:(ulo +. Util.Prng.range prng 0.0 100.0)
+        ~vlo ~vhi:(vlo +. Util.Prng.range prng 0.0 100.0);
+    node_delay = Util.Prng.range prng 0.0 1e4;
+    node_cap = Util.Prng.range prng 0.0 500.0;
+    node_edge_len = Util.Prng.range prng 0.0 300.0;
+    node_wl = Util.Prng.range prng 0.0 5e4;
+    node_loc = pt (Util.Prng.range prng 0.0 1000.0) (Util.Prng.range prng 0.0 1000.0);
+    node_snaked = Util.Prng.int prng 2 = 1;
+    node_left = Util.Prng.int prng 5 - 1;
+    node_right = Util.Prng.int prng 5 - 1;
+    node_parent = Util.Prng.int prng 5 - 1;
+  }
+
+let prop_arena_round_trip =
+  QCheck.Test.make ~name:"Arena.of_nodes / to_nodes round-trips" ~count:100
+    QCheck.(pair (int_range 1 60) (int_range 0 1_000_000))
+    (fun (n_sinks, seed) ->
+      let prng = Util.Prng.create (seed + 11) in
+      (* any defined count up to the 2n-1 capacity is legal *)
+      let n_nodes = 1 + Util.Prng.int prng ((2 * n_sinks) - 1) in
+      let nodes = Array.init n_nodes (fun _ -> random_node prng) in
+      let arena = Clocktree.Arena.of_nodes ~n_sinks nodes in
+      arena.Clocktree.Arena.n_nodes = n_nodes
+      && Clocktree.Arena.to_nodes arena = nodes
+      (* copy is deep: mutating the copy leaves the round-trip intact *)
+      &&
+      let c = Clocktree.Arena.copy arena in
+      Clocktree.Arena.set_snaked c 0 (not (Clocktree.Arena.snaked c 0));
+      c.Clocktree.Arena.delay.(0) <- c.Clocktree.Arena.delay.(0) +. 1.0;
+      Clocktree.Arena.to_nodes arena = nodes)
+
+let test_arena_validation () =
+  Alcotest.check_raises "non-positive sinks"
+    (Invalid_argument "Arena.create: n_sinks 0 must be positive") (fun () ->
+      ignore (Clocktree.Arena.create ~n_sinks:0));
+  let prng = Util.Prng.create 5 in
+  let nodes = Array.init 4 (fun _ -> random_node prng) in
+  Alcotest.check_raises "overflow"
+    (Invalid_argument "Arena.of_nodes: 4 nodes exceed capacity 3") (fun () ->
+      ignore (Clocktree.Arena.of_nodes ~n_sinks:2 nodes))
+
+let test_arena_dist_matches_rect () =
+  let prng = Util.Prng.create 17 in
+  let nodes = Array.init 30 (fun _ -> random_node prng) in
+  let arena = Clocktree.Arena.of_nodes ~n_sinks:30 nodes in
+  for a = 0 to 29 do
+    for b = 0 to 29 do
+      check_float
+        (Printf.sprintf "dist %d %d" a b)
+        (Geometry.Rect.distance (Clocktree.Arena.region arena a)
+           (Clocktree.Arena.region arena b))
+        (Clocktree.Arena.dist arena a b)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Partition                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_partition_disjoint_cover =
+  QCheck.Test.make
+    ~name:"Partition.bisect covers every sink exactly once, sorted" ~count:100
+    QCheck.(triple (int_range 1 300) (int_range 1 40) (int_range 0 1_000_000))
+    (fun (n, n_regions, seed) ->
+      let prng = Util.Prng.create (seed + 3) in
+      let sinks = random_sinks prng n in
+      let groups = Array.init n (fun i -> i mod 7) in
+      let check regions =
+        let seen = Array.make n 0 in
+        Array.iter
+          (fun region ->
+            if Array.length region = 0 then
+              QCheck.Test.fail_report "empty region";
+            Array.iteri
+              (fun k id ->
+                seen.(id) <- seen.(id) + 1;
+                if k > 0 && region.(k - 1) >= id then
+                  QCheck.Test.fail_report "region not sorted ascending")
+              region)
+          regions;
+        Array.for_all (fun c -> c = 1) seen
+        && Array.length regions <= n_regions
+        && Array.length regions >= 1
+      in
+      check (Clocktree.Partition.bisect ~n_regions sinks)
+      && check (Clocktree.Partition.bisect ~groups ~n_regions sinks))
+
+let test_partition_validation () =
+  Alcotest.check_raises "empty sinks"
+    (Invalid_argument "Partition.bisect: no sinks") (fun () ->
+      ignore (Clocktree.Partition.bisect ~n_regions:2 [||]));
+  let prng = Util.Prng.create 23 in
+  let sinks = random_sinks prng 10 in
+  Alcotest.check_raises "mis-sized groups"
+    (Invalid_argument "Partition.bisect: 2 group labels for 10 sinks")
+    (fun () ->
+      ignore
+        (Clocktree.Partition.bisect ~groups:[| 0; 1 |] ~n_regions:2 sinks));
+  let one = Clocktree.Partition.bisect ~n_regions:1 sinks in
+  Alcotest.(check int) "n_regions=1 is one region" 1 (Array.length one);
+  Alcotest.(check int) "one region holds all" 10 (Array.length one.(0))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "clocktree"
@@ -846,6 +961,18 @@ let () =
           Alcotest.test_case "validate catches" `Quick test_tech_validate_catches;
         ] );
       ("sink", [ Alcotest.test_case "validation" `Quick test_sink_validation ]);
+      ( "arena",
+        [
+          Alcotest.test_case "validation" `Quick test_arena_validation;
+          Alcotest.test_case "dist = Rect.distance" `Quick
+            test_arena_dist_matches_rect;
+          qt prop_arena_round_trip;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "validation" `Quick test_partition_validation;
+          qt prop_partition_disjoint_cover;
+        ] );
       ( "zskew",
         [
           Alcotest.test_case "symmetric" `Quick test_zskew_symmetric;

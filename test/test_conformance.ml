@@ -47,7 +47,10 @@ let test_flow_matrix () =
         (fun sizing ->
           List.iter
             (fun skew_budget ->
-              let options = { Gcr.Flow.skew_budget; reduction; sizing } in
+              let options =
+                { Gcr.Flow.skew_budget; reduction; sizing;
+                  shards = Gcr.Flow.Flat }
+              in
               let tree = Gcr.Flow.run ~options config profile sc.S.sinks in
               Gsim.Check.validate tree)
             [ 0.0; budget ])
@@ -114,16 +117,15 @@ let all_gated_tree sc =
 (* A copy of the tree's embedding with one leaf edge lengthened: the
    Elmore recomputation must see the skew. *)
 let tampered_embed (tree : Gcr.Gated_tree.t) =
-  let e = tree.Gcr.Gated_tree.embed in
-  let m = e.Clocktree.Embed.mseg in
-  let edge_len = Array.copy m.Clocktree.Mseg.edge_len in
-  edge_len.(0) <- edge_len.(0) +. 40.0;
-  { e with Clocktree.Embed.mseg = { m with Clocktree.Mseg.edge_len } }
+  let e = Clocktree.Embed.copy tree.Gcr.Gated_tree.embed in
+  Clocktree.Mseg.set_edge_len e.Clocktree.Embed.mseg 0
+    (Clocktree.Mseg.edge_len e.Clocktree.Embed.mseg 0 +. 40.0);
+  e
 
 let test_zero_skew_detects_tamper () =
   let sc = { (scenario_with_sinks 11 "tamper") with S.options =
                { Gcr.Flow.skew_budget = 0.0; reduction = Gcr.Flow.No_reduction;
-                 sizing = Gcr.Flow.No_sizing } }
+                 sizing = Gcr.Flow.No_sizing; shards = Gcr.Flow.Flat } }
   in
   let tree = all_gated_tree sc in
   Gsim.Invariant.zero_skew tree;

@@ -834,6 +834,7 @@ let test_flow_options () =
       Gcr.Flow.skew_budget = 1000.0;
       reduction = Gcr.Flow.Fraction 0.5;
       sizing = Gcr.Flow.Uniform 2.0;
+      shards = Gcr.Flow.Flat;
     }
   in
   let tree = Gcr.Flow.run ~options config profile sinks in
@@ -852,6 +853,109 @@ let test_flow_standard_comparison () =
   Alcotest.(check (list string)) "labels" [ "buffered"; "gated"; "gated+greedy" ]
     (List.map fst trio);
   List.iter (fun (_, t) -> Gcr.Gated_tree.check_invariants t) trio
+
+(* ------------------------------------------------------------------ *)
+(* Sharded router                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_route_verifies () =
+  let config, profile, sinks = setup ~n:64 () in
+  List.iter
+    (fun shards ->
+      let tree = Gcr.Shard_router.route ~shards config profile sinks in
+      Gcr.Verify.structural tree;
+      Alcotest.(check int)
+        (Printf.sprintf "all edges gated, %d shards" shards)
+        (2 * 64 - 2) (Gcr.Gated_tree.gate_count tree))
+    [ 2; 4; 7 ]
+
+let test_shard_one_matches_flat () =
+  let config, profile, sinks = setup ~n:40 () in
+  let flat = Gcr.Router.route config profile sinks in
+  let sharded = Gcr.Shard_router.route ~shards:1 config profile sinks in
+  Alcotest.(check bool) "same topology" true
+    (Clocktree.Topo.equal flat.Gcr.Gated_tree.topo sharded.Gcr.Gated_tree.topo);
+  check_float "same cost" (Gcr.Cost.w_total flat) (Gcr.Cost.w_total sharded)
+
+let test_shard_cost_tolerance () =
+  (* Region boundaries forbid some merges the flat route can make, so the
+     sharded cost is a bounded regression — a few percent here, and well
+     inside the 10% tolerance EXPERIMENTS.md documents. *)
+  let config, profile, sinks = setup ~n:64 () in
+  let flat = Gcr.Cost.w_total (Gcr.Router.route config profile sinks) in
+  List.iter
+    (fun shards ->
+      let sharded =
+        Gcr.Cost.w_total (Gcr.Shard_router.route ~shards config profile sinks)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "cost within 10%% of flat, %d shards" shards)
+        true
+        (sharded <= 1.10 *. flat))
+    [ 2; 4; 8 ]
+
+let test_shard_domains_invariance () =
+  (* The pool size may change wall time, never the answer. *)
+  let config, profile, sinks = setup ~n:48 () in
+  let t1 = Gcr.Shard_router.route ~shards:4 ~domains:1 config profile sinks in
+  let t4 = Gcr.Shard_router.route ~shards:4 ~domains:4 config profile sinks in
+  Alcotest.(check bool) "same topology" true
+    (Clocktree.Topo.equal t1.Gcr.Gated_tree.topo t4.Gcr.Gated_tree.topo);
+  check_float "same cost" (Gcr.Cost.w_total t1) (Gcr.Cost.w_total t4)
+
+let test_auto_shards () =
+  Alcotest.(check int) "tiny problems stay flat" 1
+    (Gcr.Shard_router.auto_shards ~n:200);
+  Alcotest.(check int) "first split" 2 (Gcr.Shard_router.auto_shards ~n:256);
+  Alcotest.(check int) "10^4" 9 (Gcr.Shard_router.auto_shards ~n:10_000);
+  Alcotest.(check int) "10^5" 97 (Gcr.Shard_router.auto_shards ~n:100_000);
+  let prev = ref 0 in
+  for n = 1 to 4000 do
+    let s = Gcr.Shard_router.auto_shards ~n in
+    Alcotest.(check bool) "monotone in n" true (s >= !prev);
+    Alcotest.(check bool) "never exceeds n" true (s <= max 1 n);
+    prev := s
+  done
+
+let test_shard_plan_regions () =
+  let config, profile, sinks = setup ~n:64 () in
+  let plan = Gcr.Shard_router.plan ~shards:4 config profile sinks in
+  let seen = Array.make 64 0 in
+  Array.iter
+    (Array.iter (fun id -> seen.(id) <- seen.(id) + 1))
+    plan.Gcr.Shard_router.regions;
+  Alcotest.(check bool) "regions cover each sink once" true
+    (Array.for_all (fun c -> c = 1) seen);
+  Array.iteri
+    (fun r region ->
+      Alcotest.(check int)
+        (Printf.sprintf "region %d merge count" r)
+        (max 0 (Array.length region - 1))
+        (Array.length plan.Gcr.Shard_router.region_merges.(r)))
+    plan.Gcr.Shard_router.regions
+
+let test_flow_sharded_run () =
+  let config, profile, sinks = setup ~n:48 () in
+  let options = { Gcr.Flow.default with Gcr.Flow.shards = Gcr.Flow.Shards 4 } in
+  let tree = Gcr.Flow.run ~options config profile sinks in
+  Gcr.Gated_tree.check_invariants tree;
+  Alcotest.(check string) "label carries shard count" "gated+greedy+sharded:4"
+    (Gcr.Flow.label options);
+  Alcotest.(check string) "auto label" "gated+greedy+sharded"
+    (Gcr.Flow.label { options with Gcr.Flow.shards = Gcr.Flow.Auto_shards })
+
+let test_flow_rejects_bad_shards () =
+  let config, profile, sinks = setup ~n:8 () in
+  let options = { Gcr.Flow.default with Gcr.Flow.shards = Gcr.Flow.Shards 0 } in
+  match Gcr.Flow.run_checked ~options config profile sinks with
+  | Ok _ -> Alcotest.fail "Shards 0 must be rejected"
+  | Error errs ->
+    Alcotest.(check bool) "reported as degenerate input" true
+      (List.exists
+         (function
+           | Util.Gcr_error.Degenerate_input _ -> true
+           | _ -> false)
+         errs)
 
 (* ------------------------------------------------------------------ *)
 (* Dot                                                                *)
@@ -1082,6 +1186,19 @@ let () =
           Alcotest.test_case "default matches manual" `Quick test_flow_default_matches_manual;
           Alcotest.test_case "options" `Quick test_flow_options;
           Alcotest.test_case "standard comparison" `Quick test_flow_standard_comparison;
+        ] );
+      ( "shard_router",
+        [
+          Alcotest.test_case "verify structural" `Quick test_shard_route_verifies;
+          Alcotest.test_case "shards=1 = flat" `Quick test_shard_one_matches_flat;
+          Alcotest.test_case "cost tolerance" `Quick test_shard_cost_tolerance;
+          Alcotest.test_case "domains invariance" `Quick
+            test_shard_domains_invariance;
+          Alcotest.test_case "auto_shards" `Quick test_auto_shards;
+          Alcotest.test_case "plan regions" `Quick test_shard_plan_regions;
+          Alcotest.test_case "flow sharded run" `Quick test_flow_sharded_run;
+          Alcotest.test_case "flow rejects bad shards" `Quick
+            test_flow_rejects_bad_shards;
         ] );
       ("dot", [ Alcotest.test_case "render" `Quick test_dot_render ]);
       ( "spice",

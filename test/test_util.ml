@@ -254,6 +254,56 @@ let test_parallel_propagates_exceptions () =
       Util.Parallel.parallel_for ~domains:2 ~n:100 (fun i ->
           if i = 63 then failwith "boom"))
 
+(* map_dyn schedules largest-first from a shared cursor; the contract is
+   that scheduling never leaks into the result: out.(i) = f arr.(i)
+   whatever the domain count or the (possibly lying) weight function. *)
+let test_map_dyn_matches_map () =
+  let src = Array.init 203 (fun i -> (i * 37) mod 101) in
+  let f x = (x * x) + 7 in
+  let expect = Array.map f src in
+  List.iter
+    (fun d ->
+      (* honest weight, constant weight, adversarially inverted weight *)
+      List.iter
+        (fun (label, weight) ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "map_dyn %s, %d domains" label d)
+            expect
+            (Util.Parallel.map_dyn ~domains:d ~weight f src))
+        [
+          ("weight=x", fun x -> x);
+          ("weight=const", fun _ -> 1);
+          ("weight=-x", fun x -> -x);
+        ])
+    [ 1; 2; 4 ]
+
+let test_map_dyn_empty_and_single () =
+  Alcotest.(check (array int))
+    "empty" [||]
+    (Util.Parallel.map_dyn ~domains:4 ~weight:(fun x -> x) succ [||]);
+  Alcotest.(check (array int))
+    "single" [| 42 |]
+    (Util.Parallel.map_dyn ~domains:4 ~weight:(fun x -> x) succ [| 41 |])
+
+let test_map_dyn_propagates_exceptions () =
+  let src = Array.init 64 Fun.id in
+  Alcotest.check_raises "worker failure reraised" (Failure "dyn-boom")
+    (fun () ->
+      ignore
+        (Util.Parallel.map_dyn ~domains:2 ~weight:Fun.id
+           (fun i -> if i = 17 then failwith "dyn-boom" else i)
+           src))
+
+let prop_map_dyn_equals_map =
+  QCheck.Test.make ~name:"map_dyn = map for any weights and domain count"
+    ~count:100
+    QCheck.(pair (list small_int) (int_range 1 4))
+    (fun (xs, domains) ->
+      let src = Array.of_list xs in
+      let f x = (x * 2654435761) land 0xffff in
+      Util.Parallel.map_dyn ~domains ~weight:(fun x -> x land 7) f src
+      = Array.map f src)
+
 (* ------------------------------------------------------------------ *)
 (* Obs                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -484,6 +534,12 @@ let () =
           Alcotest.test_case "small and empty" `Quick test_parallel_small_and_empty;
           Alcotest.test_case "exceptions propagate" `Quick
             test_parallel_propagates_exceptions;
+          Alcotest.test_case "map_dyn = map" `Quick test_map_dyn_matches_map;
+          Alcotest.test_case "map_dyn empty and single" `Quick
+            test_map_dyn_empty_and_single;
+          Alcotest.test_case "map_dyn exceptions propagate" `Quick
+            test_map_dyn_propagates_exceptions;
+          qt prop_map_dyn_equals_map;
         ] );
       ( "obs",
         [
