@@ -952,6 +952,69 @@ let shard_scaling () =
   pf "machine: a single-core runner shows ~1.0x regardless of shards.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Gate sharing: enable-set minimization on the reduced trees          *)
+(* ------------------------------------------------------------------ *)
+
+let gate_share_bench () =
+  section "Gate sharing: shared enables vs per-subtree gates (r-benchmarks)";
+  (* r4/r5 put the pass at the paper's 1903/3101-sink scale; r1 is the
+     quick-mode point the trajectory gates. *)
+  let suites = if quick () then [ "r1" ] else [ "r1"; "r4"; "r5" ] in
+  let open Util.Text_table in
+  let table =
+    create ~title:"share pass at the cost-free settings (min_instances=1, eps=0)"
+      [ ("bench", Left); ("sinks", Right); ("gates", Right); ("shared", Right);
+        ("groups", Right); ("W ratio", Right); ("pass (ms)", Right) ]
+  in
+  let js = Buffer.create 256 in
+  Buffer.add_string js "{";
+  let points = Buffer.create 256 in
+  List.iteri
+    (fun i name ->
+      let { Benchmarks.Suite.config; profile; sinks; _ } = case name in
+      let reduced =
+        Gcr.Gate_reduction.reduce_greedy (Gcr.Router.route config profile sinks)
+      in
+      let n = Array.length sinks in
+      let t0 = Util.Obs.Clock.now () in
+      let shared, stats = Gcr.Gate_share.share_with_stats reduced in
+      let dt = Util.Obs.Clock.now () -. t0 in
+      let { Gcr.Gate_share.gates_before; gates_after; groups; _ } = stats in
+      let ratio = Gcr.Cost.w_total shared /. Gcr.Cost.w_total reduced in
+      add_row table
+        [
+          name; string_of_int n; string_of_int gates_before;
+          string_of_int gates_after; string_of_int groups;
+          Printf.sprintf "%.4f" ratio;
+          Printf.sprintf "%.2f" (1e3 *. dt);
+        ];
+      (* The first point gates the trajectory: scalar per-sink ns at top
+         level (the compare gate skips the per-suite points list). *)
+      if i = 0 then
+        Buffer.add_string js
+          (Printf.sprintf
+             "\"n\": %d, \"gates_before\": %d, \"gates_after\": %d, \
+              \"groups\": %d, \"w_ratio\": %.6f, \"share_per_sink_ns\": %.1f"
+             n gates_before gates_after groups ratio
+             (1e9 *. dt /. float_of_int n));
+      if i > 0 then Buffer.add_string points ", ";
+      Buffer.add_string points
+        (Printf.sprintf
+           "{\"bench\": \"%s\", \"n\": %d, \"gates_before\": %d, \
+            \"gates_after\": %d, \"groups\": %d, \"w_ratio\": %.6f, \
+            \"pass_s\": %.4f}"
+           name n gates_before gates_after groups ratio dt))
+    suites;
+  Buffer.add_string js
+    (Printf.sprintf ", \"points\": [%s]}" (Buffer.contents points));
+  record "gate_share" (Buffer.contents js);
+  print table;
+  pf "\nAt (1,0) the pass only removes gates whose waveform coincides\n";
+  pf "cycle-for-cycle with their governor's and groups exact-equal enables,\n";
+  pf "so the W ratio stays <= 1 up to embedding re-balancing noise; the\n";
+  pf "gates and shared columns are the per-subtree vs merged gate counts.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Probability-kernel microbenchmark                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1286,6 +1349,7 @@ let sections : (string * (unit -> unit)) list =
     ("scaling", scaling);
     ("greedy-scaling", greedy_scaling);
     ("shard-scaling", shard_scaling);
+    ("gate-share", gate_share_bench);
     ("kernel-micro", kernel_micro);
     ("guard-overhead", guard_overhead);
     ("trace-overhead", trace_overhead);

@@ -137,6 +137,27 @@ let shards_arg =
   in
   Arg.(value & opt (some string) None & info [ "shards" ] ~docv:"N" ~doc)
 
+let gate_share_arg =
+  let doc =
+    "Share gates after reduction: demote gates covering fewer than MIN \
+     sinks, drop gates whose enable waveform is within EPS instructions \
+     of their governing gate's, and group the survivors onto shared \
+     enables. $(b,--gate-share) alone uses 1,0 (keep every gate, \
+     exact-equality grouping — provably free)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "1,0") (some string) None
+    & info [ "gate-share" ] ~docv:"MIN,EPS" ~doc)
+
+let test_en_arg =
+  let doc =
+    "Report the tree in test mode: every gate honoring its bypass is \
+     forced transparent (the scan/ATPG clock path), so the clock reaches \
+     every sink and the control star stays quiet."
+  in
+  Arg.(value & flag & info [ "test-en" ] ~doc)
+
 let paranoid_arg =
   let doc =
     "Run the checked pipeline: validate inputs up front, re-derive every \
@@ -169,7 +190,7 @@ let reduce_tree mode tree =
   | None -> usage_error "--reduce expects greedy | rules | none | fraction"
 
 let run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
-    ~paranoid ~svg ~spice ~csv ~verify ~trace ~trace_out =
+    ~gate_share ~test_en ~paranoid ~svg ~spice ~csv ~verify ~trace ~trace_out =
   let trace =
     match trace with
     | None -> None
@@ -194,6 +215,26 @@ let run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
           match int_of_string_opt s with
           | Some n when n >= 1 -> Gcr.Flow.Shards n
           | _ -> usage_error "--shards expects a positive integer or auto"));
+      gate_share =
+        (match gate_share with
+        | None -> Gcr.Flow.No_share
+        | Some s ->
+          let bad () =
+            usage_error
+              "--gate-share expects MIN,EPS (non-negative integers) or MIN"
+          in
+          (match String.split_on_char ',' s with
+          | [ mi ] -> (
+            match int_of_string_opt mi with
+            | Some mi when mi >= 0 ->
+              Gcr.Flow.Share { min_instances = mi; eps = 0 }
+            | _ -> bad ())
+          | [ mi; eps ] -> (
+            match (int_of_string_opt mi, int_of_string_opt eps) with
+            | Some mi, Some eps when mi >= 0 && eps >= 0 ->
+              Gcr.Flow.Share { min_instances = mi; eps }
+            | _ -> bad ())
+          | _ -> bad ()));
     }
   in
   let skew_budget = if skew_budget > 0.0 then Some skew_budget else None in
@@ -227,10 +268,20 @@ let run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
           Util.Obs.span ~name:"reduce" (fun () ->
               Gcr.Flow.apply_reduction options gated)
         in
+        let r =
+          Util.Obs.span ~name:"share" (fun () -> Gcr.Flow.apply_share options r)
+        in
         Util.Obs.span ~name:"size" (fun () -> Gcr.Flow.apply_sizing options r)
     in
+    let reduced =
+      if test_en then Gcr.Gated_tree.with_test_en reduced true else reduced
+    in
     let label =
-      "gated+" ^ reduction ^ (if size then "+sized" else "")
+      "gated+" ^ reduction
+      ^ (if options.Gcr.Flow.gate_share <> Gcr.Flow.No_share then "+share"
+         else "")
+      ^ (if size then "+sized" else "")
+      ^ if test_en then "+test" else ""
     in
     let reports =
       [
@@ -276,18 +327,19 @@ let run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
       Format.printf "wrote %s (replay with: gcr stats %s)@." trace_out trace_out)
 
 let route_cmd bench n_sinks stream usage k reduction skew_budget size shards
-    paranoid svg spice csv verify trace trace_out =
+    gate_share test_en paranoid svg spice csv verify trace trace_out =
   handle_unknown_bench @@ fun () ->
   let case = load_case bench n_sinks stream usage k in
   let { Benchmarks.Suite.config; profile; sinks; _ } = case in
   run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
-    ~paranoid ~svg ~spice ~csv ~verify ~trace ~trace_out
+    ~gate_share ~test_en ~paranoid ~svg ~spice ~csv ~verify ~trace ~trace_out
 
 let route_t =
   Term.(
     const route_cmd $ bench_arg $ sinks_arg $ stream_arg $ usage_arg $ k_arg
-    $ reduction_arg $ skew_arg $ size_arg $ shards_arg $ paranoid_arg $ svg_arg
-    $ spice_arg $ csv_arg $ verify_arg $ trace_arg $ trace_out_arg)
+    $ reduction_arg $ skew_arg $ size_arg $ shards_arg $ gate_share_arg
+    $ test_en_arg $ paranoid_arg $ svg_arg $ spice_arg $ csv_arg $ verify_arg
+    $ trace_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* route-files: user designs from disk                                *)
@@ -298,7 +350,7 @@ let req_file arg_name =
   Arg.(required & opt (some file) None & info [ arg_name ] ~docv:"FILE" ~doc)
 
 let route_files_cmd sinks_file rtl_file stream_file k reduction skew_budget size
-    shards paranoid svg spice csv verify trace trace_out =
+    shards gate_share test_en paranoid svg spice csv verify trace trace_out =
   with_diagnostics @@ fun () ->
   let sinks = Formats.Sinks_format.load sinks_file in
   let rtl = Formats.Rtl_format.load rtl_file in
@@ -313,13 +365,14 @@ let route_files_cmd sinks_file rtl_file stream_file k reduction skew_budget size
   let controller = Gcr.Controller.distributed die ~k in
   let config = Gcr.Config.make ~controller ~die () in
   run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
-    ~paranoid ~svg ~spice ~csv ~verify ~trace ~trace_out
+    ~gate_share ~test_en ~paranoid ~svg ~spice ~csv ~verify ~trace ~trace_out
 
 let route_files_t =
   Term.(
     const route_files_cmd $ req_file "sinks" $ req_file "rtl" $ req_file "stream"
-    $ k_arg $ reduction_arg $ skew_arg $ size_arg $ shards_arg $ paranoid_arg
-    $ svg_arg $ spice_arg $ csv_arg $ verify_arg $ trace_arg $ trace_out_arg)
+    $ k_arg $ reduction_arg $ skew_arg $ size_arg $ shards_arg $ gate_share_arg
+    $ test_en_arg $ paranoid_arg $ svg_arg $ spice_arg $ csv_arg $ verify_arg
+    $ trace_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                              *)

@@ -80,6 +80,16 @@ external c_ptr_union :
   -> (float[@unboxed]) = "gcr_sig_ptr_union_byte" "gcr_sig_ptr_union"
 [@@noalloc]
 
+external c_subset :
+  t -> t -> (int[@untagged]) -> (int[@untagged])
+  = "gcr_sig_subset_byte" "gcr_sig_subset"
+[@@noalloc]
+
+external c_symm_diff :
+  t -> t -> (int[@untagged]) -> (int[@untagged])
+  = "gcr_sig_symm_diff_byte" "gcr_sig_symm_diff"
+[@@noalloc]
+
 (* The batch stubs validate each signature's geometry in their own loop
    (a header-word read) and return the first mismatching index, -1 when
    the whole batch was computed. *)
@@ -99,6 +109,16 @@ external c_p_union_batch :
   planes -> (int[@untagged]) -> (int[@untagged]) -> t -> t array -> float array
   -> (int[@untagged]) -> (int[@untagged]) -> (int[@untagged])
   = "gcr_sig_p_union_batch_byte" "gcr_sig_p_union_batch"
+[@@noalloc]
+
+external c_subset_batch :
+  t -> t array -> bool array -> (int[@untagged]) -> (int[@untagged])
+  -> (int[@untagged]) = "gcr_sig_subset_batch_byte" "gcr_sig_subset_batch"
+[@@noalloc]
+
+external c_symm_diff_batch :
+  t -> t array -> int array -> (int[@untagged]) -> (int[@untagged])
+  -> (int[@untagged]) = "gcr_sig_symm_diff_batch_byte" "gcr_sig_symm_diff_batch"
 [@@noalloc]
 
 (* ------------------------------------------------------------------ *)
@@ -172,6 +192,24 @@ let ptr_union_sum_ml kern a b =
       !acc
       + word_contrib kern.r_arena kern.r_np kern.rwords w
           ((a.now.(w) lor b.now.(w)) lxor (a.next.(w) lor b.next.(w)))
+  done;
+  !acc
+
+(* Set-algebra fallbacks over the instruction-hit words. These need no
+   arena — pure word ops — but still dispatch through the C stubs so the
+   build-time self-check covers both implementations of every query. *)
+
+let subset_ml a b =
+  let rec go w =
+    w >= Array.length a.hits
+    || (a.hits.(w) land lnot b.hits.(w) = 0 && go (w + 1))
+  in
+  go 0
+
+let symm_diff_ml a b =
+  let acc = ref 0 in
+  for w = 0 to Array.length a.hits - 1 do
+    acc := !acc + Util.Popcnt.count (a.hits.(w) lxor b.hits.(w))
   done;
   !acc
 
@@ -329,6 +367,32 @@ let self_check kern =
      < 0
   && out.(0) = fl (p_union_sum_ml kern a a) kern.total
   && out.(1) = fl (p_union_sum_ml kern a b) kern.total
+  &&
+  (* Set-algebra stubs: cover a true subset (a vs a|b), both random
+     directions and the reflexive case. *)
+  let u =
+    let now = Array.init kern.rwords (fun w -> a.now.(w) lor b.now.(w))
+    and next = Array.init kern.rwords (fun w -> a.next.(w) lor b.next.(w)) in
+    {
+      hits = Array.init kern.hwords (fun w -> a.hits.(w) lor b.hits.(w));
+      now;
+      next;
+      tog = Array.init kern.rwords (fun w -> now.(w) lxor next.(w));
+    }
+  in
+  List.for_all
+    (fun (x, y) ->
+      c_subset x y kern.hwords = (if subset_ml x y then 1 else 0)
+      && c_symm_diff x y kern.hwords = symm_diff_ml x y)
+    [ (a, b); (b, a); (a, u); (u, a); (a, a) ]
+  &&
+  let pairs = [| a; b; u |] in
+  let sub_out = Array.make 3 false
+  and diff_out = Array.make 3 0 in
+  c_subset_batch a pairs sub_out 3 kern.hwords < 0
+  && c_symm_diff_batch a pairs diff_out 3 kern.hwords < 0
+  && Array.for_all2 (fun got x -> got = subset_ml a x) sub_out pairs
+  && Array.for_all2 (fun got x -> got = symm_diff_ml a x) diff_out pairs
 
 let kernel ?(force_ocaml = false) ift imatt =
   Util.Obs.span ~name:"sig.kernel_build" (fun () ->
@@ -485,6 +549,18 @@ let ptr_union kern a b =
     c_ptr_union kern.r_arena kern.r_np kern.rwords a b kern.total_pairs
   else float_of_int (ptr_union_sum_ml kern a b) /. float_of_int kern.total_pairs
 
+let subset kern a b =
+  Util.Obs.incr queries_counter;
+  check_hits "subset" kern a;
+  check_hits "subset" kern b;
+  if kern.use_c then c_subset a b kern.hwords <> 0 else subset_ml a b
+
+let symm_diff_count kern a b =
+  Util.Obs.incr queries_counter;
+  check_hits "symm_diff_count" kern a;
+  check_hits "symm_diff_count" kern b;
+  if kern.use_c then c_symm_diff a b kern.hwords else symm_diff_ml a b
+
 (* ------------------------------------------------------------------ *)
 (* Batched queries: one bounds-checked C call per candidate frontier.  *)
 (* ------------------------------------------------------------------ *)
@@ -552,4 +628,31 @@ let p_union_batch kern a ?n sigs out =
       check_hits "p_union_batch" kern sigs.(i);
       out.(i) <-
         float_of_int (p_union_sum_ml kern a sigs.(i)) /. float_of_int kern.total
+    done
+
+let subset_batch kern a ?n sigs out =
+  let n = batch_n "subset_batch" sigs n out in
+  check_hits "subset_batch" kern a;
+  batch_obs n;
+  if kern.use_c then begin
+    if c_subset_batch a sigs out n kern.hwords >= 0 then bad_batch "subset_batch"
+  end
+  else
+    for i = 0 to n - 1 do
+      check_hits "subset_batch" kern sigs.(i);
+      out.(i) <- subset_ml a sigs.(i)
+    done
+
+let symm_diff_batch kern a ?n sigs out =
+  let n = batch_n "symm_diff_batch" sigs n out in
+  check_hits "symm_diff_batch" kern a;
+  batch_obs n;
+  if kern.use_c then begin
+    if c_symm_diff_batch a sigs out n kern.hwords >= 0 then
+      bad_batch "symm_diff_batch"
+  end
+  else
+    for i = 0 to n - 1 do
+      check_hits "symm_diff_batch" kern sigs.(i);
+      out.(i) <- symm_diff_ml a sigs.(i)
     done

@@ -86,6 +86,25 @@ val p_union : kernel -> t -> t -> float
 val ptr_union : kernel -> t -> t -> float
 (** [Ptr(EN)] of the union, likewise. *)
 
+(** {1 Set algebra over instruction-hit bitsets}
+
+    These compare signatures at the {e waveform} level: [H(S)] determines
+    the enable's value on every cycle of the profiled stream (the gate is
+    open on cycle [c] iff bit [instr_c] of [H(S)] is set), so
+    [H(A) ⊆ H(B)] means gate [B] is open whenever gate [A] is, and
+    [|H(A) Δ H(B)|] counts the instructions on which the two enables
+    disagree — 0 iff the waveforms are cycle-for-cycle identical. This is
+    the gate-sharing criterion: it is coarser than module-set equality
+    (distinct module sets with the same hit pattern share safely). *)
+
+val subset : kernel -> t -> t -> bool
+(** [subset k a b] is [true] iff every instruction hitting [a]'s set also
+    hits [b]'s — i.e. [H(a) ⊆ H(b)]. *)
+
+val symm_diff_count : kernel -> t -> t -> int
+(** Number of instructions in the symmetric difference [H(a) Δ H(b)]
+    (unweighted popcount; [0] iff the enable waveforms coincide). *)
+
 (** {1 Batched evaluation}
 
     Each call writes results for the first [n] signatures (default: the
@@ -105,3 +124,12 @@ val ptr_batch : kernel -> ?n:int -> t array -> float array -> unit
 val p_union_batch : kernel -> t -> ?n:int -> t array -> float array -> unit
 (** [p_union_batch k a sigs out]: [out.(i) = p_union k a sigs.(i)] — the
     fused merge-candidate evaluation. *)
+
+val subset_batch : kernel -> t -> ?n:int -> t array -> bool array -> unit
+(** [subset_batch k a sigs out]: [out.(i) = subset k a sigs.(i)] — is the
+    anchor's hit set contained in each candidate's. *)
+
+val symm_diff_batch : kernel -> t -> ?n:int -> t array -> int array -> unit
+(** [symm_diff_batch k a sigs out]:
+    [out.(i) = symm_diff_count k a sigs.(i)] — the gate-sharing
+    near-subsumption sweep against one anchor. *)

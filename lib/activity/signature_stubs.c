@@ -238,6 +238,40 @@ CAMLprim value gcr_sig_ptr_union_byte(value *argv, int argn)
                                             argv[4], Long_val(argv[5])));
 }
 
+/* ---- set algebra over the instruction-hit words ----
+
+   Subset and symmetric-difference popcount over H(S): no arena, pure
+   word ops. hits words keep bits 62..63 clear on both sides, so
+   a & ~b never picks up tag-bit garbage. */
+
+CAMLprim intnat gcr_sig_subset(value a, value b, intnat nwords)
+{
+  value ah = SIG_HITS(a), bh = SIG_HITS(b);
+  for (intnat w = 0; w < nwords; w++)
+    if ((uintnat)WORD(ah, w) & ~(uintnat)WORD(bh, w))
+      return 0;
+  return 1;
+}
+
+CAMLprim value gcr_sig_subset_byte(value a, value b, value nwords)
+{
+  return Val_long(gcr_sig_subset(a, b, Long_val(nwords)));
+}
+
+CAMLprim intnat gcr_sig_symm_diff(value a, value b, intnat nwords)
+{
+  value ah = SIG_HITS(a), bh = SIG_HITS(b);
+  intnat acc = 0;
+  for (intnat w = 0; w < nwords; w++)
+    acc += GCR_POP(WORD(ah, w) ^ WORD(bh, w));
+  return acc;
+}
+
+CAMLprim value gcr_sig_symm_diff_byte(value a, value b, value nwords)
+{
+  return Val_long(gcr_sig_symm_diff(a, b, Long_val(nwords)));
+}
+
 /* ---- batched queries: one C call per candidate frontier ----
 
    Each batch kernel validates every signature's geometry itself (one
@@ -363,4 +397,62 @@ CAMLprim value gcr_sig_p_union_batch_byte(value *argv, int argn)
   return Val_long(gcr_sig_p_union_batch(
       argv[0], Long_val(argv[1]), Long_val(argv[2]), argv[3], argv[4],
       argv[5], Long_val(argv[6]), Long_val(argv[7])));
+}
+
+/* Batched set algebra against one anchor signature. Results are
+   immediates (Val_bool / Val_long), written without the barrier —
+   still noalloc. Same first-bad-index contract as the float batches;
+   the anchor mismatching returns cnt, as in gcr_sig_p_union_batch. */
+
+CAMLprim intnat gcr_sig_subset_batch(value a, value sigs, value out, intnat cnt,
+                                     intnat nwords)
+{
+  value ah = SIG_HITS(a);
+  if (Wosize_val(ah) != (uintnat)nwords)
+    return cnt;
+  for (intnat i = 0; i < cnt; i++) {
+    value bh = SIG_HITS(Field(sigs, i));
+    if (Wosize_val(bh) != (uintnat)nwords)
+      return i;
+    intnat sub = 1;
+    for (intnat w = 0; w < nwords; w++)
+      if ((uintnat)WORD(ah, w) & ~(uintnat)WORD(bh, w)) {
+        sub = 0;
+        break;
+      }
+    Field(out, i) = Val_bool(sub);
+  }
+  return -1;
+}
+
+CAMLprim value gcr_sig_subset_batch_byte(value *argv, int argn)
+{
+  (void)argn;
+  return Val_long(gcr_sig_subset_batch(argv[0], argv[1], argv[2],
+                                       Long_val(argv[3]), Long_val(argv[4])));
+}
+
+CAMLprim intnat gcr_sig_symm_diff_batch(value a, value sigs, value out,
+                                        intnat cnt, intnat nwords)
+{
+  value ah = SIG_HITS(a);
+  if (Wosize_val(ah) != (uintnat)nwords)
+    return cnt;
+  for (intnat i = 0; i < cnt; i++) {
+    value bh = SIG_HITS(Field(sigs, i));
+    if (Wosize_val(bh) != (uintnat)nwords)
+      return i;
+    intnat acc = 0;
+    for (intnat w = 0; w < nwords; w++)
+      acc += GCR_POP(WORD(ah, w) ^ WORD(bh, w));
+    Field(out, i) = Val_long(acc);
+  }
+  return -1;
+}
+
+CAMLprim value gcr_sig_symm_diff_batch_byte(value *argv, int argn)
+{
+  (void)argn;
+  return Val_long(gcr_sig_symm_diff_batch(
+      argv[0], argv[1], argv[2], Long_val(argv[3]), Long_val(argv[4])));
 }

@@ -73,10 +73,37 @@ let all_gated (sc : Scenario.t) =
       sc.Scenario.options with
       Gcr.Flow.reduction = Gcr.Flow.No_reduction;
       sizing = Gcr.Flow.No_sizing;
+      gate_share = Gcr.Flow.No_share;
     }
   in
   Gcr.Flow.run ~options (Scenario.config sc) (Scenario.profile sc)
     sc.Scenario.sinks
+
+(* Like [all_gated] but with gate sharing on at the free settings, so the
+   share-group structure exists to be corrupted. *)
+let all_shared (sc : Scenario.t) =
+  let options =
+    {
+      sc.Scenario.options with
+      Gcr.Flow.reduction = Gcr.Flow.No_reduction;
+      sizing = Gcr.Flow.No_sizing;
+      gate_share = Gcr.Flow.Share { min_instances = 1; eps = 0 };
+    }
+  in
+  Gcr.Flow.run ~options (Scenario.config sc) (Scenario.profile sc)
+    sc.Scenario.sinks
+
+(* Gated nodes satisfying [p], in node order. *)
+let gated_where p (tree : Gcr.Gated_tree.t) =
+  let n = Clocktree.Topo.n_nodes tree.Gcr.Gated_tree.topo in
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if tree.Gcr.Gated_tree.kind.(v) = Gcr.Gated_tree.Gated && p v then
+      acc := v :: !acc
+  done;
+  !acc
+
+let pick prng l = List.nth l (Util.Prng.int prng (List.length l))
 
 (* Pick a non-root node. *)
 let victim prng (tree : Gcr.Gated_tree.t) =
@@ -225,6 +252,67 @@ let families :
         let v = victim prng tree in
         tree.Gcr.Gated_tree.scale.(v) <- tree.Gcr.Gated_tree.scale.(v) *. 3.0;
         expect_verify_rejects tree );
+    (* -------- corrupted gate sharing -------- *)
+    ( "tree:mis-shared-enable",
+      fun prng sc ->
+        (* a group member's shared enable silently reverts to its own
+           per-subtree enable: the group union no longer covers it *)
+        let tree = all_shared sc in
+        let strict_members =
+          gated_where
+            (fun v ->
+              not
+                (Activity.Module_set.equal
+                   tree.Gcr.Gated_tree.enables.(v).Gcr.Enable.mods
+                   tree.Gcr.Gated_tree.shared_enables.(v).Gcr.Enable.mods))
+            tree
+        in
+        if strict_members = [] then Absorbed
+          (* every group is a singleton on this scenario: the "wrong"
+             enable is the right one, nothing to corrupt *)
+        else begin
+          let v = pick prng strict_members in
+          tree.Gcr.Gated_tree.shared_enables.(v) <-
+            tree.Gcr.Gated_tree.enables.(v);
+          expect_verify_rejects tree
+        end );
+    ( "tree:mis-shared-rep",
+      fun prng sc ->
+        (* a gate's representative pointer escapes the gate set entirely
+           (points at the plain root) *)
+        let tree = all_shared sc in
+        match gated_where (fun _ -> true) tree with
+        | [] -> Absorbed
+        | gates ->
+          let v = pick prng gates in
+          tree.Gcr.Gated_tree.share_rep.(v) <-
+            Clocktree.Topo.root tree.Gcr.Gated_tree.topo;
+          expect_verify_rejects tree );
+    ( "tree:stuck-bypass",
+      fun prng sc ->
+        (* one gate's test bypass is stuck off: in test mode that gate
+           still gates the clock, which the waveform oracle must see *)
+        let tree = all_shared sc in
+        let gating =
+          (* the fault is behaviorally invisible on a gate whose enable
+             never goes low over this stream *)
+          gated_where
+            (fun v ->
+              tree.Gcr.Gated_tree.shared_enables.(v).Gcr.Enable.p < 1.0)
+            tree
+        in
+        if gating = [] then Absorbed
+        else begin
+          let v = pick prng gating in
+          tree.Gcr.Gated_tree.bypass.(v) <- false;
+          match Oracles.test_mode_bypass tree (Scenario.instr_stream sc) with
+          | () -> Silent "stuck bypass escaped the test-mode waveform oracle"
+          | exception Util.Gcr_error.Error err -> Diagnosed err
+          | exception e ->
+            Silent
+              ("untyped exception from the waveform oracle: "
+              ^ Printexc.to_string e)
+        end );
   |]
 
 let family_names = Array.to_list (Array.map fst families)

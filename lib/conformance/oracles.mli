@@ -18,6 +18,13 @@ val analytic_vs_simulated : Gcr.Gated_tree.t -> unit
     {!Gcr.Cost} model (IFT/IMATT tables): both switched-capacitance
     averages must agree to 1e-9 relative. *)
 
+val test_mode_bypass : Gcr.Gated_tree.t -> Activity.Instr_stream.t -> unit
+(** Forces [test_en] on ({!Gcr.Gated_tree.with_test_en}) and replays the
+    stream through {!Gsim.Gate_sim.clock_waveforms}: every edge must see
+    the clock on every cycle — bit-for-bit the waveform of the ungated
+    tree. Catches mis-shared enables that leak into test mode and stuck
+    bypass bits. *)
+
 val signature_vs_tables : Gcr.Gated_tree.t -> unit
 (** The {!Activity.Signature} kernel vs. direct {!Activity.Ift.p_any} /
     {!Activity.Imatt.ptr} table scans, on every node's enable set and on

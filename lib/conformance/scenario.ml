@@ -8,6 +8,7 @@ type t = {
   rtl : Activity.Rtl.t;
   stream : int array;
   options : Gcr.Flow.options;
+  test_en : bool;  (** check the pipeline output in test mode too *)
 }
 
 (* Quantize to a 0.25 grid: exactly representable in binary and at most 6
@@ -93,6 +94,15 @@ let generate prng ~tag =
     | 1 -> Gcr.Flow.Shards (2 + Util.Prng.int prng 3)
     | _ -> Gcr.Flow.Flat
   in
+  let gate_share =
+    match Util.Prng.int prng 4 with
+    | 0 -> Gcr.Flow.Share { min_instances = 1; eps = 0 }
+    | 1 ->
+      Gcr.Flow.Share
+        { min_instances = 1 + Util.Prng.int prng 4; eps = Util.Prng.int prng 3 }
+    | _ -> Gcr.Flow.No_share
+  in
+  let test_en = Util.Prng.int prng 4 = 0 in
   let k_controllers = Util.Prng.choose prng [| 1; 4; 9; 16 |] in
   let control_weight = Util.Prng.choose prng [| 1.0; 0.5; 2.0 |] in
   {
@@ -104,7 +114,8 @@ let generate prng ~tag =
     sinks;
     rtl;
     stream;
-    options = { Gcr.Flow.skew_budget; reduction; sizing; shards };
+    options = { Gcr.Flow.skew_budget; reduction; sizing; shards; gate_share };
+    test_en;
   }
 
 let config t =
@@ -120,6 +131,7 @@ let profile t = Activity.Profile.of_stream (instr_stream t)
 let label t =
   Gcr.Flow.label t.options
   ^ (if t.options.Gcr.Flow.skew_budget > 0.0 then "+skew" else "+zs")
+  ^ if t.test_en then "+test" else ""
 
 (* ------------------------------------------------------------------ *)
 (* Serialization: a re-runnable seed file                             *)
@@ -163,6 +175,11 @@ let render t =
   | Gcr.Flow.Flat -> add "shards flat"
   | Gcr.Flow.Auto_shards -> add "shards auto"
   | Gcr.Flow.Shards s -> add "shards %d" s);
+  (match t.options.Gcr.Flow.gate_share with
+  | Gcr.Flow.No_share -> add "gate-share none"
+  | Gcr.Flow.Share { min_instances; eps } ->
+    add "gate-share %d %d" min_instances eps);
+  add "test-en %d" (if t.test_en then 1 else 0);
   add "begin sinks";
   Buffer.add_string b (Formats.Sinks_format.render t.sinks);
   add "end sinks";
@@ -182,13 +199,24 @@ let parse ?(source = "<scenario>") contents =
   let n = Array.length raw in
   let sections = Hashtbl.create 4 in
   let header = Hashtbl.create 8 in
+  (* Header keys and sections must be unique: a reproducer with two
+     [skew-budget] lines is almost certainly a botched hand edit, and
+     last-write-wins would silently check something other than what the
+     file says. The duplicate is rejected with a caret under it. *)
+  let section_lines = Hashtbl.create 4 in
   let i = ref 0 in
   while !i < n do
     let lineno = !i + 1 in
-    let fs = Formats.Parse.fields (strip_comment raw.(!i)) in
+    let text = raw.(!i) in
+    let lf = Formats.Parse.located_fields (strip_comment text) in
     incr i;
-    match fs with
-    | [ "begin"; name ] ->
+    match lf with
+    | [ (_, "begin"); (col, name) ] ->
+      (match Hashtbl.find_opt section_lines name with
+      | Some first ->
+        Formats.Parse.fail ~source ~line:lineno ~col ~text
+          "duplicate section %S (first at line %d)" name first
+      | None -> Hashtbl.replace section_lines name lineno);
       let buf = Buffer.create 1024 in
       let rec consume () =
         if !i >= n then
@@ -205,7 +233,12 @@ let parse ?(source = "<scenario>") contents =
       consume ();
       Hashtbl.replace sections name (Buffer.contents buf)
     | [] -> ()
-    | key :: rest -> Hashtbl.replace header key (lineno, rest)
+    | (col, key) :: rest ->
+      (match Hashtbl.find_opt header key with
+      | Some (first, _) ->
+        Formats.Parse.fail ~source ~line:lineno ~col ~text
+          "duplicate %S line (first at line %d)" key first
+      | None -> Hashtbl.replace header key (lineno, List.map snd rest))
   done;
   let req key =
     match Hashtbl.find_opt header key with
@@ -291,6 +324,29 @@ let parse ?(source = "<scenario>") contents =
     | Some (line, _) ->
       Formats.Parse.fail ~source ~line "shards expects flat | auto | <n>"
   in
+  (* Optional for compatibility with pre-sharing scenario files. *)
+  let gate_share =
+    match Hashtbl.find_opt header "gate-share" with
+    | None | Some (_, [ "none" ]) -> Gcr.Flow.No_share
+    | Some (line, [ mi; eps ]) ->
+      let mi =
+        Formats.Parse.int_field ~source ~line ~what:"min instances" mi
+      in
+      let eps = Formats.Parse.int_field ~source ~line ~what:"sharing eps" eps in
+      if mi < 0 || eps < 0 then
+        Formats.Parse.fail ~source ~line
+          "gate-share parameters must be non-negative";
+      Gcr.Flow.Share { min_instances = mi; eps }
+    | Some (line, _) ->
+      Formats.Parse.fail ~source ~line
+        "gate-share expects none | <min-instances> <eps>"
+  in
+  let test_en =
+    match Hashtbl.find_opt header "test-en" with
+    | None | Some (_, [ "0" ]) -> false
+    | Some (_, [ "1" ]) -> true
+    | Some (line, _) -> Formats.Parse.fail ~source ~line "test-en expects 0 | 1"
+  in
   let tag =
     match Hashtbl.find_opt header "tag" with
     | Some (_, rest) -> String.concat " " rest
@@ -329,7 +385,8 @@ let parse ?(source = "<scenario>") contents =
     sinks;
     rtl;
     stream;
-    options = { Gcr.Flow.skew_budget; reduction; sizing; shards };
+    options = { Gcr.Flow.skew_budget; reduction; sizing; shards; gate_share };
+    test_en;
   }
 
 let save path t =

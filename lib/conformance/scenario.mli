@@ -19,6 +19,10 @@ type t = {
   rtl : Activity.Rtl.t;
   stream : int array;  (** instruction index per cycle *)
   options : Gcr.Flow.options;
+  test_en : bool;
+      (** additionally check the pipeline output with the test-mode
+          bypass forced on (gates transparent, see
+          {!Gcr.Gated_tree.with_test_en}) *)
 }
 
 val generate : Util.Prng.t -> tag:string -> t
@@ -43,7 +47,10 @@ val render : t -> string
 
 val parse : ?source:string -> string -> t
 (** Inverse of {!render}. Raises {!Formats.Parse.Error} on malformed
-    input. *)
+    input — including a duplicated header key or section, which is
+    rejected with a caret under the second occurrence rather than
+    silently taking the last value. The [shards], [gate-share] and
+    [test-en] headers are optional (older reproducers omit them). *)
 
 val save : string -> t -> unit
 

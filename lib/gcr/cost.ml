@@ -36,7 +36,14 @@ let w_ctrl t =
   let weight = t.Gated_tree.config.Config.control_weight in
   let total = Util.Kahan.create () in
   Clocktree.Topo.iter_bottom_up t.Gated_tree.topo (fun v ->
-      if Gated_tree.is_gated t v then begin
+      (* The star wire carries the gate's *shared* enable (after
+         Gate_share several gates listen to one net); in test mode a
+         bypassed gate's enable is forced high, so its star never
+         toggles. *)
+      if
+        Gated_tree.is_gated t v
+        && not (t.Gated_tree.test_en && t.Gated_tree.bypass.(v))
+      then begin
         let cg =
           match Gated_tree.gate_on_edge t v with
           | Some g -> g.Clocktree.Tech.input_cap
@@ -44,7 +51,7 @@ let w_ctrl t =
         in
         let wire = unit_cap t *. control_wire_length t v in
         Util.Kahan.add total
-          ((wire +. cg) *. t.Gated_tree.enables.(v).Enable.ptr *. weight)
+          ((wire +. cg) *. t.Gated_tree.shared_enables.(v).Enable.ptr *. weight)
       end);
   Util.Kahan.total total
 

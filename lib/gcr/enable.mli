@@ -11,6 +11,12 @@ type t = {
   ptr : float;  (** transition probability Ptr(EN) *)
 }
 
+val of_set : Activity.Profile.t -> Activity.Module_set.t -> t
+(** Enable covering an arbitrary module set, with [P]/[Ptr] from the
+    profile (through the signature kernel when the profile has one —
+    bit-for-bit what a direct table scan gives). The {!Gate_share} pass
+    builds each group's shared enable this way. *)
+
 val of_sink : Activity.Profile.t -> Clocktree.Sink.t -> t
 (** Enable of a leaf: the activity of the sink's module. Raises
     [Invalid_argument] if the sink's module id is outside the profile's

@@ -4,15 +4,24 @@ type sizing = No_sizing | Tapered | Uniform of float | Proportional
 
 type shards = Flat | Auto_shards | Shards of int
 
+type gate_share = No_share | Share of { min_instances : int; eps : int }
+
 type options = {
   skew_budget : float;
   reduction : reduction;
   sizing : sizing;
   shards : shards;
+  gate_share : gate_share;
 }
 
 let default =
-  { skew_budget = 0.0; reduction = Greedy; sizing = No_sizing; shards = Flat }
+  {
+    skew_budget = 0.0;
+    reduction = Greedy;
+    sizing = No_sizing;
+    shards = Flat;
+    gate_share = No_share;
+  }
 
 let apply_reduction options tree =
   match options.reduction with
@@ -20,6 +29,11 @@ let apply_reduction options tree =
   | Greedy -> Gate_reduction.reduce_greedy tree
   | Rules -> Gate_reduction.reduce_rules tree
   | Fraction fraction -> Gate_reduction.reduce_fraction tree ~fraction
+
+let apply_share options tree =
+  match options.gate_share with
+  | No_share -> tree
+  | Share { min_instances; eps } -> Gate_share.share ~min_instances ~eps tree
 
 let apply_sizing options tree =
   match options.sizing with
@@ -46,7 +60,10 @@ let run ?(options = default) config profile sinks =
   let reduced =
     Util.Obs.span ~name:"reduce" (fun () -> apply_reduction options tree)
   in
-  Util.Obs.span ~name:"size" (fun () -> apply_sizing options reduced)
+  let shared =
+    Util.Obs.span ~name:"share" (fun () -> apply_share options reduced)
+  in
+  Util.Obs.span ~name:"size" (fun () -> apply_sizing options shared)
 
 (* ------------------------------------------------------------------ *)
 (* Checked pipeline                                                   *)
@@ -127,6 +144,13 @@ let validate_inputs config profile sinks options =
    | _ -> ());
   (match options.shards with
    | Shards s when s < 1 -> bad "options" "shard count %d must be positive" s
+   | _ -> ());
+  (match options.gate_share with
+   | Share { min_instances; _ } when min_instances < 0 ->
+     bad "options" "gate-share min_instances %d must be non-negative"
+       min_instances
+   | Share { eps; _ } when eps < 0 ->
+     bad "options" "gate-share eps %d must be non-negative" eps
    | _ -> ());
   List.rev !errs
 
@@ -325,9 +349,13 @@ let run_checked ?(mode = Default) ?(limits = no_limits)
             optional "reduce" "skipping gate reduction, keeping the fully \
                                gated tree" (apply_reduction options) routed
           in
+          let shared =
+            optional "share" "skipping gate sharing, keeping per-subtree \
+                              enables" (apply_share options) reduced
+          in
           let sized =
             optional "size" "skipping gate sizing, keeping unit scales"
-              (apply_sizing options) reduced
+              (apply_sizing options) shared
           in
           Ok sized))
 
@@ -352,7 +380,14 @@ let label options =
     | Auto_shards -> "+sharded"
     | Shards n -> Printf.sprintf "+sharded:%d" n
   in
-  "gated" ^ r ^ s ^ sh
+  let gs =
+    match options.gate_share with
+    | No_share -> ""
+    | Share { min_instances = 1; eps = 0 } -> "+share"
+    | Share { min_instances; eps } ->
+      Printf.sprintf "+share:%d,%d" min_instances eps
+  in
+  "gated" ^ r ^ s ^ sh ^ gs
 
 let standard_comparison ?(options = default) config profile sinks =
   let skew_budget = budget options in

@@ -13,11 +13,19 @@ type shards =
   | Auto_shards  (** {!Shard_router} with {!Shard_router.auto_shards} *)
   | Shards of int  (** {!Shard_router} with an explicit region count *)
 
+type gate_share =
+  | No_share  (** every gate keeps its own per-subtree enable *)
+  | Share of { min_instances : int; eps : int }
+      (** run {!Gate_share.share} after reduction: drop gates covering
+          fewer than [min_instances] sinks, remove gates within [eps] of
+          their governor, group the rest onto shared enables *)
+
 type options = {
   skew_budget : float;  (** 0 = exact zero skew *)
   reduction : reduction;
   sizing : sizing;
   shards : shards;  (** region-parallel routing (see {!Shard_router}) *)
+  gate_share : gate_share;  (** post-reduction gate sharing *)
 }
 
 val default : options
@@ -36,6 +44,10 @@ val route_with_options :
 
 val apply_reduction : options -> Gated_tree.t -> Gated_tree.t
 (** The gate-reduction stage of {!run} alone, on an already-routed tree. *)
+
+val apply_share : options -> Gated_tree.t -> Gated_tree.t
+(** The gate-sharing stage of {!run} alone (runs between reduction and
+    sizing). *)
 
 val apply_sizing : options -> Gated_tree.t -> Gated_tree.t
 (** The sizing stage of {!run} alone. *)
@@ -107,7 +119,8 @@ val run_checked :
     [Error] returned, carrying one typed error per rung in order. Gate
     reduction and sizing degrade to "skip the stage" — the routed tree
     is already a correct answer, so a failing optimisation pass is
-    dropped with an event rather than failing the pipeline.
+    dropped with an event rather than failing the pipeline; gate sharing
+    (between them) degrades the same way, keeping per-subtree enables.
 
     [limits] bounds the work: too many required merge steps fail fast as
     [Resource_limit], and an exhausted time budget mid-pipeline returns
@@ -116,7 +129,7 @@ val run_checked :
 
     When {!Util.Obs} tracing is enabled the run records one span per
     stage attempted ([validate], then the ladder rungs, then [reduce]/
-    [size]) plus the [flow.rungs] and [flow.degraded] counters. *)
+    [share]/[size]) plus the [flow.rungs] and [flow.degraded] counters. *)
 
 val standard_comparison :
   ?options:options ->

@@ -1,0 +1,229 @@
+(* Post-reduction gate sharing: merge gates whose enable waveforms are
+   equal or near-subsumed, in the spirit of OpenROAD's clock-gate
+   transform (one gating condition reused across many registers) layered
+   on the paper's per-subtree gating.
+
+   Three deterministic steps, each recomputed from the tree's immutable
+   per-node [enables] so the pass is idempotent:
+
+   1. {b Coverage floor} — demote every gate whose subtree holds fewer
+      than [min_instances] sinks to a buffer (a real ICG amortizes its
+      cell and enable-net overhead over a minimum register count).
+   2. {b Redundancy removal}, top-down — a gate whose enable waveform is
+      within [eps] of its governing gate's is masking (almost) nothing
+      the ancestor does not already mask; demote it. Nesting makes the
+      child's hit set a subset of the ancestor's, so at [eps = 0] this
+      removes exactly the gates whose enables coincide cycle-for-cycle
+      with their governing gate — provably free.
+   3. {b Grouping}, ascending node id — surviving gates join the first
+      group whose representative's enable is equal or near-subsumed
+      ([H(a) ⊆ H(b)] one way or the other, and [|H(a) Δ H(b)| ≤ eps]);
+      otherwise they found a new group. Each group is then rewired to one
+      shared enable covering the union of its members' module sets.
+
+   Waveform comparisons run on the {!Activity.Signature} instruction-hit
+   bitsets (batched subset / symmetric-difference popcounts) when the
+   profile carries a kernel; profiles without one (analytic,
+   tables-only) fall back to module-set algebra, where [eps] counts
+   modules instead of instructions. *)
+
+type stats = {
+  gates_before : int;
+  gates_after : int;
+  groups : int;
+  removed_small : int;
+  removed_redundant : int;
+}
+
+let shared_counter = Util.Obs.counter "share.gates_removed"
+
+let groups_counter = Util.Obs.counter "share.groups"
+
+(* Waveform comparator over node ids: containment and symmetric-difference
+   size, plus a batched sweep of one anchor against the current group
+   representatives. *)
+type cmp = {
+  pair_diff : int -> int -> int;
+  (* [sweep v reps n found]: first index [i < n] with
+     [reps.(i)] equal-or-near-subsuming [v] within eps, or -1. *)
+  sweep : int -> int array -> int -> int;
+}
+
+let signature_cmp kern topo enables ~eps =
+  let n = Clocktree.Topo.n_nodes topo in
+  let sigs = Array.make n (Activity.Signature.create kern) in
+  Clocktree.Topo.iter_bottom_up topo (fun v ->
+      match Clocktree.Topo.children topo v with
+      | None ->
+        sigs.(v) <- Activity.Signature.of_set kern enables.(v).Enable.mods
+      | Some (a, b) -> sigs.(v) <- Activity.Signature.union sigs.(a) sigs.(b));
+  (* |H(v)|, for the reverse-containment test: A ⊆ B iff |AΔB| = |B|−|A|,
+     so one symm-diff batch plus the sizes answers both directions. *)
+  let empty = Activity.Signature.create kern in
+  let size = Array.map (fun s -> Activity.Signature.symm_diff_count kern empty s) sigs in
+  let rep_sigs = Array.make (max n 1) empty in
+  let sub_out = Array.make (max n 1) false in
+  let diff_out = Array.make (max n 1) 0 in
+  let pair_diff a b = Activity.Signature.symm_diff_count kern sigs.(a) sigs.(b) in
+  let sweep v reps n_reps =
+    if n_reps = 0 then -1
+    else begin
+      for i = 0 to n_reps - 1 do
+        rep_sigs.(i) <- sigs.(reps.(i))
+      done;
+      Activity.Signature.subset_batch kern sigs.(v) ~n:n_reps rep_sigs sub_out;
+      Activity.Signature.symm_diff_batch kern sigs.(v) ~n:n_reps rep_sigs
+        diff_out;
+      let found = ref (-1) in
+      let i = ref 0 in
+      while !found = -1 && !i < n_reps do
+        let r = reps.(!i) in
+        let d = diff_out.(!i) in
+        if d <= eps && (sub_out.(!i) || d = size.(v) - size.(r)) then
+          found := !i;
+        incr i
+      done;
+      !found
+    end
+  in
+  { pair_diff; sweep }
+
+let module_set_cmp topo enables ~eps =
+  ignore topo;
+  let mods v = enables.(v).Enable.mods in
+  let pair_diff a b =
+    let ma = mods a and mb = mods b in
+    Activity.Module_set.cardinal (Activity.Module_set.diff ma mb)
+    + Activity.Module_set.cardinal (Activity.Module_set.diff mb ma)
+  in
+  let sweep v reps n_reps =
+    let found = ref (-1) in
+    let i = ref 0 in
+    while !found = -1 && !i < n_reps do
+      let r = reps.(!i) in
+      if
+        (Activity.Module_set.subset (mods v) (mods r)
+        || Activity.Module_set.subset (mods r) (mods v))
+        && pair_diff v r <= eps
+      then found := !i;
+      incr i
+    done;
+    !found
+  in
+  { pair_diff; sweep }
+
+let share_internal ?(min_instances = 1) ?(eps = 0) tree =
+  if min_instances < 0 then
+    invalid_arg "Gate_share.share: negative min_instances";
+  if eps < 0 then invalid_arg "Gate_share.share: negative eps";
+  let topo = tree.Gated_tree.topo in
+  let n = Clocktree.Topo.n_nodes topo in
+  let enables = tree.Gated_tree.enables in
+  let profile = tree.Gated_tree.profile in
+  let kinds = Gated_tree.kinds_copy tree in
+  let gates_before = Gated_tree.gate_count tree in
+  (* 1. coverage floor: sinks under each node, statically *)
+  let leaves = Array.make n 0 in
+  Clocktree.Topo.iter_bottom_up topo (fun v ->
+      match Clocktree.Topo.children topo v with
+      | None -> leaves.(v) <- 1
+      | Some (a, b) -> leaves.(v) <- leaves.(a) + leaves.(b));
+  let removed_small = ref 0 in
+  for v = 0 to n - 1 do
+    if kinds.(v) = Gated_tree.Gated && leaves.(v) < min_instances then begin
+      kinds.(v) <- Gated_tree.Buffered;
+      incr removed_small
+    end
+  done;
+  let cmp =
+    match Activity.Profile.signature_kernel profile with
+    | Some kern -> signature_cmp kern topo enables ~eps
+    | None -> module_set_cmp topo enables ~eps
+  in
+  (* 2. redundancy removal, top-down: governing gates are final above the
+     node being decided, so cascaded removals resolve in one pass and a
+     second run reproduces the same decisions (idempotence). *)
+  let governing = Array.make n (-1) in
+  let removed_redundant = ref 0 in
+  Clocktree.Topo.iter_top_down topo (fun v ->
+      match Clocktree.Topo.parent topo v with
+      | None -> governing.(v) <- -1
+      | Some p ->
+        if kinds.(v) = Gated_tree.Gated then begin
+          let g = governing.(p) in
+          if g <> -1 && cmp.pair_diff v g <= eps then begin
+            kinds.(v) <- Gated_tree.Buffered;
+            incr removed_redundant
+          end
+        end;
+        governing.(v) <-
+          (if kinds.(v) = Gated_tree.Gated then v else governing.(p)));
+  (* 3. grouping of the survivors, ascending node id *)
+  let share_rep = Array.init n (fun v -> v) in
+  let reps = Array.make (max n 1) (-1) in
+  let n_reps = ref 0 in
+  for v = 0 to n - 1 do
+    if kinds.(v) = Gated_tree.Gated then begin
+      match cmp.sweep v reps !n_reps with
+      | -1 ->
+        reps.(!n_reps) <- v;
+        incr n_reps
+      | i -> share_rep.(v) <- reps.(i)
+    end
+  done;
+  (* one shared enable per group: the union of its members' module sets,
+     with P/Ptr from the profile so table scans agree bit-for-bit *)
+  let shared_enables = Array.copy enables in
+  let n_mods = Activity.Profile.n_modules profile in
+  let union_mods =
+    Array.make !n_reps (Activity.Module_set.empty n_mods)
+  in
+  let rep_index = Hashtbl.create (max !n_reps 1) in
+  for i = 0 to !n_reps - 1 do
+    Hashtbl.replace rep_index reps.(i) i
+  done;
+  for v = 0 to n - 1 do
+    if kinds.(v) = Gated_tree.Gated then begin
+      let i = Hashtbl.find rep_index share_rep.(v) in
+      union_mods.(i) <-
+        Activity.Module_set.union union_mods.(i) enables.(v).Enable.mods
+    end
+  done;
+  let group_enable = Array.map (Enable.of_set profile) union_mods in
+  for v = 0 to n - 1 do
+    if kinds.(v) = Gated_tree.Gated then
+      shared_enables.(v) <- group_enable.(Hashtbl.find rep_index share_rep.(v))
+  done;
+  let shared =
+    Gated_tree.rebuild_with_sharing tree ~kinds ~share_rep ~shared_enables
+      ~min_instances ~eps
+  in
+  let gates_after = Gated_tree.gate_count shared in
+  Util.Obs.add shared_counter (gates_before - gates_after);
+  Util.Obs.add groups_counter !n_reps;
+  ( shared,
+    {
+      gates_before;
+      gates_after;
+      groups = !n_reps;
+      removed_small = !removed_small;
+      removed_redundant = !removed_redundant;
+    } )
+
+let share_with_stats ?min_instances ?eps tree =
+  Util.Obs.span ~name:"share.pass" (fun () ->
+      share_internal ?min_instances ?eps tree)
+
+let share ?min_instances ?eps tree =
+  fst (share_with_stats ?min_instances ?eps tree)
+
+let group_count tree =
+  let n = Clocktree.Topo.n_nodes tree.Gated_tree.topo in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if
+      tree.Gated_tree.kind.(v) = Gated_tree.Gated
+      && tree.Gated_tree.share_rep.(v) = v
+    then incr count
+  done;
+  !count

@@ -1,0 +1,47 @@
+(** Post-reduction gate sharing and enable-set minimization.
+
+    Real clock-gating flows reuse one gating condition across many
+    registers instead of giving every subtree its own enable. This pass
+    runs after {!Gate_reduction} and, in three deterministic steps,
+    (1) demotes gates covering fewer than [min_instances] sinks,
+    (2) removes gates whose enable waveform is within [eps] of their
+    governing gate's (redundant masking), and (3) groups the surviving
+    gates whose enables are equal or near-subsumed, rewiring each group
+    to one shared enable that covers the union of its members' module
+    sets — with [P]/[Ptr] taken from the profile, so {!Verify} and the
+    cycle-accurate simulator agree bit-for-bit.
+
+    Comparisons use the {!Activity.Signature} instruction-hit bitsets
+    (batched subset and symmetric-difference popcount kernels) when the
+    profile has a kernel; analytic and tables-only profiles fall back to
+    module-set algebra, where [eps] counts modules rather than
+    instructions.
+
+    The pass is idempotent — every step recomputes from the tree's
+    immutable per-node enables — and at the defaults
+    ([min_instances = 1], [eps = 0]) it only removes gates whose enable
+    coincides cycle-for-cycle with their governing gate's, which never
+    increases the switched capacitance beyond embedding re-balancing
+    noise. *)
+
+type stats = {
+  gates_before : int;
+  gates_after : int;
+  groups : int;  (** share groups among surviving gates *)
+  removed_small : int;  (** gates under the [min_instances] floor *)
+  removed_redundant : int;  (** gates within [eps] of their governor *)
+}
+
+val share : ?min_instances:int -> ?eps:int -> Gated_tree.t -> Gated_tree.t
+(** [share ?min_instances ?eps tree] — defaults [min_instances = 1],
+    [eps = 0]. The result records [(min_instances, eps)] in
+    {!Gated_tree.t.sharing} and carries the group structure in
+    [share_rep] / [shared_enables]. Raises [Invalid_argument] on
+    negative parameters. *)
+
+val share_with_stats :
+  ?min_instances:int -> ?eps:int -> Gated_tree.t -> Gated_tree.t * stats
+
+val group_count : Gated_tree.t -> int
+(** Number of share groups: gates that are their own representative.
+    Equals {!Gated_tree.gate_count} on trees the pass never touched. *)

@@ -11,6 +11,11 @@ type t = {
   governing : int array;
   skew_budget : float;
   scale : float array;  (* per-edge hardware size factor; 1.0 = unit *)
+  share_rep : int array;  (* per node: its share group's representative *)
+  shared_enables : Enable.t array;  (* per node: the enable wired to its gate *)
+  sharing : (int * int) option;  (* (min_instances, eps) when Gate_share ran *)
+  test_en : bool;  (* scan/test mode: bypassed gates forced transparent *)
+  bypass : bool array;  (* per node: the gate honors test_en (all true) *)
 }
 
 let hardware (config : Config.t) = function
@@ -64,6 +69,11 @@ let build_internal config profile sinks topo ~enables ~skew_budget ~scale ~kind 
     governing = compute_governing topo kind_arr;
     skew_budget;
     scale = scale_arr;
+    share_rep = Array.init n (fun v -> v);
+    shared_enables = Array.copy enables;
+    sharing = None;
+    test_en = false;
+    bypass = Array.make n true;
   }
 
 let build ?(skew_budget = 0.0) ?(scale = fun _ -> 1.0) config profile sinks topo
@@ -80,17 +90,65 @@ let rebuild_with_kinds t kinds =
   if Array.length kinds <> Clocktree.Topo.n_nodes t.topo then
     invalid_arg "Gated_tree.rebuild_with_kinds: kind array length mismatch";
   (* Topology and sinks are unchanged, so the enables carry over; only the
-     embedding (zero-skew splits depend on the hardware) is redone. *)
-  build_internal t.config t.profile t.sinks t.topo ~enables:t.enables
-    ~skew_budget:t.skew_budget ~scale:(fun v -> t.scale.(v))
-    ~kind:(fun v -> kinds.(v))
+     embedding (zero-skew splits depend on the hardware) is redone. A new
+     hardware assignment invalidates any share groups (their members may
+     no longer be gates), so sharing resets to the identity — rerun
+     Gate_share afterwards if wanted. Test mode carries over. *)
+  let nt =
+    build_internal t.config t.profile t.sinks t.topo ~enables:t.enables
+      ~skew_budget:t.skew_budget ~scale:(fun v -> t.scale.(v))
+      ~kind:(fun v -> kinds.(v))
+  in
+  { nt with test_en = t.test_en; bypass = Array.copy t.bypass }
 
 let rebuild_with_scale t scale =
   if Array.length scale <> Clocktree.Topo.n_nodes t.topo then
     invalid_arg "Gated_tree.rebuild_with_scale: scale array length mismatch";
-  build_internal t.config t.profile t.sinks t.topo ~enables:t.enables
-    ~skew_budget:t.skew_budget ~scale:(fun v -> scale.(v))
-    ~kind:(fun v -> t.kind.(v))
+  (* Resizing touches neither the hardware assignment nor the enables, so
+     share groups and test mode survive. *)
+  let nt =
+    build_internal t.config t.profile t.sinks t.topo ~enables:t.enables
+      ~skew_budget:t.skew_budget ~scale:(fun v -> scale.(v))
+      ~kind:(fun v -> t.kind.(v))
+  in
+  {
+    nt with
+    share_rep = Array.copy t.share_rep;
+    shared_enables = Array.copy t.shared_enables;
+    sharing = t.sharing;
+    test_en = t.test_en;
+    bypass = Array.copy t.bypass;
+  }
+
+let rebuild_with_sharing t ~kinds ~share_rep ~shared_enables ~min_instances
+    ~eps =
+  let n = Clocktree.Topo.n_nodes t.topo in
+  if
+    Array.length kinds <> n
+    || Array.length share_rep <> n
+    || Array.length shared_enables <> n
+  then invalid_arg "Gated_tree.rebuild_with_sharing: array length mismatch";
+  if min_instances < 0 || eps < 0 then
+    invalid_arg "Gated_tree.rebuild_with_sharing: negative sharing parameter";
+  let nt =
+    build_internal t.config t.profile t.sinks t.topo ~enables:t.enables
+      ~skew_budget:t.skew_budget ~scale:(fun v -> t.scale.(v))
+      ~kind:(fun v -> kinds.(v))
+  in
+  {
+    nt with
+    share_rep = Array.copy share_rep;
+    shared_enables = Array.copy shared_enables;
+    sharing = Some (min_instances, eps);
+    test_en = t.test_en;
+    bypass = Array.copy t.bypass;
+  }
+
+(* A mode flip, not a rebuild: the hardware and embedding are what they
+   are; test mode only changes which enable value the gates see. [bypass]
+   is shared, not copied, so a stuck-bypass corruption injected on either
+   view is visible through both. *)
+let with_test_en t test_en = { t with test_en }
 
 let gate_on_edge t v =
   match hardware t.config t.kind.(v) with
@@ -101,7 +159,9 @@ let gate_on_edge t v =
 
 let edge_probability t v =
   let g = t.governing.(v) in
-  if g = -1 then 1.0 else t.enables.(g).Enable.p
+  if g = -1 then 1.0
+  else if t.test_en && t.bypass.(g) then 1.0
+  else t.shared_enables.(g).Enable.p
 
 let node_probability t v =
   if v = Clocktree.Topo.root t.topo then 1.0 else edge_probability t v
@@ -163,4 +223,35 @@ let check_invariants t =
       | None -> if g <> -1 then fail "root edge governed"
       | Some p ->
         let expected = if t.kind.(v) = Gated then v else t.governing.(p) in
-        if g <> expected then fail "governing(%d) wrong" v)
+        if g <> expected then fail "governing(%d) wrong" v);
+  (* share-group well-formedness *)
+  let n = Clocktree.Topo.n_nodes topo in
+  let same_enable (a : Enable.t) (b : Enable.t) =
+    Activity.Module_set.equal a.Enable.mods b.Enable.mods
+    && a.Enable.p = b.Enable.p
+    && a.Enable.ptr = b.Enable.ptr
+  in
+  Array.iteri
+    (fun v r ->
+      if r < 0 || r >= n then fail "share_rep(%d) out of range" v;
+      if t.share_rep.(r) <> r then fail "share_rep(%d) not a representative" v;
+      if t.kind.(v) = Gated then begin
+        if t.kind.(r) <> Gated then fail "share_rep(%d) is not a gate" v;
+        if not (same_enable t.shared_enables.(v) t.shared_enables.(r)) then
+          fail "shared enable of %d differs from its representative %d" v r;
+        (* the shared enable must open whenever the node's own does *)
+        if
+          not
+            (Activity.Module_set.subset t.enables.(v).Enable.mods
+               t.shared_enables.(v).Enable.mods)
+        then fail "shared enable of %d drops its own modules" v
+      end
+      else if r <> v then fail "non-gate %d in a share group" v)
+    t.share_rep;
+  if t.sharing = None then
+    Array.iteri
+      (fun v r ->
+        if r <> v then fail "share_rep(%d) non-identity without sharing" v;
+        if not (same_enable t.shared_enables.(v) t.enables.(v)) then
+          fail "shared enable of %d differs without sharing" v)
+      t.share_rep

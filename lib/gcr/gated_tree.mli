@@ -31,6 +31,23 @@ type t = private {
   scale : float array;
       (** per-edge hardware size factor (transistor-width multiple applied
           to the gate or buffer on the edge; 1 = unit size) *)
+  share_rep : int array;
+      (** per node: the representative gate of its share group (itself when
+          unshared; identity everywhere until {!Gate_share} runs) *)
+  shared_enables : Enable.t array;
+      (** per node: the enable actually wired to the gate on the edge above
+          it — the share group's merged enable, [enables.(v)] when
+          unshared. All members of a group reference an equal value. *)
+  sharing : (int * int) option;
+      (** [(min_instances, eps)] recorded when the {!Gate_share} pass built
+          this tree; [None] on unshared trees *)
+  test_en : bool;
+      (** scan/test mode: gates honoring {!field-bypass} are forced
+          transparent, making the tree behave as its ungated equivalent *)
+  bypass : bool array;
+      (** per node: whether the gate on the edge above honors [test_en]
+          (all [true] in a healthy tree; element mutability is the
+          stuck-bypass fault-injection surface) *)
 }
 
 val build :
@@ -57,14 +74,39 @@ val rebuild_with_kinds : t -> edge_kind array -> t
 val rebuild_with_scale : t -> float array -> t
 (** Re-embed the same topology and hardware with new per-edge size
     factors (the {!Sizing} path). Raises [Invalid_argument] on a length
-    mismatch or a non-positive factor. *)
+    mismatch or a non-positive factor. Share groups and test mode are
+    preserved (resizing touches neither hardware kinds nor enables). *)
+
+val rebuild_with_sharing :
+  t ->
+  kinds:edge_kind array ->
+  share_rep:int array ->
+  shared_enables:Enable.t array ->
+  min_instances:int ->
+  eps:int ->
+  t
+(** Re-embed with the hardware assignment and share groups produced by the
+    {!Gate_share} pass: [share_rep] maps every gate to its group's
+    representative (identity elsewhere), [shared_enables] carries the
+    group-merged enable each gate is wired to, and [(min_instances, eps)]
+    is recorded in {!field-sharing} for {!Verify}. Test mode carries over.
+    Raises [Invalid_argument] on length mismatches or negative
+    parameters. *)
+
+val with_test_en : t -> bool -> t
+(** Flip scan/test mode. A mode change, not a rebuild: the hardware and
+    embedding stay identical, only the enable value seen by bypassed
+    gates changes (forced open when [test_en] is set). The [bypass] array
+    is shared between the two views, not copied. *)
 
 val gate_on_edge : t -> int -> Clocktree.Tech.gate option
 (** Hardware on the edge above a node, as a {!Clocktree.Tech.gate}. *)
 
 val edge_probability : t -> int -> float
 (** Signal probability of the clock on the edge above the node: [P(EN)] of
-    its governing gate, or 1 when free-running. *)
+    the {e shared} enable wired to its governing gate, 1 when
+    free-running, and 1 under [test_en] for gates honoring their bypass
+    (the clock runs free in test mode). *)
 
 val node_probability : t -> int -> float
 (** Probability that the node's own electrical net toggles: equals
@@ -88,4 +130,7 @@ val kinds_copy : t -> edge_kind array
 
 val check_invariants : t -> unit
 (** Embedding consistency, nesting of enables along root paths, governing
-    correctness; raises [Failure] with a diagnostic on violation. *)
+    correctness, and share-group well-formedness (representative closure,
+    group-uniform shared enables that subsume each member's own enable,
+    identity when no sharing ran); raises [Failure] with a diagnostic on
+    violation. *)

@@ -34,7 +34,10 @@ let finite (t : Gated_tree.t) =
     check (Printf.sprintf "hardware scale of node %d" v) t.Gated_tree.scale.(v);
     let en = t.Gated_tree.enables.(v) in
     check (Printf.sprintf "P(EN) of node %d" v) en.Enable.p;
-    check (Printf.sprintf "Ptr(EN) of node %d" v) en.Enable.ptr
+    check (Printf.sprintf "Ptr(EN) of node %d" v) en.Enable.ptr;
+    let sh = t.Gated_tree.shared_enables.(v) in
+    check (Printf.sprintf "shared P(EN) of node %d" v) sh.Enable.p;
+    check (Printf.sprintf "shared Ptr(EN) of node %d" v) sh.Enable.ptr
   done;
   Array.iter
     (fun s -> check (Printf.sprintf "capacitance of sink %d" s.Clocktree.Sink.id)
@@ -177,8 +180,12 @@ let cost_accounting (t : Gated_tree.t) =
     | Some (a, b) -> input_cap a +. input_cap b
   in
   let edge_prob v =
+    (* the clock on an edge follows the *shared* enable wired to its
+       governing gate, forced free-running under an honored test_en *)
     let g = nearest_gated t topo v in
-    if g = -1 then 1.0 else t.Gated_tree.enables.(g).Enable.p
+    if g = -1 then 1.0
+    else if t.Gated_tree.test_en && t.Gated_tree.bypass.(g) then 1.0
+    else t.Gated_tree.shared_enables.(g).Enable.p
   in
   let wt = Util.Kahan.create () in
   Util.Kahan.add wt (load root);
@@ -190,14 +197,17 @@ let cost_accounting (t : Gated_tree.t) =
   done;
   let ws = Util.Kahan.create () in
   for v = 0 to n - 1 do
-    if t.Gated_tree.kind.(v) = Gated_tree.Gated then begin
+    if
+      t.Gated_tree.kind.(v) = Gated_tree.Gated
+      && not (t.Gated_tree.test_en && t.Gated_tree.bypass.(v))
+    then begin
       let star =
         Controller.wire_length config.Config.controller
           (Clocktree.Embed.gate_location t.Gated_tree.embed v)
       in
       Util.Kahan.add ws
         (((c *. star) +. input_cap v)
-         *. t.Gated_tree.enables.(v).Enable.ptr
+         *. t.Gated_tree.shared_enables.(v).Enable.ptr
          *. config.Config.control_weight)
     end
   done;
@@ -214,10 +224,88 @@ let cost_accounting (t : Gated_tree.t) =
   if w <> w_clock +. w_ctrl then
     fail "cost_accounting" "W = %.17g but W(T) + W(S) = %.17g" w (w_clock +. w_ctrl)
 
+(* ------------------------------------------------------------------ *)
+(* Gate sharing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sharing (t : Gated_tree.t) =
+  let topo = t.Gated_tree.topo in
+  let n = Clocktree.Topo.n_nodes topo in
+  let profile = t.Gated_tree.profile in
+  match t.Gated_tree.sharing with
+  | None ->
+    (* no pass ran: the share structure must be the identity *)
+    for v = 0 to n - 1 do
+      if t.Gated_tree.share_rep.(v) <> v then
+        fail "sharing" "share_rep(%d) = %d with no sharing recorded" v
+          t.Gated_tree.share_rep.(v);
+      if
+        not
+          (Activity.Module_set.equal t.Gated_tree.shared_enables.(v).Enable.mods
+             t.Gated_tree.enables.(v).Enable.mods)
+      then fail "sharing" "node %d: shared enable differs with no sharing" v
+    done
+  | Some (min_instances, _eps) ->
+    (* fanout floor: every surviving gate covers >= min_instances sinks *)
+    let leaves = Array.make n 0 in
+    Clocktree.Topo.iter_bottom_up topo (fun v ->
+        match Clocktree.Topo.children topo v with
+        | None -> leaves.(v) <- 1
+        | Some (a, b) -> leaves.(v) <- leaves.(a) + leaves.(b));
+    for v = 0 to n - 1 do
+      if
+        t.Gated_tree.kind.(v) = Gated_tree.Gated
+        && leaves.(v) < min_instances
+      then
+        fail "sharing" "gate %d covers %d sinks, below the min_instances \
+                        floor of %d" v leaves.(v) min_instances
+    done;
+    (* each group's shared enable covers exactly the union of its
+       members' own module sets, with P/Ptr matching a direct profile
+       query bit-for-bit *)
+    let union = Array.make n None in
+    for v = 0 to n - 1 do
+      if t.Gated_tree.kind.(v) = Gated_tree.Gated then begin
+        let r = t.Gated_tree.share_rep.(v) in
+        let m = t.Gated_tree.enables.(v).Enable.mods in
+        union.(r) <-
+          (match union.(r) with
+          | None -> Some m
+          | Some u -> Some (Activity.Module_set.union u m))
+      end
+    done;
+    for v = 0 to n - 1 do
+      if t.Gated_tree.kind.(v) = Gated_tree.Gated then begin
+        let r = t.Gated_tree.share_rep.(v) in
+        let sh = t.Gated_tree.shared_enables.(v) in
+        (match union.(r) with
+        | Some u when Activity.Module_set.equal sh.Enable.mods u -> ()
+        | Some u ->
+          fail "sharing"
+            "gate %d: shared enable covers %s, but its group's member \
+             union is %s"
+            v (set_to_string sh.Enable.mods) (set_to_string u)
+        | None -> fail "sharing" "gate %d: representative %d has no group" v r);
+        let p = Activity.Profile.p profile sh.Enable.mods in
+        if p <> sh.Enable.p then
+          fail "sharing"
+            "gate %d: shared P(EN) = %.17g, direct table scan over %s gives \
+             %.17g"
+            v sh.Enable.p (set_to_string sh.Enable.mods) p;
+        let ptr = Activity.Profile.ptr profile sh.Enable.mods in
+        if ptr <> sh.Enable.ptr then
+          fail "sharing"
+            "gate %d: shared Ptr(EN) = %.17g, direct table scan over %s \
+             gives %.17g"
+            v sh.Enable.ptr (set_to_string sh.Enable.mods) ptr
+      end
+    done
+
 let structural ?embed t =
   finite t;
   Gated_tree.check_invariants t;
   governing_chain t;
   enable_consistency t;
+  sharing t;
   cost_accounting t;
   zero_skew ?embed t

@@ -39,9 +39,19 @@ val governing_chain : Gated_tree.t -> unit
 val cost_accounting : Gated_tree.t -> unit
 (** [W = W(T) + W(S)] holds exactly, and both terms match an independent
     per-edge recomputation from wire lengths, loads, hardware kinds,
-    size factors and enable statistics. *)
+    size factors and enable statistics — using the {e shared} enable of
+    each governing gate, and treating gates forced transparent by
+    [test_en] as free-running with a silent control star. *)
+
+val sharing : Gated_tree.t -> unit
+(** The {!Gate_share} group structure is sound: with no sharing
+    recorded, [share_rep] is the identity and every shared enable equals
+    the node's own; with sharing recorded, every surviving gate covers
+    at least [min_instances] sinks (the fanout floor), and each group's
+    shared enable covers exactly the union of its members' own module
+    sets with [P]/[Ptr] matching a direct profile query bit-for-bit. *)
 
 val structural : ?embed:Clocktree.Embed.t -> Gated_tree.t -> unit
-(** {!finite}, then all of the above plus
+(** {!finite}, then all of the above (including {!sharing}) plus
     {!Gated_tree.check_invariants} (embedding consistency and enable
     nesting). [embed] is forwarded to {!zero_skew} only. *)

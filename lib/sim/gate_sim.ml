@@ -43,7 +43,13 @@ let run tree stream =
   let edge_active_cycles = Array.make n 0 in
   let enable_toggles = Array.make n 0 in
   let prev_enable = Array.make n false in
-  let mods v = tree.Gcr.Gated_tree.enables.(v).Gcr.Enable.mods in
+  (* The gate on the edge above v is wired to its *shared* enable (after
+     Gcr.Gate_share several gates listen to one net; identical to the
+     node's own enable on unshared trees), and a gate honoring its
+     bypass is forced transparent in test mode — the ICG's scan
+     override. *)
+  let mods v = tree.Gcr.Gated_tree.shared_enables.(v).Gcr.Enable.mods in
+  let forced v = tree.Gcr.Gated_tree.test_en && tree.Gcr.Gated_tree.bypass.(v) in
   for t = 0 to b - 1 do
     let active = Activity.Instr_stream.active_modules stream t in
     for v = 0 to n - 1 do
@@ -51,11 +57,13 @@ let run tree stream =
         (* clock on the edge above v: its governing gate's enable, if any *)
         let gov = tree.Gcr.Gated_tree.governing.(v) in
         let clock_on =
-          gov = -1 || Activity.Module_set.intersects (mods gov) active
+          gov = -1 || forced gov
+          || Activity.Module_set.intersects (mods gov) active
         in
         if clock_on then edge_active_cycles.(v) <- edge_active_cycles.(v) + 1;
-        (* enable star wire toggles *)
-        if Gcr.Gated_tree.is_gated tree v then begin
+        (* enable star wire toggles (forced high while bypassed in test
+           mode, so it never toggles there) *)
+        if Gcr.Gated_tree.is_gated tree v && not (forced v) then begin
           let en = Activity.Module_set.intersects (mods v) active in
           if t > 0 && en <> prev_enable.(v) then
             enable_toggles.(v) <- enable_toggles.(v) + 1;
@@ -83,3 +91,29 @@ let run tree stream =
     edge_active_cycles;
     enable_toggles;
   }
+
+let clock_waveforms tree stream =
+  let topo = tree.Gcr.Gated_tree.topo in
+  let b = Activity.Instr_stream.length stream in
+  if b < 1 then invalid_arg "Gate_sim.clock_waveforms: empty stream";
+  let n_mods = Activity.Rtl.n_modules (Activity.Instr_stream.rtl stream) in
+  if n_mods <> Activity.Profile.n_modules tree.Gcr.Gated_tree.profile then
+    invalid_arg
+      "Gate_sim.clock_waveforms: stream module universe does not match the tree";
+  let n = Clocktree.Topo.n_nodes topo in
+  let root = Clocktree.Topo.root topo in
+  let mods v = tree.Gcr.Gated_tree.shared_enables.(v).Gcr.Enable.mods in
+  let forced v = tree.Gcr.Gated_tree.test_en && tree.Gcr.Gated_tree.bypass.(v) in
+  let wave = Array.init n (fun _ -> Array.make b false) in
+  for t = 0 to b - 1 do
+    let active = Activity.Instr_stream.active_modules stream t in
+    for v = 0 to n - 1 do
+      wave.(v).(t) <-
+        v = root
+        ||
+        let gov = tree.Gcr.Gated_tree.governing.(v) in
+        gov = -1 || forced gov
+        || Activity.Module_set.intersects (mods gov) active
+    done
+  done;
+  wave

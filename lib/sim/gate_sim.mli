@@ -25,4 +25,19 @@ type result = {
 
 val run : Gcr.Gated_tree.t -> Activity.Instr_stream.t -> result
 (** Raises [Invalid_argument] when the stream's RTL universe does not match
-    the tree's profile or the stream is shorter than two cycles. *)
+    the tree's profile or the stream is shorter than two cycles.
+
+    Gates are driven by their {e shared} enables
+    ({!Gcr.Gated_tree.t.shared_enables} — identical to the per-node
+    enables on unshared trees), and a gate honoring its bypass is forced
+    transparent when the tree is in test mode, with its enable star held
+    high (no toggles). *)
+
+val clock_waveforms :
+  Gcr.Gated_tree.t -> Activity.Instr_stream.t -> bool array array
+(** [wave.(v).(t)] — does the edge above node [v] carry a clock pulse on
+    cycle [t]? ([true] on every cycle at the root, which has no edge.)
+    The cycle-for-cycle ground truth behind the test-mode bypass oracle:
+    with [test_en] set and every bypass honored, the waveform must be
+    bit-for-bit that of the ungated tree (all-true). Raises
+    [Invalid_argument] on a universe mismatch or an empty stream. *)

@@ -8,4 +8,5 @@ let zero_skew = Gcr.Verify.zero_skew
 let enable_consistency = Gcr.Verify.enable_consistency
 let governing_chain = Gcr.Verify.governing_chain
 let cost_accounting = Gcr.Verify.cost_accounting
+let sharing = Gcr.Verify.sharing
 let structural = Gcr.Verify.structural

@@ -34,7 +34,15 @@ val governing_chain : Gcr.Gated_tree.t -> unit
 val cost_accounting : Gcr.Gated_tree.t -> unit
 (** [W = W(T) + W(S)] holds exactly, and both terms match an independent
     per-edge recomputation from wire lengths, loads, hardware kinds,
-    size factors and enable statistics. *)
+    size factors and enable statistics (shared enables, test mode
+    honored). *)
+
+val sharing : Gcr.Gated_tree.t -> unit
+(** The {!Gcr.Gate_share} group structure is sound — identity without
+    sharing; with sharing, every gate covers at least [min_instances]
+    sinks and each group's shared enable is exactly the union of its
+    members' own enables with bit-for-bit profile statistics. See
+    {!Gcr.Verify.sharing}. *)
 
 val structural : ?embed:Clocktree.Embed.t -> Gcr.Gated_tree.t -> unit
 (** All of the above plus {!Gcr.Gated_tree.check_invariants} (embedding

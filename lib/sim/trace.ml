@@ -38,7 +38,10 @@ let power_trace tree stream ~window =
         else 0.0)
   in
   let root_load = Gcr.Gated_tree.node_load tree root in
-  let mods v = tree.Gcr.Gated_tree.enables.(v).Gcr.Enable.mods in
+  (* same gate semantics as Gate_sim.run: shared enables drive the
+     gates, and test mode forces bypassed gates transparent *)
+  let mods v = tree.Gcr.Gated_tree.shared_enables.(v).Gcr.Enable.mods in
+  let forced v = tree.Gcr.Gated_tree.test_en && tree.Gcr.Gated_tree.bypass.(v) in
   let n_windows = (b + window - 1) / window in
   let clock = Array.make n_windows 0.0 in
   let ctrl = Array.make n_windows 0.0 in
@@ -50,9 +53,11 @@ let power_trace tree stream ~window =
     for v = 0 to n - 1 do
       if v <> root then begin
         let gov = tree.Gcr.Gated_tree.governing.(v) in
-        if gov = -1 || Activity.Module_set.intersects (mods gov) active then
-          clock.(w) <- clock.(w) +. edge_cap.(v);
-        if Gcr.Gated_tree.is_gated tree v then begin
+        if
+          gov = -1 || forced gov
+          || Activity.Module_set.intersects (mods gov) active
+        then clock.(w) <- clock.(w) +. edge_cap.(v);
+        if Gcr.Gated_tree.is_gated tree v && not (forced v) then begin
           let en = Activity.Module_set.intersects (mods v) active in
           if t > 0 && en <> prev_enable.(v) then ctrl.(w) <- ctrl.(w) +. ctrl_cap.(v);
           prev_enable.(v) <- en

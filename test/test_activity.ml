@@ -827,6 +827,85 @@ let prop_signature_c_matches_ocaml =
       if oc <> oo then ok := false;
       !ok)
 
+let prop_signature_set_algebra_matches_naive =
+  QCheck.Test.make
+    ~name:"subset/symm_diff equal naive Module_set scans, C equals OCaml"
+    ~count:30
+    (QCheck.int_range 1 10_000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let n_modules = 2 + Util.Prng.int prng 60 in
+      let n_instr = 1 + Util.Prng.int prng 70 in
+      let rtl = random_rtl prng ~n_modules ~n_instr in
+      let model = Activity.Cpu_model.make rtl in
+      let stream = Activity.Cpu_model.generate model prng 300 in
+      let ift = Activity.Ift.build stream and imatt = Activity.Imatt.build stream in
+      let kc = Activity.Signature.kernel ift imatt in
+      let ko = Activity.Signature.kernel ~force_ocaml:true ift imatt in
+      (* The naive reference walks the RTL: instruction [i] hits set [s]
+         iff its used-module set intersects [s]. *)
+      let hit s i = Ms.intersects (Activity.Rtl.uses rtl i) s in
+      let naive_subset a b =
+        let rec go i =
+          i >= n_instr || ((not (hit a i)) || hit b i) && go (i + 1)
+        in
+        go 0
+      in
+      let naive_symm_diff a b =
+        let acc = ref 0 in
+        for i = 0 to n_instr - 1 do
+          if hit a i <> hit b i then incr acc
+        done;
+        !acc
+      in
+      let m = 2 + Util.Prng.int prng 5 in
+      let sets = Array.init m (fun _ -> random_set prng n_modules) in
+      (* include a guaranteed-subset pair so the true branch is exercised *)
+      sets.(1) <- Ms.union sets.(0) sets.(1);
+      let sigs = Array.map (Activity.Signature.of_set kc) sets in
+      let ok = ref true in
+      Array.iteri
+        (fun i a ->
+          Array.iteri
+            (fun j b ->
+              let sa = sigs.(i) and sb = sigs.(j) in
+              if Activity.Signature.subset kc sa sb <> naive_subset a b then
+                ok := false;
+              if Activity.Signature.subset ko sa sb <> naive_subset a b then
+                ok := false;
+              if
+                Activity.Signature.symm_diff_count kc sa sb
+                <> naive_symm_diff a b
+              then ok := false;
+              if
+                Activity.Signature.symm_diff_count ko sa sb
+                <> naive_symm_diff a b
+              then ok := false)
+            sets)
+        sets;
+      let anchor = sigs.(0) in
+      let sub_c = Array.make m false and sub_o = Array.make m false in
+      let diff_c = Array.make m (-1) and diff_o = Array.make m (-1) in
+      Activity.Signature.subset_batch kc anchor sigs sub_c;
+      Activity.Signature.subset_batch ko anchor sigs sub_o;
+      Activity.Signature.symm_diff_batch kc anchor sigs diff_c;
+      Activity.Signature.symm_diff_batch ko anchor sigs diff_o;
+      Array.iteri
+        (fun i s ->
+          if sub_c.(i) <> Activity.Signature.subset kc anchor s then ok := false;
+          if diff_c.(i) <> Activity.Signature.symm_diff_count kc anchor s then
+            ok := false)
+        sigs;
+      if sub_c <> sub_o || diff_c <> diff_o then ok := false;
+      (* partial batches leave the tail untouched *)
+      if m > 1 then begin
+        let sub2 = Array.make m false and diff2 = Array.make m (-1) in
+        Activity.Signature.subset_batch kc anchor ~n:(m - 1) sigs sub2;
+        Activity.Signature.symm_diff_batch kc anchor ~n:(m - 1) sigs diff2;
+        if sub2.(m - 1) <> false || diff2.(m - 1) <> -1 then ok := false
+      end;
+      !ok)
+
 let prop_signature_word_boundary =
   QCheck.Test.make
     ~name:"signature kernels agree across the 62-bit word boundary" ~count:12
@@ -980,6 +1059,7 @@ let () =
           qt prop_signature_union_matches_materialized;
           qt prop_signature_batch_matches_scalar;
           qt prop_signature_c_matches_ocaml;
+          qt prop_signature_set_algebra_matches_naive;
           qt prop_signature_word_boundary;
           Alcotest.test_case "single instruction" `Quick test_signature_single_instruction;
           Alcotest.test_case "universe mismatch" `Quick test_signature_universe_mismatch;

@@ -49,7 +49,7 @@ let test_flow_matrix () =
             (fun skew_budget ->
               let options =
                 { Gcr.Flow.skew_budget; reduction; sizing;
-                  shards = Gcr.Flow.Flat }
+                  shards = Gcr.Flow.Flat; gate_share = Gcr.Flow.No_share }
               in
               let tree = Gcr.Flow.run ~options config profile sc.S.sinks in
               Gsim.Check.validate tree)
@@ -125,7 +125,8 @@ let tampered_embed (tree : Gcr.Gated_tree.t) =
 let test_zero_skew_detects_tamper () =
   let sc = { (scenario_with_sinks 11 "tamper") with S.options =
                { Gcr.Flow.skew_budget = 0.0; reduction = Gcr.Flow.No_reduction;
-                 sizing = Gcr.Flow.No_sizing; shards = Gcr.Flow.Flat } }
+                 sizing = Gcr.Flow.No_sizing; shards = Gcr.Flow.Flat;
+                 gate_share = Gcr.Flow.No_share } }
   in
   let tree = all_gated_tree sc in
   Gsim.Invariant.zero_skew tree;

@@ -286,6 +286,36 @@ let prop_rtl_roundtrip =
       let text = Formats.Rtl_format.render rtl in
       Formats.Rtl_format.render (Formats.Rtl_format.parse text) = text)
 
+(* ------------------------------------------------------------------ *)
+(* Scenario headers: duplicate keys are rejected with a caret          *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_duplicate_key () =
+  let sc = Conformance.Scenario.generate (Util.Prng.create 3) ~tag:"dup" in
+  let text = Conformance.Scenario.render sc in
+  ignore (Conformance.Scenario.parse text : Conformance.Scenario.t);
+  (* a second header line for an existing key must not silently win *)
+  (match Conformance.Scenario.parse (text ^ "skew-budget 123\n") with
+  | _ -> Alcotest.fail "duplicate header key accepted"
+  | exception (Formats.Parse.Error { line; col; msg; _ } as e) ->
+    Alcotest.(check bool) "names the key" true
+      (Astring.String.is_infix ~affix:{|"skew-budget"|} msg);
+    Alcotest.(check bool) "points at the first definition" true
+      (Astring.String.is_infix ~affix:"first at line" msg);
+    Alcotest.(check int) "column of the duplicated key" 1 col;
+    Alcotest.(check bool) "line is the duplicate's" true (line > 1);
+    (match Formats.Parse.error_to_string e with
+    | Some rendered ->
+      Alcotest.(check bool) "caret excerpt" true
+        (Astring.String.is_infix ~affix:"\n  skew-budget 123\n  ^" rendered)
+    | None -> Alcotest.fail "duplicate error did not render"));
+  (* duplicated sections are rejected the same way *)
+  match Conformance.Scenario.parse (text ^ "begin rtl\nend rtl\n") with
+  | _ -> Alcotest.fail "duplicate section accepted"
+  | exception Formats.Parse.Error { msg; _ } ->
+    Alcotest.(check bool) "names the section" true
+      (Astring.String.is_infix ~affix:{|"rtl"|} msg)
+
 let gen_stream =
   QCheck.Gen.(
     gen_rtl >>= fun rtl ->
@@ -337,6 +367,11 @@ let () =
           Alcotest.test_case "rtl+stream file io" `Quick test_rtl_and_stream_file_io;
         ] );
       ("csv", [ Alcotest.test_case "render" `Quick test_csv_render ]);
+      ( "scenario header",
+        [
+          Alcotest.test_case "duplicate keys rejected" `Quick
+            test_scenario_duplicate_key;
+        ] );
       ( "qcheck roundtrips",
         [ qt prop_sinks_roundtrip; qt prop_rtl_roundtrip; qt prop_stream_roundtrip ]
       );

@@ -835,6 +835,7 @@ let test_flow_options () =
       reduction = Gcr.Flow.Fraction 0.5;
       sizing = Gcr.Flow.Uniform 2.0;
       shards = Gcr.Flow.Flat;
+      gate_share = Gcr.Flow.No_share;
     }
   in
   let tree = Gcr.Flow.run ~options config profile sinks in
