@@ -1311,6 +1311,140 @@ let trace_overhead () =
   print t;
   pf "\nBudget (ISSUE 5): trace-on <= 1.05x at 2000 sinks.\n"
 
+(* ------------------------------------------------------------------ *)
+(* Routing service under sustained load                                *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench () =
+  section "Routing service: sustained loopback load (gcr serve)";
+  let n_workloads = if quick () then 4 else 8 in
+  let rounds = if quick () then 6 else 25 in
+  let clients = 2 in
+  let total = n_workloads * rounds in
+  let texts =
+    Array.init n_workloads (fun i ->
+        Conformance.Scenario.render
+          (Conformance.Scenario.generate
+             (Util.Prng.create (9000 + i))
+             ~tag:(Printf.sprintf "serve-bench #%d" i)))
+  in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcr-bench-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let cfg =
+    {
+      (Serve.Server.default_config (Serve.Server.Unix_socket path)) with
+      Serve.Server.workers = 2;
+      queue_cap = 128;
+    }
+  in
+  let stop = Atomic.make false in
+  let ready = Atomic.make false in
+  let daemon_stats = ref None in
+  let daemon =
+    Thread.create
+      (fun () ->
+        daemon_stats :=
+          Some
+            (Serve.Server.run
+               ~stop:(fun () -> Atomic.get stop)
+               ~on_ready:(fun _ -> Atomic.set ready true)
+               cfg))
+      ()
+  in
+  while not (Atomic.get ready) do Thread.yield () done;
+  let lat = Array.make total 0.0 in
+  let answers = Array.make total None in
+  let t0 = Util.Obs.Clock.now () in
+  (* Closed-loop clients: each waits for its response before sending the
+     next request, so the latencies are service latencies, not queueing
+     artifacts of an open-loop burst. Workloads cycle, so every workload
+     is cold exactly once and warm thereafter. *)
+  let client k =
+    let c = Serve.Client.connect (Serve.Server.Unix_socket path) in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close c)
+      (fun () ->
+        let i = ref k in
+        while !i < total do
+          let id = !i in
+          let s0 = Util.Obs.Clock.now () in
+          Serve.Client.send c
+            {
+              Serve.Proto.id;
+              scenario = texts.(id mod n_workloads);
+              budget_ms = None;
+              paranoid = false;
+            };
+          (match Serve.Client.recv ~timeout_s:300.0 c with
+          | Ok (Some (Serve.Proto.Answer a)) -> answers.(id) <- Some a
+          | Ok (Some (Serve.Proto.Reject r)) ->
+            failwith ("bench request rejected: " ^ r.Serve.Proto.message)
+          | Ok None -> failwith "daemon closed mid-bench"
+          | Error e -> failwith ("bench transport error: " ^ e));
+          lat.(id) <- Util.Obs.Clock.now () -. s0;
+          i := !i + clients
+        done)
+  in
+  let threads = List.init clients (fun k -> Thread.create client k) in
+  List.iter Thread.join threads;
+  let wall = Util.Obs.Clock.now () -. t0 in
+  Atomic.set stop true;
+  Thread.join daemon;
+  let sorted = Array.copy lat in
+  Array.sort compare sorted;
+  let pct p =
+    sorted.(min (total - 1) (int_of_float (p *. float_of_int total))) *. 1e9
+  in
+  let p50 = pct 0.50 and p99 = pct 0.99 in
+  let rps = float_of_int total /. wall in
+  let cold = ref 0 and warm_hits = ref 0 and warm_total = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (a : Serve.Proto.answer) ->
+        if a.Serve.Proto.cache_warm then begin
+          warm_hits := !warm_hits + a.Serve.Proto.audit_hits;
+          warm_total :=
+            !warm_total + a.Serve.Proto.audit_hits + a.Serve.Proto.audit_misses
+        end
+        else incr cold)
+    answers;
+  let warm_rate =
+    if !warm_total = 0 then 0.0
+    else float_of_int !warm_hits /. float_of_int !warm_total
+  in
+  let open Util.Text_table in
+  let t =
+    create
+      ~title:
+        (Printf.sprintf
+           "%d requests, %d workloads x %d rounds, %d clients, 2 workers"
+           total n_workloads rounds clients)
+      [ ("metric", Left); ("value", Right) ]
+  in
+  add_row t [ "throughput (req/s)"; Printf.sprintf "%.1f" rps ];
+  add_row t [ "latency p50 (ms)"; Printf.sprintf "%.2f" (p50 /. 1e6) ];
+  add_row t [ "latency p99 (ms)"; Printf.sprintf "%.2f" (p99 /. 1e6) ];
+  add_row t [ "cold workload sightings"; string_of_int !cold ];
+  add_row t
+    [ "warm audit pcache hit rate"; Printf.sprintf "%.1f%%" (100.0 *. warm_rate) ];
+  print t;
+  (match !daemon_stats with
+  | Some s ->
+    pf "\ndaemon accounting: %d connections, %d answered, drained %s\n"
+      s.Serve.Server.connections s.Serve.Server.answered
+      (if s.Serve.Server.drained_clean then "clean" else "DIRTY")
+  | None -> ());
+  record "serve"
+    (Printf.sprintf
+       "{\"requests\": %d, \"workloads\": %d, \"requests_per_s\": %.1f, \
+        \"p50_ns\": %.1f, \"p99_ns\": %.1f, \"cold\": %d, \
+        \"warm_audit_hit_rate\": %.4f}"
+       total n_workloads rps p50 p99 !cold warm_rate)
+
 (* When this process itself ran traced (GCR_TRACE=1), dump its own run
    report so CI can archive it next to BENCH_greedy.json. *)
 let dump_obs_report () =
@@ -1353,6 +1487,7 @@ let sections : (string * (unit -> unit)) list =
     ("kernel-micro", kernel_micro);
     ("guard-overhead", guard_overhead);
     ("trace-overhead", trace_overhead);
+    ("serve", serve_bench);
     ("bechamel", run_bechamel);
   ]
 

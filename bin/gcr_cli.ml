@@ -9,7 +9,9 @@
      table4          benchmark characteristics (Table 4)
      trace           windowed power trace of a routed benchmark
      stats           render a saved --trace=json run report
-     svg             render a routed tree to SVG *)
+     svg             render a routed tree to SVG
+     serve           fault-tolerant concurrent routing daemon
+     serve-send      submit scenario files to a running daemon *)
 
 open Cmdliner
 
@@ -597,7 +599,24 @@ let fuzz_faults_arg =
   in
   Arg.(value & flag & info [ "faults" ] ~doc)
 
-let fuzz_cmd count seed out replay faults =
+let fuzz_serve_arg =
+  let doc =
+    "Loopback server-fault campaign: start an in-process daemon on a \
+     private socket and drive $(b,--count) faulted client sessions \
+     (poison scenarios, zero budgets, oversized/truncated frames, junk \
+     bytes, stalled writes) across $(b,--clients) concurrent \
+     connections. Well-formed control requests must come back \
+     bit-identical to one-shot routing; every fault must be diagnosed \
+     with a typed reject or absorbed. Exits 70 on any silent failure, \
+     worker backstop error, or unclean drain."
+  in
+  Arg.(value & flag & info [ "serve" ] ~doc)
+
+let fuzz_clients_arg =
+  let doc = "Concurrent client threads for $(b,--serve)." in
+  Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc)
+
+let fuzz_cmd count seed out replay faults serve clients =
   with_diagnostics @@ fun () ->
   match replay with
   | Some path -> (
@@ -610,6 +629,11 @@ let fuzz_cmd count seed out replay faults =
         | Some s -> s
         | None -> Util.Gcr_error.message_of_exn e);
       exit 1)
+  | None when serve ->
+    if clients < 1 then usage_error "--clients expects a positive integer";
+    let stats = Serve.Campaign.run ~count ~seed ~clients () in
+    Format.printf "%a@." Serve.Campaign.pp_stats stats;
+    if not (Serve.Campaign.passed stats) then exit 70
   | None when faults ->
     let stats = Conformance.Faults.run ~count ~seed () in
     Format.printf "%a@." Conformance.Faults.pp_stats stats;
@@ -621,7 +645,7 @@ let fuzz_cmd count seed out replay faults =
 
 let fuzz_t =
   Term.(const fuzz_cmd $ fuzz_count_arg $ fuzz_seed_arg $ fuzz_out_arg
-        $ fuzz_replay_arg $ fuzz_faults_arg)
+        $ fuzz_replay_arg $ fuzz_faults_arg $ fuzz_serve_arg $ fuzz_clients_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats: replay a saved Obs run report                                *)
@@ -636,18 +660,231 @@ let stats_file_arg =
 
 let stats_cmd file =
   with_diagnostics @@ fun () ->
-  let ic = open_in_bin file in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  match Util.Obs.of_json text with
+  let text = Formats.Parse.read_file file in
+  match Util.Obs.of_json_located text with
   | Ok report -> print_string (Util.Obs.render report)
-  | Error msg ->
-    Util.Gcr_error.raise_t (Util.Gcr_error.Parse { file; line = 0; col = 0; msg })
+  | Error (msg, offset) ->
+    (* Truncated or garbage trace files get a caret at the failing byte
+       and ride the Parse.Error path out of with_diagnostics: exit 65. *)
+    Formats.Parse.fail_at_offset ~source:file ~text ~offset "%s" msg
 
 let stats_t = Term.(const stats_cmd $ stats_file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve / serve-send: the routing daemon and its client              *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Listen on (or connect to) this Unix-domain socket path." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc =
+    "Listen on (or connect to) HOST:PORT over TCP (bare PORT means \
+     loopback; port 0 lets the kernel choose)."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let parse_address socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> Serve.Server.Unix_socket path
+  | None, Some spec -> (
+    let split =
+      match String.rindex_opt spec ':' with
+      | Some i ->
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
+      | None -> ("", spec)
+    in
+    match split with
+    | host, port -> (
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 -> Serve.Server.Tcp (host, p)
+      | _ -> usage_error "--tcp expects HOST:PORT or PORT"))
+  | Some _, Some _ -> usage_error "--socket and --tcp are mutually exclusive"
+  | None, None -> usage_error "one of --socket or --tcp is required"
+
+let budget_ms_arg =
+  let doc =
+    "Per-request wall budget in milliseconds: past it the degradation \
+     ladder stops trying richer stages and the winning rung is tagged in \
+     the response."
+  in
+  Arg.(value & opt (some float) None & info [ "budget-ms" ] ~docv:"MS" ~doc)
+
+let serve_workers_arg =
+  let doc = "Routing worker domains." in
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+
+let serve_queue_arg =
+  let doc =
+    "Admission-queue bound: beyond it requests are rejected immediately \
+     with a resource-limit error and a retry-after hint."
+  in
+  Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"N" ~doc)
+
+let serve_read_timeout_arg =
+  let doc = "Seconds of mid-frame silence before a stalled peer is dropped." in
+  Arg.(value & opt float 10.0 & info [ "read-timeout" ] ~docv:"S" ~doc)
+
+let serve_idle_timeout_arg =
+  let doc = "Seconds of between-frame silence before an idle close (0 = never)." in
+  Arg.(value & opt float 300.0 & info [ "idle-timeout" ] ~docv:"S" ~doc)
+
+let serve_cmd socket tcp workers queue_cap budget_ms paranoid read_timeout
+    idle_timeout =
+  with_diagnostics @@ fun () ->
+  if workers < 1 then usage_error "--workers expects a positive integer";
+  if queue_cap < 1 then usage_error "--queue-cap expects a positive integer";
+  let address = parse_address socket tcp in
+  let cfg =
+    {
+      (Serve.Server.default_config address) with
+      Serve.Server.workers;
+      queue_cap;
+      default_budget_ms = budget_ms;
+      paranoid;
+      read_timeout_s = read_timeout;
+      idle_timeout_s = idle_timeout;
+    }
+  in
+  let stop = Serve.Server.install_signal_stop () in
+  let stats =
+    Serve.Server.run ~stop
+      ~on_ready:(fun addr ->
+        Format.printf "gcr serve: listening on %s@."
+          (match addr with
+          | Unix.ADDR_UNIX path -> path
+          | Unix.ADDR_INET (a, p) ->
+            Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p))
+      cfg
+  in
+  Format.printf "gcr serve: drained@.%a@." Serve.Server.pp_stats stats;
+  if not stats.Serve.Server.drained_clean then exit 1
+
+let serve_t =
+  Term.(
+    const serve_cmd $ socket_arg $ tcp_arg $ serve_workers_arg
+    $ serve_queue_arg $ budget_ms_arg $ paranoid_arg $ serve_read_timeout_arg
+    $ serve_idle_timeout_arg)
+
+let send_files_arg =
+  let doc = "Scenario files to submit (pipelined on one connection)." in
+  Arg.(value & pos_all file [] & info [] ~docv:"SCENARIO" ~doc)
+
+let send_generate_arg =
+  let doc =
+    "Additionally submit $(docv) generated scenarios (the conformance \
+     fuzzer's generator, seeded by $(b,--seed)) — lets CI smoke a daemon \
+     without scenario files on disk."
+  in
+  Arg.(value & opt int 0 & info [ "generate" ] ~docv:"N" ~doc)
+
+let send_poison_arg =
+  let doc =
+    "Additionally submit $(docv) deliberately unparseable scenarios; each \
+     must come back as a typed reject, never a dropped connection."
+  in
+  Arg.(value & opt int 0 & info [ "poison" ] ~docv:"N" ~doc)
+
+let send_seed_arg =
+  let doc = "Seed for $(b,--generate)." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let send_timeout_arg =
+  let doc = "Seconds to wait for each response." in
+  Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"S" ~doc)
+
+let expect_ok_arg =
+  let doc = "Fail unless exactly $(docv) requests are answered." in
+  Arg.(value & opt (some int) None & info [ "expect-ok" ] ~docv:"N" ~doc)
+
+let expect_reject_arg =
+  let doc = "Fail unless exactly $(docv) requests are rejected." in
+  Arg.(value & opt (some int) None & info [ "expect-reject" ] ~docv:"N" ~doc)
+
+let serve_send_cmd socket tcp files generate poison seed budget_ms paranoid
+    timeout expect_ok expect_reject =
+  with_diagnostics @@ fun () ->
+  let address = parse_address socket tcp in
+  let prng = Util.Prng.create seed in
+  let requests =
+    List.map (fun f -> (f, Formats.Parse.read_file f)) files
+    @ List.init generate (fun i ->
+          ( Printf.sprintf "generated#%d" i,
+            Conformance.Scenario.render
+              (Conformance.Scenario.generate prng
+                 ~tag:(Printf.sprintf "serve-send seed %d #%d" seed i)) ))
+    @ List.init poison (fun i ->
+          ( Printf.sprintf "poison#%d" i,
+            Printf.sprintf "die-side 1.0\npoison %d [not a scenario\n" i ))
+  in
+  if requests = [] then
+    usage_error "serve-send needs scenario files, --generate, or --poison";
+  let files = Array.of_list (List.map fst requests) in
+  let n = Array.length files in
+  let c = Serve.Client.connect address in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+  List.iteri
+    (fun id (_, scenario) ->
+      Serve.Client.send c { Serve.Proto.id; scenario; budget_ms; paranoid })
+    requests;
+  Serve.Client.close_half c;
+  let ok = ref 0 and rejected = ref 0 and received = ref 0 in
+  let transport_error = ref None in
+  (* Responses arrive in completion order; the echoed id names the file. *)
+  let rec drain () =
+    if !received < n && !transport_error = None then begin
+      (match Serve.Client.recv ~timeout_s:timeout c with
+      | Ok (Some (Serve.Proto.Answer a)) ->
+        incr ok;
+        incr received;
+        Format.printf "%s: ok rung=%s%s digest=%s w_total=%.1f %.1fms@."
+          files.(a.Serve.Proto.id) a.Serve.Proto.rung
+          (match a.Serve.Proto.degraded with
+          | [] -> ""
+          | d -> " degraded=" ^ String.concat "," d)
+          a.Serve.Proto.digest a.Serve.Proto.w_total a.Serve.Proto.elapsed_ms
+      | Ok (Some (Serve.Proto.Reject r)) ->
+        incr rejected;
+        incr received;
+        Format.printf "%s: reject class=%s exit=%d: %s@."
+          (match r.Serve.Proto.id with
+          | Some id when id >= 0 && id < n -> files.(id)
+          | _ -> "<unattributed>")
+          r.Serve.Proto.error_class r.Serve.Proto.exit_code
+          r.Serve.Proto.message
+      | Ok None ->
+        transport_error :=
+          Some
+            (Printf.sprintf "server closed after %d of %d responses"
+               !received n)
+      | Error e -> transport_error := Some e);
+      drain ()
+    end
+  in
+  drain ();
+  Format.printf "%d submitted: %d answered, %d rejected@." n !ok !rejected;
+  (match !transport_error with
+  | Some e ->
+    Format.eprintf "gcr serve-send: %s@." e;
+    exit 1
+  | None -> ());
+  let check what expected got =
+    match expected with
+    | Some want when want <> got ->
+      Format.eprintf "gcr serve-send: expected %d %s, got %d@." want what got;
+      exit 1
+    | _ -> ()
+  in
+  check "answered" expect_ok !ok;
+  check "rejected" expect_reject !rejected
+
+let serve_send_t =
+  Term.(
+    const serve_send_cmd $ socket_arg $ tcp_arg $ send_files_arg
+    $ send_generate_arg $ send_poison_arg $ send_seed_arg $ budget_ms_arg
+    $ paranoid_arg $ send_timeout_arg $ expect_ok_arg $ expect_reject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench: the full benchmark harness as a subcommand                   *)
@@ -708,6 +945,12 @@ let main =
       cmd "fuzz" "Randomized whole-pipeline conformance fuzzing." fuzz_t;
       cmd "stats" "Render a saved --trace=json run report." stats_t;
       cmd "svg" "Render a routed tree to SVG." svg_t;
+      cmd "serve"
+        "Serve routing requests: a fault-tolerant concurrent daemon with \
+         admission control, per-request budgets, and overload degradation."
+        serve_t;
+      cmd "serve-send" "Submit scenario files to a running gcr serve daemon."
+        serve_send_t;
     ]
 
 let () =

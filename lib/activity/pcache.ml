@@ -21,7 +21,19 @@
    effectively distinct per query, so the table watches its own hit rate:
    after every [bypass_window] misses, if hits are below 1/16 of misses,
    it stops probing for good and answers every further query directly
-   from the scratch buffer. *)
+   from the scratch buffer.
+
+   Concurrency contract (enforced, see [check_owner]): queries are
+   single-writer. The scratch buffer, the buckets and the bypass decision
+   belong to exactly one domain at a time — the first domain to query
+   after creation or [reset]. A query from any other domain raises a
+   typed [Gcr_error.Internal] instead of silently corrupting the scratch
+   state (the bug class the serve daemon's shared registry must keep
+   extinct). The statistics, by contrast, are atomics: [stats],
+   [reset_stats] and [flush_obs] may be called from any domain while the
+   owner is mid-query, and [flush_obs] publishes every delta exactly once
+   (CAS on the flushed watermark), so a monitoring domain can flush a
+   worker's cache without tearing or double-counting. *)
 
 type entry = { key : Module_set.t; h : int; p : float }
 
@@ -30,10 +42,11 @@ type t = {
   buf : Module_set.scratch;
   mutable buckets : entry list array; (* length is a power of two *)
   mutable size : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable flushed_hits : int;
-  mutable flushed_misses : int;
+  mutable owner : int; (* domain id pinned by the first query; -1 = none *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  flushed_hits : int Atomic.t;
+  flushed_misses : int Atomic.t;
   mutable bypass : bool;
 }
 
@@ -58,30 +71,58 @@ let create ?(capacity = 0) profile =
     buf = Module_set.scratch (Profile.n_modules profile);
     buckets = Array.make (initial_buckets capacity) [];
     size = 0;
-    hits = 0;
-    misses = 0;
-    flushed_hits = 0;
-    flushed_misses = 0;
+    owner = -1;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    flushed_hits = Atomic.make 0;
+    flushed_misses = Atomic.make 0;
     bypass = false;
   }
 
 let profile t = t.profile
 
+(* Single-writer enforcement: the first querying domain pins the cache;
+   [reset] unpins it (the sharded router resets a per-region cache before
+   handing it to the next worker). One int compare on the query path. *)
+let check_owner t =
+  let me = (Domain.self () :> int) in
+  if t.owner <> me then begin
+    if t.owner = -1 then t.owner <- me
+    else
+      Util.Gcr_error.internal ~stage:"Pcache"
+        "single-writer contract violated: cache owned by domain %d queried \
+         from domain %d (create one cache per querying domain, or reset \
+         before handing it over)"
+        t.owner me
+  end
+
 (* The global Obs pair aggregates across every cache in the process.
-   Per-query increments from worker domains would contend on the atomics
-   (and a cache shared by accident would double-count racily), so each
-   instance accumulates plain ints and publishes the delta once, from
-   whichever domain owns it, via [flush_obs]. *)
+   Per-query increments from worker domains would contend on the shared
+   atomics (and serialize unrelated caches on one cache line), so each
+   instance accumulates its own counters and publishes the delta via
+   [flush_obs], from any domain, exactly once per delta. *)
 let hits_counter = Util.Obs.counter "pcache.hits"
 
 let misses_counter = Util.Obs.counter "pcache.misses"
 
+(* Publish [total - flushed] and advance the watermark atomically: the
+   CAS loses exactly when another flusher published the same delta first,
+   and increments that land between the read and the CAS are picked up by
+   the next flush. *)
+let flush_one ~total ~flushed counter =
+  let rec go () =
+    let t = Atomic.get total in
+    let f = Atomic.get flushed in
+    let d = t - f in
+    if d > 0 then
+      if Atomic.compare_and_set flushed f t then Util.Obs.add counter d
+      else go ()
+  in
+  go ()
+
 let flush_obs t =
-  let dh = t.hits - t.flushed_hits and dm = t.misses - t.flushed_misses in
-  if dh > 0 then Util.Obs.add hits_counter dh;
-  if dm > 0 then Util.Obs.add misses_counter dm;
-  t.flushed_hits <- t.hits;
-  t.flushed_misses <- t.misses
+  flush_one ~total:t.hits ~flushed:t.flushed_hits hits_counter;
+  flush_one ~total:t.misses ~flushed:t.flushed_misses misses_counter
 
 let resize t =
   let old = t.buckets in
@@ -97,7 +138,7 @@ let resize t =
 (* Look up the probability of the set currently held by [t.buf]. *)
 let lookup t =
   if t.bypass then begin
-    t.misses <- t.misses + 1;
+    Atomic.incr t.misses;
     Profile.p_scratch t.profile t.buf
   end
   else begin
@@ -105,8 +146,8 @@ let lookup t =
   let i = h land (Array.length t.buckets - 1) in
   let rec find len = function
     | [] ->
-      t.misses <- t.misses + 1;
-      if t.misses land (bypass_window - 1) = 0 && t.hits * 16 < t.misses then
+      let m = 1 + Atomic.fetch_and_add t.misses 1 in
+      if m land (bypass_window - 1) = 0 && Atomic.get t.hits * 16 < m then
         t.bypass <- true;
       let p = Profile.p_scratch t.profile t.buf in
       if len < chain_cap then begin
@@ -119,7 +160,7 @@ let lookup t =
       p
     | e :: tl ->
       if e.h = h && Module_set.scratch_equal t.buf e.key then begin
-        t.hits <- t.hits + 1;
+        Atomic.incr t.hits;
         e.p
       end
       else find (len + 1) tl
@@ -128,6 +169,7 @@ let lookup t =
   end
 
 let p_union t a b =
+  check_owner t;
   Module_set.union_into t.buf a b;
   lookup t
 
@@ -143,27 +185,31 @@ let p_union_batch t a ?n bs out =
     invalid_arg "Pcache.p_union_batch: n exceeds input array";
   if cnt > Array.length out then
     invalid_arg "Pcache.p_union_batch: output array too short";
+  check_owner t;
   for i = 0 to cnt - 1 do
     Module_set.union_into t.buf a bs.(i);
     out.(i) <- lookup t
   done
 
 let p t s =
+  check_owner t;
   Module_set.blit_into t.buf s;
   lookup t
 
-let stats t = (t.hits, t.misses)
+let stats t = (Atomic.get t.hits, Atomic.get t.misses)
 
 (* Does NOT clear the memo table or un-bypass: only the rate restarts, so
-   a long-lived cache can report meaningful per-run numbers. *)
+   a long-lived cache can report meaningful per-run numbers. Increments
+   racing a cross-domain reset are discarded with the rest. *)
 let reset_stats t =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.flushed_hits <- 0;
-  t.flushed_misses <- 0
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0;
+  Atomic.set t.flushed_hits 0;
+  Atomic.set t.flushed_misses 0
 
 let reset t =
   Array.fill t.buckets 0 (Array.length t.buckets) [];
   t.size <- 0;
   t.bypass <- false;
+  t.owner <- -1;
   reset_stats t

@@ -12,7 +12,20 @@
     that stop admitting entries when full), so on adversarial workloads
     where every queried set is distinct the cache degrades to an
     allocation-free direct computation with a small constant probe
-    overhead, instead of retaining an unbounded set of frozen keys. *)
+    overhead, instead of retaining an unbounded set of frozen keys.
+
+    {b Concurrency contract.} Queries ({!p}, {!p_union},
+    {!p_union_batch}) are single-writer: the scratch buffer, the memo
+    table and the bypass decision belong to exactly one domain at a time
+    — the first domain to query after {!create} or {!reset}. The
+    contract is enforced: a query from any other domain raises a typed
+    {!Util.Gcr_error.Internal} instead of silently corrupting scratch
+    state. {!reset} unpins the owner so a cache can be handed between
+    workers phase-by-phase (the sharded router's per-region pattern).
+    The accounting side is lock-free and cross-domain safe: {!stats},
+    {!reset_stats} and {!flush_obs} may run from any domain while the
+    owner is mid-query, and concurrent {!flush_obs} calls publish each
+    delta exactly once. *)
 
 type t
 
@@ -42,7 +55,10 @@ val p_union_batch : t -> Module_set.t -> ?n:int -> Module_set.t array -> float a
     [Invalid_argument] when [n] exceeds either array. *)
 
 val stats : t -> int * int
-(** [(hits, misses)] since creation or the last {!reset_stats}. *)
+(** [(hits, misses)] since creation or the last {!reset_stats}. Safe
+    from any domain; reads are atomic per counter (the pair is not a
+    consistent snapshot while the owner is querying, but each component
+    is never torn). *)
 
 val reset_stats : t -> unit
 (** Zero the hit/miss counters so long-lived caches (fuzz loops, benches)
@@ -52,14 +68,17 @@ val reset_stats : t -> unit
 
 val reset : t -> unit
 (** Empty the cache for reuse: drop every memoized entry (the bucket
-    array keeps its size), clear the bypass decision and zero the stats.
-    A per-region cache can be reset between regions instead of
-    reallocated. *)
+    array keeps its size), clear the bypass decision, zero the stats and
+    unpin the owning domain. A per-region cache can be reset between
+    regions instead of reallocated, including when the next region runs
+    on a different worker domain. Must only be called while no query is
+    in flight (it rewrites the memo table); concurrent {!flush_obs} /
+    {!stats} calls are safe. *)
 
 val flush_obs : t -> unit
 (** Publish the hit/miss counts accumulated since the last flush to the
     process-wide [pcache.hits]/[pcache.misses] {!Util.Obs} counters.
-    Instances owned by worker domains count locally (no atomics on the
-    query path) and their owners flush once at the end, so the global
-    counters are an exact sum across domains instead of a racy
-    interleaving. *)
+    Safe from any domain and idempotent per delta: each increment is
+    published exactly once even under concurrent flushes (the flushed
+    watermark advances by compare-and-set), so a monitoring domain can
+    flush a worker's cache mid-run without loss or double-counting. *)

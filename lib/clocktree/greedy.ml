@@ -37,17 +37,18 @@ type view = {
    [chunk] at a time through [view.cost_many], so a batched cost (one C
    kernel call per chunk — see Activity.Signature) amortizes its call
    overhead without the source holding O(n) scratch. The buffer is
-   domain-local because the initial seedings run across domains under
-   [par_seed]; within a domain a [best] query uses it only between calls
-   out to [cost_many], so sources may not call back into another source's
-   [best] from inside a cost function (nothing does). *)
+   allocated per [best] query, NOT kept in shared or domain-local
+   scratch: the initial seedings run across domains under [par_seed],
+   and whole routes run concurrently on sibling systhreads of one
+   domain (the serve daemon's in-process ground-truth checks), so any
+   buffer that outlives a single query is clobbered mid-use when a
+   thread switch lands inside [cost_many]. Two chunk-sized minor
+   allocations per query are noise next to the batched kernel call. *)
 let chunk = 64
 
 type scratch = { ids : int array; costs : float array }
 
-let scratch_key =
-  Domain.DLS.new_key (fun () ->
-      { ids = Array.make chunk 0; costs = Array.make chunk 0.0 })
+let fresh_scratch () = { ids = Array.make chunk 0; costs = Array.make chunk 0.0 }
 
 type candidates = {
   best : int -> (int * float) option;
@@ -63,7 +64,7 @@ type source = view -> candidates
    root's entry is revalidated its smaller-id partners are all rescanned. *)
 let scan view =
   let best v =
-    let s = Domain.DLS.get scratch_key in
+    let s = fresh_scratch () in
     let best_id = ref (-1) and best_cost = ref infinity in
     let fill = ref 0 in
     let flush () =
@@ -140,7 +141,7 @@ let bound_scan ~lower view =
      after the walk's winner in order, so under the same strict-< update
      the returned (partner, cost) is identical, ties included. *)
   let best v =
-    let s = Domain.DLS.get scratch_key in
+    let s = fresh_scratch () in
     let best_id = ref (-1) and best_cost = ref infinity in
     let i = ref 0 in
     let stop = ref false in

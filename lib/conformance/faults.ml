@@ -364,6 +364,91 @@ let run ?(count = 200) ?(seed = 0) () =
     elapsed_s = Util.Obs.Clock.now () -. t0;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Server fault plans                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Server = struct
+  type plan =
+    | Well_formed of Scenario.t
+    | Poison_scenario of { text : string }
+    | Zero_budget of Scenario.t
+    | Oversized_frame of { claimed : int }
+    | Junk_prefix of { junk : string; scenario : Scenario.t }
+    | Truncated_frame of { scenario : Scenario.t; keep_fraction : float }
+    | Stalled_write of { scenario : Scenario.t; split_fraction : float }
+
+  let family = function
+    | Well_formed _ -> "serve:well-formed"
+    | Poison_scenario _ -> "serve:poison-scenario"
+    | Zero_budget _ -> "serve:zero-budget"
+    | Oversized_frame _ -> "serve:oversized-frame"
+    | Junk_prefix _ -> "serve:junk-prefix"
+    | Truncated_frame _ -> "serve:truncated-frame"
+    | Stalled_write _ -> "serve:stalled-write"
+
+  let family_names =
+    [
+      "serve:well-formed";
+      "serve:poison-scenario";
+      "serve:zero-budget";
+      "serve:oversized-frame";
+      "serve:junk-prefix";
+      "serve:truncated-frame";
+      "serve:stalled-write";
+    ]
+
+  let n_families = List.length family_names
+
+  (* Junk that can never be mistaken for (a prefix of) a frame header:
+     the alphabet omits 'G', so the decoder's resynchronization scan
+     always skips the whole run and lands on the real frame behind it. *)
+  let junk_bytes prng =
+    let n = 1 + Util.Prng.int prng 64 in
+    String.init n (fun _ ->
+        let alphabet = "abcdefhijklmnopqrstuvwxyz0123456789{}[]\",:. \n" in
+        alphabet.[Util.Prng.int prng (String.length alphabet)])
+
+  let poison_text prng sc =
+    let text = Scenario.render sc in
+    match Util.Prng.int prng 3 with
+    | 0 ->
+      (* one field replaced by garbage: the classic located parse error *)
+      replace_field prng text (Util.Prng.choose prng [| "NaN%"; "?"; "1e999x"; "--" |])
+    | 1 ->
+      (* truncated mid-file: a section that never ends *)
+      String.sub text 0 (String.length text / (2 + Util.Prng.int prng 3))
+    | _ ->
+      (* not a scenario at all *)
+      junk_bytes prng
+
+  let generate prng ~case =
+    let sc tag_suffix =
+      Scenario.generate (Util.Prng.split prng)
+        ~tag:(Printf.sprintf "serve fault case %d%s" case tag_suffix)
+    in
+    match case mod n_families with
+    | 0 -> Well_formed (sc "")
+    | 1 -> Poison_scenario { text = poison_text prng (sc " poison") }
+    | 2 -> Zero_budget (sc " zero-budget")
+    | 3 ->
+      Oversized_frame
+        { claimed = (1 lsl 26) + Util.Prng.int prng (1 lsl 20) }
+    | 4 -> Junk_prefix { junk = junk_bytes prng; scenario = sc " junk" }
+    | 5 ->
+      Truncated_frame
+        {
+          scenario = sc " truncated";
+          keep_fraction = 0.1 +. Util.Prng.float prng 0.8;
+        }
+    | _ ->
+      Stalled_write
+        {
+          scenario = sc " stalled";
+          split_fraction = 0.1 +. Util.Prng.float prng 0.8;
+        }
+end
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>%d faults in %.2f s: %d diagnosed, %d absorbed, %d silent@,"

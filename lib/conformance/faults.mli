@@ -43,3 +43,38 @@ val run : ?count:int -> ?seed:int -> unit -> stats
     failures are reported as silent verdicts. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** Fault {e plans} for the routing service: pure data — scenarios, byte
+    strings and behavioral parameters — with no dependency on sockets or
+    the wire protocol, so this library stays protocol-agnostic. The
+    serve layer's campaign interprets each plan against a live daemon
+    (encoding frames, stalling writes, cutting connections) and judges
+    the outcome under the same three-way verdict contract as the
+    pipeline faults above: every injected fault must be absorbed or
+    diagnosed with a typed error; silence is the bug. *)
+module Server : sig
+  type plan =
+    | Well_formed of Scenario.t
+        (** control case: must be answered, bit-identical to one-shot *)
+    | Poison_scenario of { text : string }
+        (** request whose scenario payload does not parse *)
+    | Zero_budget of Scenario.t
+        (** [budget_ms = 0]: must be a deterministic [Resource_limit] *)
+    | Oversized_frame of { claimed : int }
+        (** header claims a payload beyond the server's limit *)
+    | Junk_prefix of { junk : string; scenario : Scenario.t }
+        (** garbage bytes (never resembling a frame header) before a
+            valid request: the decoder must resync and answer *)
+    | Truncated_frame of { scenario : Scenario.t; keep_fraction : float }
+        (** client disconnects mid-frame *)
+    | Stalled_write of { scenario : Scenario.t; split_fraction : float }
+        (** slowloris: the frame's tail arrives only after the server's
+            read timeout *)
+
+  val family : plan -> string
+
+  val family_names : string list
+
+  val generate : Util.Prng.t -> case:int -> plan
+  (** Deterministic round-robin over the families by [case] index. *)
+end

@@ -56,6 +56,38 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Byte offset -> (line, col, line text) for parsers that report positions
+   as flat offsets (the JSON reader): counts newlines up to [offset] and
+   extracts the surrounding line. An offset at or past the end of [text]
+   points just after the last byte, so a truncated document's caret lands
+   where the missing bytes should be. *)
+let fail_at_offset ~source ~text ~offset fmt =
+  let n = String.length text in
+  let offset = Int.max 0 (Int.min offset n) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to offset - 1 do
+    if text.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  let eol =
+    match String.index_from_opt text !bol '\n' with Some e -> e | None -> n
+  in
+  let line_text = String.sub text !bol (eol - !bol) in
+  (* Long single-line documents (the usual shape of a machine-written
+     JSON report) get a window around the offset, not the whole line. *)
+  let col = offset - !bol + 1 in
+  let line_text, col =
+    if String.length line_text <= 120 then (line_text, col)
+    else begin
+      let start = Int.max 0 (col - 1 - 60) in
+      let stop = Int.min (String.length line_text) (start + 120) in
+      (String.sub line_text start (stop - start), col - start)
+    end
+  in
+  fail ~col ~text:line_text ~source ~line:!line fmt
+
 (* "source:line:col: msg" with a caret excerpt when the offending line and
    column are known:
 

@@ -57,6 +57,19 @@ val int_field :
 val read_file : string -> string
 (** Read a whole file. Raises [Sys_error] as usual. *)
 
+val fail_at_offset :
+  source:string ->
+  text:string ->
+  offset:int ->
+  ('a, unit, string, 'b) format4 ->
+  'a
+(** Raise {!Error} for a failure reported as a flat byte [offset] into
+    [text] (the JSON reader's location model): the offset is converted to
+    a 1-based line and column, and the offending line (windowed around
+    the column when very long) rides along for the caret excerpt. Offsets
+    past the end of [text] point just after the last byte, so truncated
+    input is diagnosed at the point of truncation. *)
+
 val error_to_string : exn -> string option
 (** Pretty-print an {!Error} — ["source:line:col: msg"] followed by the
     offending line with a caret under the column when both are known;

@@ -9,25 +9,17 @@ let check_sink_modules profile sinks =
              "Activity_router: sink module %d outside the %d-module profile" m n_mods))
     sinks
 
-(* Per-domain gather buffers for batched candidate costing: [cost_many]
-   collects the partner signatures (or module sets) contiguously before
-   one batched probability call. Domain-local because the engine's
-   initial best-partner seedings run across domains under par_seed; the
-   buffers only live for the duration of one cost_many call. *)
-let sig_gather : Activity.Signature.t array ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref [||])
-
-let mods_gather : Activity.Module_set.t array ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref [||])
-
-let gather buf_key cnt seed get =
-  let buf = Domain.DLS.get buf_key in
-  if Array.length !buf < cnt then buf := Array.make cnt seed;
-  let b = !buf in
-  for i = 0 to cnt - 1 do
-    b.(i) <- get i
-  done;
-  b
+(* Gather buffer for batched candidate costing: [cost_many] collects
+   the partner signatures (or module sets) contiguously before one
+   batched probability call. Allocated per call — reusing a buffer in
+   domain-local storage looks safe (the engine's initial seedings run
+   across domains under par_seed) but is not: whole routes also run
+   concurrently on sibling systhreads of one domain (the serve
+   daemon's in-process ground-truth checks), and a thread switch
+   inside the batched kernel call lets another route clobber the
+   shared buffer mid-read. One chunk-sized allocation per call is
+   noise next to the kernel sweep it feeds. *)
+let gather cnt get = Array.init cnt get
 
 (* Sampled profiles route on instruction-hit signatures (Activity.Signature):
    each root carries the bitset of instructions that touch its subtree, a
@@ -68,7 +60,7 @@ let signature_topology ~dense (config : Config.t) profile kern sinks =
      per lane to the scalar divide) and the same `p +. tie *. dist`
      float expression, so the engine can mix both paths freely. *)
   let cost_many v us cnt out =
-    let b = gather sig_gather cnt sigs.(v) (fun i -> sigs.(us.(i))) in
+    let b = gather cnt (fun i -> sigs.(us.(i))) in
     Activity.Signature.p_union_batch kern sigs.(v) ~n:cnt b out;
     for i = 0 to cnt - 1 do
       out.(i) <- out.(i) +. (tie *. Clocktree.Grow.dist grow v us.(i))
@@ -112,7 +104,7 @@ let pcache_topology ~dense (config : Config.t) profile sinks =
      saves the per-candidate closure dispatch and keeps the memo scratch
      hot across a chunk. Element-wise identical to [cost]. *)
   let cost_many v us cnt out =
-    let b = gather mods_gather cnt (mods_of v) (fun i -> mods_of us.(i)) in
+    let b = gather cnt (fun i -> mods_of us.(i)) in
     Activity.Pcache.p_union_batch cache (mods_of v) ~n:cnt b out;
     for i = 0 to cnt - 1 do
       out.(i) <- out.(i) +. (tie *. Clocktree.Grow.dist grow v us.(i))

@@ -177,11 +177,24 @@ let retry_skew_budget config sinks =
   *. tech.Clocktree.Tech.unit_cap
   *. span *. span
 
-let run_checked ?(mode = Default) ?(limits = no_limits)
+type checked = {
+  tree : Gated_tree.t;
+  rung : string;
+  degraded : event list;
+}
+
+let run_checked_info ?(mode = Default) ?(limits = no_limits)
     ?(on_event = fun (_ : event) -> ()) ?(options = default) config profile
     sinks =
+  (* Every degradation event is both forwarded to the caller's callback
+     and kept, in emission order, for the [checked] record — a server
+     answering on behalf of a one-shot run needs to tag the response with
+     how far down the ladder it went without wiring a callback through
+     its scheduler. *)
+  let events = ref [] in
   let on_event e =
     Util.Obs.incr degraded_counter;
+    events := e :: !events;
     on_event e
   in
   match
@@ -304,6 +317,14 @@ let run_checked ?(mode = Default) ?(limits = no_limits)
                  sinks );
          ]
        in
+       (* The wall budget is re-checked between every pair of rungs (and
+          again before each optional stage below): a rung that burns the
+          whole budget and then fails must not let the next rung start —
+          with [wall_seconds = Some 0.] the pipeline exhausts before the
+          first rung, deterministically, because the deadline compare is
+          [>=] on the monotonic clock. A rung that {e succeeds} past the
+          deadline still wins: a complete tree is a better answer than a
+          timeout, and only the optional stages after it are skipped. *)
        let rec ladder errors = function
          | [] -> Error (List.rev errors)
          | (stage, _action, f) :: rest ->
@@ -311,7 +332,7 @@ let run_checked ?(mode = Default) ?(limits = no_limits)
            else begin
              Util.Obs.incr rungs_counter;
              match attempt stage f with
-             | Ok tree -> Ok tree
+             | Ok tree -> Ok (stage, tree)
              | Error e ->
                (match rest with
                 | (next_stage, next_action, _) :: _ ->
@@ -323,7 +344,7 @@ let run_checked ?(mode = Default) ?(limits = no_limits)
        in
        (match ladder [] rungs with
         | Error _ as err -> err
-        | Ok routed ->
+        | Ok (rung, routed) ->
           (* Reduction and sizing degrade to "skip the stage": the routed
              tree is already a correct (if costlier) answer, so a failing
              optimisation pass is dropped, not fatal. *)
@@ -357,7 +378,12 @@ let run_checked ?(mode = Default) ?(limits = no_limits)
             optional "size" "skipping gate sizing, keeping unit scales"
               (apply_sizing options) shared
           in
-          Ok sized))
+          Ok { tree = sized; rung; degraded = List.rev !events }))
+
+let run_checked ?mode ?limits ?on_event ?options config profile sinks =
+  Result.map
+    (fun c -> c.tree)
+    (run_checked_info ?mode ?limits ?on_event ?options config profile sinks)
 
 let label options =
   let r =

@@ -127,9 +127,40 @@ val run_checked :
     the partial (routed but unoptimised) result with an event, or
     [Resource_limit] when no tree exists yet.
 
+    The wall budget is re-checked between every pair of ladder rungs and
+    again before each optional stage, so [wall_seconds = Some 0.]
+    deterministically yields [Error [Resource_limit _]] without running
+    any engine. A rung that succeeds past the deadline still returns its
+    tree (a complete answer beats a timeout); only the optional stages
+    after it are skipped.
+
     When {!Util.Obs} tracing is enabled the run records one span per
     stage attempted ([validate], then the ladder rungs, then [reduce]/
     [share]/[size]) plus the [flow.rungs] and [flow.degraded] counters. *)
+
+type checked = {
+  tree : Gated_tree.t;
+  rung : string;
+      (** the ladder rung that produced the routed tree, e.g. ["route"]
+          or ["route:dense:tables"] *)
+  degraded : event list;  (** degradation events, in emission order *)
+}
+(** {!run_checked}'s result with its provenance attached. *)
+
+val run_checked_info :
+  ?mode:mode ->
+  ?limits:limits ->
+  ?on_event:(event -> unit) ->
+  ?options:options ->
+  Config.t ->
+  Activity.Profile.t ->
+  Clocktree.Sink.t array ->
+  (checked, Util.Gcr_error.t list) result
+(** Exactly {!run_checked}, additionally reporting which ladder rung won
+    and every degradation event taken along the way — the shape a serving
+    layer needs to tag each response with its degradation provenance
+    without threading a callback through a scheduler. [on_event] still
+    fires as events happen (streaming), while [degraded] collects them. *)
 
 val standard_comparison :
   ?options:options ->

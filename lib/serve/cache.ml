@@ -1,0 +1,150 @@
+type entry = {
+  profile : Activity.Profile.t;
+  lanes : Activity.Pcache.t option array;  (* one per worker slot *)
+  mutable stamp : int;  (* LRU clock value of the last touch *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  table : (int64, entry) Hashtbl.t;
+  capacity : int;
+  slots : int;
+  mutable clock : int;
+}
+
+let create ?(capacity = 32) ~slots () =
+  if capacity <= 0 then invalid_arg "Cache.create: non-positive capacity";
+  if slots <= 0 then invalid_arg "Cache.create: non-positive slots";
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    capacity;
+    slots;
+    clock = 0;
+  }
+
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let fnv h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let workload_key (scn : Conformance.Scenario.t) =
+  let rtl = Formats.Rtl_format.render scn.Conformance.Scenario.rtl in
+  let stream =
+    Formats.Stream_format.render (Conformance.Scenario.instr_stream scn)
+  in
+  fnv (fnv (fnv fnv_offset rtl) "\x00") stream
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let touch t entry =
+  t.clock <- t.clock + 1;
+  entry.stamp <- t.clock
+
+let evict_lru_locked t =
+  if Hashtbl.length t.table > t.capacity then begin
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match !victim with
+        | Some (_, s) when s <= e.stamp -> ()
+        | _ -> victim := Some (k, e.stamp))
+      t.table;
+    match !victim with
+    | Some (k, _) -> Hashtbl.remove t.table k
+    | None -> ()
+  end
+
+let profile t scn =
+  let key = workload_key scn in
+  let resident =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some e ->
+          touch t e;
+          Some e.profile
+        | None -> None)
+  in
+  match resident with
+  | Some p -> (key, p, true)
+  | None ->
+    (* Build outside the lock: table construction over a long stream is
+       the expensive part and must not serialize unrelated workloads.
+       The kernel is forced before publication — [Profile.kernel] is a
+       lazily-filled mutable field, and publishing it unforced would
+       race every domain that touches the profile. *)
+    let fresh = Conformance.Scenario.profile scn in
+    ignore (Activity.Profile.signature_kernel fresh);
+    let adopted =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some e ->
+            (* A concurrent first sight won the insert; adopt its value
+               so every request for the workload shares one profile. *)
+            touch t e;
+            e.profile
+          | None ->
+            let e =
+              { profile = fresh; lanes = Array.make t.slots None; stamp = 0 }
+            in
+            touch t e;
+            Hashtbl.replace t.table key e;
+            evict_lru_locked t;
+            e.profile)
+    in
+    (key, adopted, false)
+
+let pcache t ~key ~slot =
+  if slot < 0 || slot >= t.slots then
+    invalid_arg (Printf.sprintf "Cache.pcache: slot %d out of range" slot);
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Cache.pcache: workload %016Lx not resident" key)
+      | Some e -> (
+        touch t e;
+        match e.lanes.(slot) with
+        | Some pc -> pc
+        | None ->
+          let pc = Activity.Pcache.create e.profile in
+          e.lanes.(slot) <- Some pc;
+          pc))
+
+let audit pc (tree : Gcr.Gated_tree.t) =
+  let h0, m0 = Activity.Pcache.stats pc in
+  let n = Clocktree.Topo.n_nodes tree.Gcr.Gated_tree.topo in
+  for v = 0 to n - 1 do
+    let e = tree.Gcr.Gated_tree.enables.(v) in
+    let p = Activity.Pcache.p pc e.Gcr.Enable.mods in
+    if p <> e.Gcr.Enable.p then
+      Util.Gcr_error.mismatch ~stage:"serve:audit"
+        "node %d: shared-cache enable probability %.17g disagrees with the \
+         routed tree's %.17g"
+        v p e.Gcr.Enable.p
+  done;
+  let h1, m1 = Activity.Pcache.stats pc in
+  (h1 - h0, m1 - m0)
+
+let resident t = locked t (fun () -> Hashtbl.length t.table)
+
+let flush_obs t =
+  let lanes =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun _ e acc ->
+            Array.fold_left
+              (fun acc -> function Some pc -> pc :: acc | None -> acc)
+              acc e.lanes)
+          t.table [])
+  in
+  List.iter Activity.Pcache.flush_obs lanes

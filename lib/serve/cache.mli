@@ -1,0 +1,68 @@
+(** Cross-request workload registry: the daemon's process-wide cache.
+
+    Traffic against a routing service is dominated by {e repeated
+    workloads under perturbed placements} — the same RTL and instruction
+    stream, different sink layouts — so the expensive per-request work
+    that depends only on (rtl, stream) is shared across requests keyed by
+    a 64-bit workload hash of exactly those two sections:
+
+    - the {!Activity.Profile} (IFT/IMATT tables {e and} the signature
+      kernel, forced eagerly at insertion so the published value is
+      deeply immutable — the kernel field is a lazily-filled mutable slot
+      that must never be raced), shared read-only by every domain;
+    - one {!Activity.Pcache} {e per (workload, worker slot)}, created
+      lazily by the worker that owns the slot — single-writer by
+      construction, so the Pcache contract holds without any locking on
+      the query path.
+
+    The registry itself is a small mutex-guarded table with LRU eviction
+    (an evicted entry is merely unlinked; in-flight requests holding its
+    profile or a pcache keep them alive and consistent).
+
+    {!audit} is the shared cache's consumer and its safety net in one:
+    after routing, the worker re-derives every node's enable probability
+    through its shared pcache and demands exact equality with the tree —
+    a warm workload answers mostly from cache hits (the reported
+    warm-hit-rate), and any disagreement (a torn profile, a corrupted
+    cache) is a typed [Engine_mismatch] reject instead of a silently
+    wrong answer. *)
+
+type t
+
+val create : ?capacity:int -> slots:int -> unit -> t
+(** [capacity] (default 32) bounds resident workloads; [slots] is the
+    worker-pool size (one pcache lane per worker). Raises
+    [Invalid_argument] when either is non-positive. *)
+
+val workload_key : Conformance.Scenario.t -> int64
+(** FNV-1a over the rendered [rtl] and [stream] sections — the exact
+    inputs the profile is a function of. *)
+
+val profile :
+  t -> Conformance.Scenario.t -> int64 * Activity.Profile.t * bool
+(** [(key, profile, warm)]: the shared profile for the scenario's
+    workload, built (kernel forced) and inserted on first sight. [warm]
+    is whether the workload was already resident when this request
+    looked it up. Concurrent first sights build independently and adopt
+    one winner; losers' work is discarded, never torn. *)
+
+val pcache : t -> key:int64 -> slot:int -> Activity.Pcache.t
+(** The calling worker's pcache lane for a resident workload, created on
+    first use. Must only be called with the worker's own [slot] (that is
+    what makes it single-writer). Raises [Invalid_argument] on an
+    unknown key (evicted mid-request: call {!profile} again) or a slot
+    out of range. *)
+
+val audit : Activity.Pcache.t -> Gcr.Gated_tree.t -> int * int
+(** Recompute every node's enable signal probability through the pcache
+    and compare exactly against the tree's own values; returns the
+    [(hits, misses)] delta this audit contributed. Raises
+    {!Util.Gcr_error.Error} with [Engine_mismatch] on any disagreement.
+    The pcache must be over the profile the tree was routed with. *)
+
+val resident : t -> int
+(** Number of workloads currently resident. *)
+
+val flush_obs : t -> unit
+(** {!Activity.Pcache.flush_obs} every lane of every resident workload
+    (safe concurrently with in-flight queries — part of drain). *)

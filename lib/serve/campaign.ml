@@ -1,0 +1,347 @@
+module F = Conformance.Faults.Server
+
+type stats = {
+  faults : int;
+  diagnosed : int;
+  absorbed : int;
+  identical : int;
+  silent : (string * int * string) list;
+  coverage : (string * int) list;
+  server : Server.stats;
+  elapsed_s : float;
+}
+
+type verdict = Diagnosed | Absorbed | Identical | Silent of string
+
+(* Short timeouts so the slowloris family costs sub-second per case; the
+   stall sleeps just past the read timeout. *)
+let read_timeout_s = 0.4
+
+let stall_s = read_timeout_s +. 0.5
+
+let campaign_config path =
+  {
+    (Server.default_config (Server.Unix_socket path)) with
+    Server.workers = 2;
+    queue_cap = 16;
+    max_frame = 1 lsl 20;
+    read_timeout_s;
+    idle_timeout_s = 30.0;
+    write_timeout_s = 5.0;
+  }
+
+let render_request ?budget_ms ~id scn =
+  {
+    Proto.id;
+    scenario = Conformance.Scenario.render scn;
+    budget_ms;
+    paranoid = false;
+  }
+
+(* Local one-shot ground truth: the plain [Flow.run] pipeline on the
+   scenario's own (unshared) profile — any divergence in the daemon's
+   shared-profile path shows up as a digest mismatch. A typed
+   input-class error ([Routable = false]) is the one-shot "reject";
+   anything else (internal faults, resource pressure in *this*
+   process while the daemon shares it) is campaign noise, so it is
+   reported with the exception text instead of masquerading as a
+   ground-truth reject. *)
+type ground_truth = Routes of string | Rejects of string | Noise of string
+
+let local_digest scn =
+  match
+    Gcr.Flow.run
+      ~options:scn.Conformance.Scenario.options
+      (Conformance.Scenario.config scn)
+      (Conformance.Scenario.profile scn)
+      scn.Conformance.Scenario.sinks
+  with
+  | tree -> Routes (Digest.to_hex (Digest.tree tree))
+  | exception Util.Gcr_error.Error ((Parse _ | Degenerate_input _) as t) ->
+    Rejects (Util.Gcr_error.to_string t)
+  | exception e -> Noise (Printexc.to_string e)
+
+let expect_answer addr ~case ?budget_ms scn ~note =
+  let c = Client.connect addr in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      Client.send c (render_request ?budget_ms ~id:case scn);
+      match Client.recv c with
+      | Ok (Some (Proto.Answer a)) -> (
+        match local_digest scn with
+        | Routes d when d = a.Proto.digest -> Identical
+        | Routes d ->
+          Silent
+            (Printf.sprintf
+               "%s: daemon digest %s (rung %s) differs from one-shot %s" note
+               a.Proto.digest a.Proto.rung d)
+        | Rejects msg ->
+          Silent (note ^ ": daemon answered a scenario one-shot rejects: " ^ msg)
+        | Noise msg -> Silent (note ^ ": one-shot ground truth failed: " ^ msg))
+      | Ok (Some (Proto.Reject r)) -> (
+        match local_digest scn with
+        | Rejects _ -> Diagnosed
+        | Routes _ ->
+          Silent
+            (Printf.sprintf "%s: rejected a routable scenario (%s: %s)" note
+               r.Proto.error_class r.Proto.message)
+        | Noise msg -> Silent (note ^ ": one-shot ground truth failed: " ^ msg))
+      | Ok None -> Silent (note ^ ": connection closed without a response")
+      | Error e -> Silent (note ^ ": transport error: " ^ e))
+
+let interpret addr ~case plan =
+  match plan with
+  | F.Well_formed scn -> expect_answer addr ~case scn ~note:"well-formed"
+  | F.Junk_prefix { junk; scenario } ->
+    let c = Client.connect addr in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        Client.send_raw c junk;
+        Client.send c (render_request ~id:case scenario);
+        match Client.recv c with
+        | Ok (Some (Proto.Answer a)) -> (
+          match local_digest scenario with
+          | Routes d when d = a.Proto.digest -> Identical
+          | Routes d ->
+            Silent
+              (Printf.sprintf
+                 "junk-prefix: daemon digest %s (rung %s) differs from \
+                  one-shot %s"
+                 a.Proto.digest a.Proto.rung d)
+          | Rejects msg ->
+            Silent
+              ("junk-prefix: answered a scenario one-shot rejects: " ^ msg)
+          | Noise msg ->
+            Silent ("junk-prefix: one-shot ground truth failed: " ^ msg))
+        | Ok (Some (Proto.Reject r)) -> (
+          match local_digest scenario with
+          | Rejects _ -> Diagnosed
+          | Routes _ ->
+            Silent
+              (Printf.sprintf
+                 "junk-prefix: valid request after junk was rejected (%s: %s)"
+                 r.Proto.error_class r.Proto.message)
+          | Noise msg ->
+            Silent ("junk-prefix: one-shot ground truth failed: " ^ msg))
+        | Ok None -> Silent "junk-prefix: no response after resync"
+        | Error e -> Silent ("junk-prefix: transport error: " ^ e))
+  | F.Poison_scenario { text } -> (
+    let parses_locally =
+      match Conformance.Scenario.parse ~source:"poison" text with
+      | (_ : Conformance.Scenario.t) -> true
+      | exception _ -> false
+    in
+    let c = Client.connect addr in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        Client.send c
+          { Proto.id = case; scenario = text; budget_ms = None; paranoid = false };
+        match Client.recv c with
+        | Ok (Some (Proto.Reject r)) ->
+          if r.Proto.exit_code = 65 && String.length r.Proto.message > 0 then
+            Diagnosed
+          else if parses_locally then Diagnosed
+          else
+            Silent
+              (Printf.sprintf
+                 "poison: wrong reject shape (class %s, exit %d)"
+                 r.Proto.error_class r.Proto.exit_code)
+        | Ok (Some (Proto.Answer _)) ->
+          if parses_locally then Absorbed
+          else Silent "poison: unparseable scenario was answered"
+        | Ok None -> Silent "poison: no response"
+        | Error e -> Silent ("poison: transport error: " ^ e)))
+  | F.Zero_budget scn -> (
+    let c = Client.connect addr in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        Client.send c (render_request ~budget_ms:0.0 ~id:case scn);
+        match Client.recv c with
+        | Ok (Some (Proto.Reject r)) ->
+          if r.Proto.error_class = "resource-limit" && r.Proto.exit_code = 75
+          then Diagnosed
+          else
+            Silent
+              (Printf.sprintf "zero-budget: class %s / exit %d instead of \
+                               resource-limit / 75"
+                 r.Proto.error_class r.Proto.exit_code)
+        | Ok (Some (Proto.Answer _)) ->
+          Silent "zero-budget: answered despite an exhausted budget"
+        | Ok None -> Silent "zero-budget: no response"
+        | Error e -> Silent ("zero-budget: transport error: " ^ e)))
+  | F.Oversized_frame { claimed } -> (
+    let c = Client.connect addr in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        let b = Buffer.create 16 in
+        Buffer.add_string b Frame.magic;
+        Buffer.add_uint8 b ((claimed lsr 24) land 0xff);
+        Buffer.add_uint8 b ((claimed lsr 16) land 0xff);
+        Buffer.add_uint8 b ((claimed lsr 8) land 0xff);
+        Buffer.add_uint8 b (claimed land 0xff);
+        Buffer.add_string b "only-a-taste";
+        Client.send_raw c (Buffer.contents b);
+        match Client.recv c with
+        | Ok (Some (Proto.Reject r)) ->
+          if r.Proto.error_class = "resource-limit" then Diagnosed
+          else Silent ("oversized: reject class " ^ r.Proto.error_class)
+        | Ok (Some (Proto.Answer _)) -> Silent "oversized: answered?"
+        | Ok None -> Silent "oversized: dropped without a diagnosis"
+        | Error e -> Silent ("oversized: transport error: " ^ e)))
+  | F.Truncated_frame { scenario; keep_fraction } ->
+    let c = Client.connect addr in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        let frame =
+          Frame.encode (Proto.request_to_json (render_request ~id:case scenario))
+        in
+        let n = String.length frame in
+        let keep =
+          Int.max 1 (Int.min (n - 1) (int_of_float (keep_fraction *. float_of_int n)))
+        in
+        Client.send_raw c (String.sub frame 0 keep);
+        Client.close_half c;
+        (* The server counts a mid-frame disconnect and moves on; the
+           absence of a crash is what later cases (and the final drain)
+           prove. Nothing to read back. *)
+        Absorbed)
+  | F.Stalled_write { scenario; split_fraction } -> (
+    let c = Client.connect addr in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        let frame =
+          Frame.encode (Proto.request_to_json (render_request ~id:case scenario))
+        in
+        let n = String.length frame in
+        let cut =
+          Int.max 1 (Int.min (n - 1) (int_of_float (split_fraction *. float_of_int n)))
+        in
+        Client.send_raw c (String.sub frame 0 cut);
+        Thread.delay stall_s;
+        match Client.recv c ~timeout_s:10.0 with
+        | Ok (Some (Proto.Reject r)) ->
+          if r.Proto.error_class = "resource-limit" then Diagnosed
+          else Silent ("stalled-write: reject class " ^ r.Proto.error_class)
+        | Ok (Some (Proto.Answer _)) ->
+          Silent "stalled-write: answered a never-completed frame"
+        | Ok None -> Absorbed (* dropped before the reject could flush *)
+        | Error _ -> Absorbed))
+
+let run ?(count = 500) ?(seed = 0) ?(clients = 4) () =
+  let t0 = Util.Obs.Clock.now () in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcr-serve-%d-%d.sock" (Unix.getpid ()) seed)
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let cfg = campaign_config path in
+  let stop = Atomic.make false in
+  let ready = Atomic.make false in
+  let server_stats = ref None in
+  let server_thread =
+    Thread.create
+      (fun () ->
+        let stats =
+          Server.run
+            ~stop:(fun () -> Atomic.get stop)
+            ~on_ready:(fun _ -> Atomic.set ready true)
+            cfg
+        in
+        server_stats := Some stats)
+      ()
+  in
+  let deadline = Util.Obs.Clock.now () +. 10.0 in
+  while (not (Atomic.get ready)) && Util.Obs.Clock.now () < deadline do
+    Thread.delay 0.01
+  done;
+  let addr = Server.Unix_socket path in
+  let verdicts = Array.make count (Silent "not run") in
+  let families = Array.make count "" in
+  let client k =
+    let i = ref k in
+    while !i < count do
+      let case = !i in
+      let prng = Util.Prng.create ((seed * 1_000_003) + case) in
+      let plan = F.generate prng ~case in
+      families.(case) <- F.family plan;
+      verdicts.(case) <-
+        (try interpret addr ~case plan
+         with e -> Silent ("campaign client raised: " ^ Printexc.to_string e));
+      i := !i + clients
+    done
+  in
+  let threads = List.init clients (fun k -> Thread.create client k) in
+  List.iter Thread.join threads;
+  Atomic.set stop true;
+  Thread.join server_thread;
+  let server =
+    match !server_stats with
+    | Some s -> s
+    | None ->
+      {
+        Server.connections = 0;
+        requests = 0;
+        answered = 0;
+        rejected_backpressure = 0;
+        rejected_other = 0;
+        junk_bytes = 0;
+        oversized = 0;
+        midframe_disconnects = 0;
+        timeouts = 0;
+        backstop_errors = 0;
+        drained_clean = false;
+      }
+  in
+  let diagnosed = ref 0
+  and absorbed = ref 0
+  and identical = ref 0
+  and silent = ref [] in
+  let coverage = Hashtbl.create 8 in
+  Array.iteri
+    (fun case v ->
+      Hashtbl.replace coverage families.(case)
+        (1 + Option.value (Hashtbl.find_opt coverage families.(case)) ~default:0);
+      match v with
+      | Diagnosed -> incr diagnosed
+      | Absorbed -> incr absorbed
+      | Identical -> incr identical
+      | Silent why -> silent := (families.(case), case, why) :: !silent)
+    verdicts;
+  {
+    faults = count;
+    diagnosed = !diagnosed;
+    absorbed = !absorbed;
+    identical = !identical;
+    silent = List.rev !silent;
+    coverage =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) coverage []);
+    server;
+    elapsed_s = Util.Obs.Clock.now () -. t0;
+  }
+
+let passed s =
+  s.silent = [] && s.server.Server.backstop_errors = 0
+  && s.server.Server.drained_clean
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>%d server faults in %.2f s: %d identical answers, %d diagnosed, %d \
+     absorbed, %d silent@,"
+    s.faults s.elapsed_s s.identical s.diagnosed s.absorbed
+    (List.length s.silent);
+  List.iter
+    (fun (family, n) -> Format.fprintf ppf "  %-28s %4d@," family n)
+    s.coverage;
+  List.iter
+    (fun (family, case, why) ->
+      Format.fprintf ppf "  SILENT %s (case %d)@,    %s@," family case why)
+    s.silent;
+  Format.fprintf ppf "daemon: @[%a@]@]" Server.pp_stats s.server

@@ -1,0 +1,38 @@
+(** Loopback fault campaign: N concurrent clients x server fault
+    injection against a live in-process daemon — the [gcr fuzz --serve]
+    engine and the tentpole's acceptance proof.
+
+    For each case a {!Conformance.Faults.Server.plan} is drawn
+    deterministically and interpreted against the daemon over a real
+    socket: well-formed requests must come back {e answered and
+    bit-identical} (the response {!Digest} is compared against a local
+    one-shot {!Gcr.Flow.run} of the same scenario); every injected fault
+    — poison scenario, zero budget, oversized frame, junk prefix,
+    truncated frame, stalled write — must be {e diagnosed} with a typed
+    reject or {e absorbed} (decoder resync, counted disconnect) without
+    disturbing any other connection. A wrong answer, an untyped failure,
+    a missing response, or a daemon crash is a {e silent} verdict; zero
+    silents, zero worker backstop errors and a clean drain are the pass
+    criterion. *)
+
+type stats = {
+  faults : int;
+  diagnosed : int;
+  absorbed : int;
+  identical : int;  (** answers digest-matched against one-shot *)
+  silent : (string * int * string) list;  (** family, case, why *)
+  coverage : (string * int) list;
+  server : Server.stats;  (** the drained daemon's own accounting *)
+  elapsed_s : float;
+}
+
+val run : ?count:int -> ?seed:int -> ?clients:int -> unit -> stats
+(** Drive [count] (default 500) fault cases from [seed] (default 0)
+    across [clients] (default 4) concurrent client threads, against a
+    fresh daemon on a private Unix socket. Returns after the daemon has
+    drained. *)
+
+val passed : stats -> bool
+(** No silents, no backstop errors, clean drain. *)
+
+val pp_stats : Format.formatter -> stats -> unit

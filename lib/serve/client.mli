@@ -1,0 +1,32 @@
+(** Blocking client for the routing service — the CLI's [serve-send] and
+    the fault campaign's substrate.
+
+    A client owns one connection. Requests may be pipelined ({!send}
+    repeatedly, then {!recv} repeatedly); responses arrive in completion
+    order and carry the echoed request id. The raw byte-level entry
+    points ({!send_raw}, {!close_half}) exist so the fault campaign can
+    speak {e broken} protocol on purpose — truncated frames, junk
+    prefixes, stalled writes. *)
+
+type t
+
+val connect : Server.address -> t
+(** Raises [Unix.Unix_error] when the daemon is not there. *)
+
+val send : t -> Proto.request -> unit
+(** Frame and write one request (blocking). *)
+
+val send_raw : t -> string -> unit
+(** Write raw bytes as-is — fault injection's hook. *)
+
+val recv : ?timeout_s:float -> t -> (Proto.response option, string) result
+(** Next response frame: [Ok None] on orderly EOF, [Error _] on a
+    malformed or oversized frame, a mid-frame EOF, or an expired
+    [timeout_s] (default 30 s, counted from call on the monotonic
+    clock). *)
+
+val close_half : t -> unit
+(** Shut down the write side only (the server sees EOF, the client can
+    still read pending responses). *)
+
+val close : t -> unit

@@ -1,0 +1,48 @@
+(** Bounded-admission Domains worker pool.
+
+    The daemon's scheduling core: a fixed set of worker domains draining
+    one FIFO whose depth is capped at admission time. The cap is the
+    backpressure mechanism — when the queue is full, {!submit} rejects
+    {e immediately} with the current depth and a service-time estimate so
+    the caller can answer [Resource_limit] + retry-after instead of
+    queueing to death; latency under overload stays bounded by
+    [queue_cap x service_time] by construction.
+
+    Isolation: a job that raises never takes a worker down — the
+    exception is counted, reported to the job's own error path by the
+    submitter's wrapping (workers here are a backstop, not the primary
+    boundary), and the domain moves on.
+
+    Shutdown is {!drain}: admission closes ([`Draining] rejects), queued
+    and in-flight jobs run to completion, workers exit and are joined.
+    Jobs receive their worker's slot index (0-based) so per-worker state
+    — the {!Cache} pcache lanes — is single-writer without locks. *)
+
+type t
+
+val create : workers:int -> queue_cap:int -> unit -> t
+(** Spawn [workers] domains. [queue_cap] bounds jobs {e waiting} (in
+    flight not counted). Raises [Invalid_argument] unless both are
+    positive. *)
+
+val workers : t -> int
+
+val submit :
+  t -> (slot:int -> unit) -> [ `Accepted | `Full of int | `Draining ]
+(** Enqueue a job, or reject: [`Full depth] when the queue is at
+    capacity, [`Draining] after {!drain} began. Never blocks. *)
+
+val depth : t -> int
+(** Jobs currently queued (excluding in flight). *)
+
+val service_time_ms : t -> float
+(** Exponentially-weighted average job time, for retry-after hints; 0
+    until the first job completes. *)
+
+val backstop_errors : t -> int
+(** Jobs that raised out of their own error boundary (each one is a bug
+    in the submitter's wrapping; counted so tests can assert zero). *)
+
+val drain : t -> unit
+(** Close admission, run everything already accepted, join the workers.
+    Idempotent; safe from any thread except a pool worker itself. *)

@@ -386,6 +386,11 @@ let to_json r =
 
 exception Bad_json of string
 
+(* Parser-level failures carry the byte offset separately so sinks that
+   know the source text (gcr stats) can convert it to a line/column caret
+   excerpt instead of echoing a bare offset. *)
+exception Bad_json_at of string * int
+
 (* Tiny dependency-free JSON reader, public so tooling that consumes the
    harness artifacts (bench trajectory compare, report diffing) parses
    them with the same code that round-trips run reports. *)
@@ -400,10 +405,10 @@ module Json = struct
 
   let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
 
-  let parse text =
+  let parse_located text =
   let n = String.length text in
   let i = ref 0 in
-  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !i)) in
+  let fail msg = raise (Bad_json_at (msg, !i)) in
   let peek () = if !i < n then Some text.[!i] else None in
   let skip_ws () =
     while
@@ -547,10 +552,15 @@ module Json = struct
     skip_ws ();
     if !i <> n then fail "trailing content";
     Ok v
-  with Bad_json msg -> Error msg
+  with Bad_json_at (msg, off) -> Error (msg, off)
+
+  let parse text =
+    match parse_located text with
+    | Ok v -> Ok v
+    | Error (msg, off) -> Error (Printf.sprintf "%s at offset %d" msg off)
 end
 
-let of_json text =
+let of_json_located text =
   let field fields k =
     match List.assoc_opt k fields with
     | Some v -> v
@@ -581,15 +591,17 @@ let of_json text =
       }
     | _ -> raise (Bad_json "span must be an object")
   in
-  match Json.parse text with
-  | Error msg -> Error msg
+  match Json.parse_located text with
+  | Error (msg, off) -> Error (msg, off)
   | Ok v -> (
+    (* Semantic (well-formed JSON, wrong shape) errors have no better
+       location than the start of the document. *)
     try
       match v with
       | Json.Obj fields ->
         let version = int_of_float (num (field fields "version")) in
         if version <> json_version then
-          Error (Printf.sprintf "unsupported report version %d" version)
+          Error (Printf.sprintf "unsupported report version %d" version, 0)
         else begin
           let spans =
             match field fields "spans" with
@@ -608,5 +620,11 @@ let of_json text =
               gauges = assoc "gauges" Fun.id;
             }
         end
-      | _ -> Error "report must be a JSON object"
-    with Bad_json msg -> Error msg)
+      | _ -> Error ("report must be a JSON object", 0)
+    with Bad_json msg -> Error (msg, 0))
+
+let of_json text =
+  match of_json_located text with
+  | Ok r -> Ok r
+  | Error (msg, 0) -> Error msg
+  | Error (msg, off) -> Error (Printf.sprintf "%s at offset %d" msg off)

@@ -127,6 +127,11 @@ val of_json : string -> (report, string) result
 (** Parse a document produced by {!to_json}. [Error msg] on malformed
     input or an unsupported version. [of_json (to_json r) = Ok r]. *)
 
+val of_json_located : string -> (report, string * int) result
+(** {!of_json} with the failing byte offset alongside the message (0 when
+    the document is well-formed JSON of the wrong shape), so CLI sinks
+    can point a caret at the offending byte of the source text. *)
+
 (** Minimal dependency-free JSON reader, shared with the tooling that
     consumes harness artifacts (bench trajectory compare, report
     diffing). Numbers are floats; strings must be ASCII after escape
@@ -145,4 +150,7 @@ module Json : sig
 
   val parse : string -> (t, string) result
   (** Parse one complete JSON document (trailing whitespace allowed). *)
+
+  val parse_located : string -> (t, string * int) result
+  (** {!parse} with the failing byte offset alongside the message. *)
 end

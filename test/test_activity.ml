@@ -574,6 +574,87 @@ let prop_pcache_matches_profile =
       done;
       !ok)
 
+(* One cache per domain (the single-writer contract), all flushing into
+   the same process-wide Obs counters while a concurrent flusher hammers
+   flush_obs mid-run: the CAS watermark must publish every hit and miss
+   exactly once, never torn, never doubled. *)
+let test_pcache_domains_stress () =
+  let n_domains = 3 and rounds = 100 and n_sets = 16 in
+  let hits_c = Util.Obs.counter "pcache.hits" in
+  let misses_c = Util.Obs.counter "pcache.misses" in
+  let was_on = Util.Obs.enabled () in
+  Util.Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Util.Obs.set_enabled was_on)
+    (fun () ->
+      let h0 = Util.Obs.value hits_c and m0 = Util.Obs.value misses_c in
+      (* the profile is shared read-only: force its lazily-built kernel
+         before publication, as the serve cache does *)
+      ignore (Activity.Profile.signature_kernel paper_profile);
+      let caches =
+        Array.init n_domains (fun _ -> Activity.Pcache.create paper_profile)
+      in
+      let set_of i =
+        Ms.of_list 6 (List.filter (fun b -> i land (1 lsl b) <> 0) [ 0; 1; 2; 3; 4; 5 ])
+      in
+      let stop = Atomic.make false in
+      let flusher =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Array.iter Activity.Pcache.flush_obs caches;
+              Array.iter (fun c -> ignore (Activity.Pcache.stats c)) caches;
+              Domain.cpu_relax ()
+            done)
+      in
+      let workers =
+        Array.map
+          (fun cache ->
+            Domain.spawn (fun () ->
+                for _ = 1 to rounds do
+                  for i = 1 to n_sets do
+                    ignore (Activity.Pcache.p cache (set_of i))
+                  done
+                done))
+          caches
+      in
+      Array.iter Domain.join workers;
+      Atomic.set stop true;
+      Domain.join flusher;
+      Array.iter Activity.Pcache.flush_obs caches;
+      Array.iter
+        (fun c ->
+          Alcotest.(check (pair int int))
+            "per-cache stats exact"
+            (n_sets * (rounds - 1), n_sets)
+            (Activity.Pcache.stats c))
+        caches;
+      Alcotest.(check (pair int int))
+        "flushed totals exact"
+        ( h0 + (n_domains * n_sets * (rounds - 1)),
+          m0 + (n_domains * n_sets) )
+        (Util.Obs.value hits_c, Util.Obs.value misses_c))
+
+(* The query side of the contract: a cache pinned by its first query
+   must refuse queries from any other domain with a typed Internal
+   error, and [reset] must unpin it. *)
+let test_pcache_owner_violation () =
+  let cache = Activity.Pcache.create paper_profile in
+  ignore (Activity.Profile.signature_kernel paper_profile);
+  let m56 = Ms.of_list 6 [ 4; 5 ] in
+  ignore (Activity.Pcache.p cache m56);
+  let cross () = Domain.join (Domain.spawn (fun () -> Activity.Pcache.p cache m56)) in
+  (match cross () with
+  | (_ : float) -> Alcotest.fail "cross-domain query on a pinned cache succeeded"
+  | exception Util.Gcr_error.Error (Util.Gcr_error.Internal { stage; _ }) ->
+    Alcotest.(check string) "typed as a Pcache contract violation" "Pcache" stage);
+  Activity.Pcache.reset cache;
+  (* unpinned: the next domain to query adopts the cache... *)
+  check_float "re-adopted after reset" 0.55 (cross ());
+  (* ...and the original domain is now the trespasser *)
+  match Activity.Pcache.p cache m56 with
+  | (_ : float) -> Alcotest.fail "query after another domain re-adopted succeeded"
+  | exception Util.Gcr_error.Error (Util.Gcr_error.Internal _) -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Cpu_model                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -1049,6 +1130,10 @@ let () =
           Alcotest.test_case "capacity and reset" `Quick
             test_pcache_capacity_and_reset;
           Alcotest.test_case "flush_obs deltas" `Quick test_pcache_flush_obs;
+          Alcotest.test_case "cross-domain flush exactness" `Quick
+            test_pcache_domains_stress;
+          Alcotest.test_case "single-writer pinning" `Quick
+            test_pcache_owner_violation;
           qt prop_pcache_matches_profile;
         ] );
       ( "tables_vs_brute",

@@ -233,6 +233,106 @@ let test_no_events_on_clean_run () =
   | Error _ -> Alcotest.fail "clean run failed");
   Alcotest.(check int) "no degradation events" 0 (List.length !events)
 
+(* run_checked_info is run_checked plus provenance: the winning rung and
+   the degradation events ride along with the tree, so callers (the
+   serve daemon) can tag responses without intercepting on_event. *)
+let test_run_checked_info_clean () =
+  let sinks = sinks16 () in
+  match
+    Gcr.Flow.run_checked_info ~mode:Gcr.Flow.Paranoid (config ()) profile4
+      sinks
+  with
+  | Error errs ->
+    Alcotest.failf "clean run failed: %s"
+      (String.concat "; " (List.map Util.Gcr_error.to_string errs))
+  | Ok { Gcr.Flow.tree; rung; degraded } ->
+    Alcotest.(check string) "first rung wins" "route" rung;
+    Alcotest.(check int) "no degradation events" 0 (List.length degraded);
+    Conformance.Oracles.same_tree ~what:"info tree vs run_checked"
+      (expect_ok sinks) tree
+
+let test_run_checked_info_zero_budget () =
+  let limits = { Gcr.Flow.no_limits with Gcr.Flow.wall_seconds = Some 0.0 } in
+  match
+    Gcr.Flow.run_checked_info ~limits (config ()) profile4 (sinks16 ())
+  with
+  | Ok _ -> Alcotest.fail "routed under a zero wall-clock budget"
+  | Error (Util.Gcr_error.Resource_limit _ :: _) -> ()
+  | Error errs ->
+    Alcotest.failf "expected Resource_limit first, got: %s"
+      (String.concat "; " (List.map Util.Gcr_error.to_string errs))
+
+(* ------------------------------------------------------------------ *)
+(* gcr stats on damaged trace files (subprocess)                      *)
+(* ------------------------------------------------------------------ *)
+
+let gcr_exe = Filename.concat (Filename.concat ".." "bin") "gcr_cli.exe"
+
+let run_stats_on text =
+  let file = Filename.temp_file "gcr-stats-test" ".json" in
+  let err_file = Filename.temp_file "gcr-stats-test" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove file with Sys_error _ -> ());
+      try Sys.remove err_file with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin file in
+      output_string oc text;
+      close_out oc;
+      let cmd =
+        Printf.sprintf "%s stats %s >/dev/null 2>%s" (Filename.quote gcr_exe)
+          (Filename.quote file) (Filename.quote err_file)
+      in
+      let code =
+        match Unix.system cmd with
+        | Unix.WEXITED n -> n
+        | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> -1
+      in
+      let ic = open_in_bin err_file in
+      let err =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (code, err))
+
+let valid_trace_json () =
+  let (), report =
+    Util.Obs.run (fun () -> Util.Obs.span ~name:"stage" (fun () -> ()))
+  in
+  Util.Obs.to_json report
+
+(* Satellite regression: a truncated or garbage trace file must exit 65
+   (sysexits EX_DATAERR) with a located caret diagnostic, never a raw
+   exception or exit 70. *)
+let test_stats_truncated_trace () =
+  let full = valid_trace_json () in
+  let truncated = String.sub full 0 (String.length full / 2) in
+  let code, err = run_stats_on truncated in
+  Alcotest.(check int) "exit 65" 65 code;
+  Alcotest.(check bool) "caret under the failing byte" true
+    (Astring.String.is_infix ~affix:"^" err);
+  Alcotest.(check bool) "line:col location" true
+    (Astring.String.is_infix ~affix:":1:" err)
+
+let test_stats_garbage_trace () =
+  let code, err = run_stats_on "po}ts [definitely not a trace\n" in
+  Alcotest.(check int) "exit 65" 65 code;
+  Alcotest.(check bool) "caret under the failing byte" true
+    (Astring.String.is_infix ~affix:"^" err)
+
+let test_stats_wrong_shape_trace () =
+  (* well-formed JSON of the wrong shape: located at offset 0 *)
+  let code, err = run_stats_on "{\"version\":999}\n" in
+  Alcotest.(check int) "exit 65" 65 code;
+  Alcotest.(check bool) "diagnostic on stderr" true
+    (String.length err > 0)
+
+let test_stats_valid_trace_ok () =
+  let code, err = run_stats_on (valid_trace_json ()) in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "quiet stderr" "" err
+
 (* ------------------------------------------------------------------ *)
 (* Numerical helpers                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -373,6 +473,21 @@ let () =
             test_checked_equals_unchecked;
           Alcotest.test_case "no events on a clean run" `Quick
             test_no_events_on_clean_run;
+          Alcotest.test_case "run_checked_info clean rung" `Quick
+            test_run_checked_info_clean;
+          Alcotest.test_case "run_checked_info zero budget" `Quick
+            test_run_checked_info_zero_budget;
+        ] );
+      ( "stats cli",
+        [
+          Alcotest.test_case "truncated trace exits 65 with caret" `Quick
+            test_stats_truncated_trace;
+          Alcotest.test_case "garbage trace exits 65 with caret" `Quick
+            test_stats_garbage_trace;
+          Alcotest.test_case "wrong-shape trace exits 65" `Quick
+            test_stats_wrong_shape_trace;
+          Alcotest.test_case "valid trace renders" `Quick
+            test_stats_valid_trace_ok;
         ] );
       ( "numerics",
         [
