@@ -1377,6 +1377,7 @@ let serve_bench () =
               scenario = texts.(id mod n_workloads);
               budget_ms = None;
               paranoid = false;
+              kind = Serve.Proto.Route;
             };
           (match Serve.Client.recv ~timeout_s:300.0 c with
           | Ok (Some (Serve.Proto.Answer a)) -> answers.(id) <- Some a
@@ -1445,6 +1446,91 @@ let serve_bench () =
         \"warm_audit_hit_rate\": %.4f}"
        total n_workloads rps p50 p99 !cold warm_rate)
 
+(* ------------------------------------------------------------------ *)
+(* ECO repair: streaming chunk update + local repair vs full re-route  *)
+(* ------------------------------------------------------------------ *)
+
+let eco_bench () =
+  section "ECO repair: chunk update + local repair vs full re-route";
+  let n = if quick () then 2_000 else 10_000 in
+  let reps = if quick () then 2 else 3 in
+  let spec = Benchmarks.Rbench.scaled (Benchmarks.Rbench.by_name "r1") ~n_sinks:n in
+  let { Benchmarks.Suite.sinks; profile; config; _ } =
+    Benchmarks.Suite.case ~stream_length:2_000 spec
+  in
+  let base_stream = Activity.Profile.stream profile in
+  let len = Activity.Instr_stream.length base_stream in
+  let trace =
+    Array.init len (Activity.Instr_stream.get base_stream)
+  in
+  (* A localized drift: a burst of the trace's first instruction, long
+     enough to push the modules it touches past the threshold but small
+     against the whole trace, so most of the tree's statistics barely
+     move. (The conformance oracle separately fuzzes the widespread-drift
+     fallback; this section times the case locality is built for.) *)
+  let chunks = [ Array.make (Int.max 8 (len / 20)) trace.(0) ] in
+  let best f =
+    let t = ref infinity in
+    let r = ref None in
+    for _ = 1 to reps do
+      let t0 = Util.Obs.Clock.now () in
+      r := Some (Sys.opaque_identity (f ()));
+      t := Float.min !t (Util.Obs.Clock.now () -. t0)
+    done;
+    (Option.get !r, !t)
+  in
+  let tree, base_s = best (fun () -> Gcr.Flow.run config profile sinks) in
+  let drifted, update_s =
+    best (fun () ->
+        let acc = Activity.Stream_update.of_stream base_stream in
+        List.iter (Activity.Stream_update.ingest acc) chunks;
+        Activity.Stream_update.profile acc)
+  in
+  let report, repair_s =
+    best (fun () -> Gcr.Eco.repair ~options:Gcr.Flow.default tree drifted)
+  in
+  let scratch, full_s = best (fun () -> Gcr.Flow.run config drifted sinks) in
+  let w_ratio =
+    Gcr.Cost.w_total report.Gcr.Eco.tree /. Gcr.Cost.w_total scratch
+  in
+  let open Util.Text_table in
+  let t =
+    create
+      ~title:
+        (Printf.sprintf "r1 scaled to %d sinks, drifted trace (best of %d)" n
+           reps)
+      [ ("step", Left); ("time (s)", Right); ("vs full re-route", Right) ]
+  in
+  add_row t [ "base route"; Printf.sprintf "%.3f" base_s; "" ];
+  add_row t
+    [ "chunk update (streaming tables)"; Printf.sprintf "%.4f" update_s;
+      Printf.sprintf "%.3fx" (update_s /. full_s) ];
+  add_row t
+    [ "local repair"; Printf.sprintf "%.3f" repair_s;
+      Printf.sprintf "%.2fx" (repair_s /. full_s) ];
+  add_row t
+    [ "update + repair"; Printf.sprintf "%.3f" (update_s +. repair_s);
+      Printf.sprintf "%.2fx" ((update_s +. repair_s) /. full_s) ];
+  add_row t [ "full re-route"; Printf.sprintf "%.3f" full_s; "1.00x" ];
+  print t;
+  pf
+    "\n%d of %d nodes drifted, %d stale subtrees, %d sinks re-merged%s;\n\
+     repaired/scratch W ratio %.4f.\n"
+    (List.length report.Gcr.Eco.drifted)
+    (Clocktree.Topo.n_nodes tree.Gcr.Gated_tree.topo)
+    (List.length report.Gcr.Eco.stale)
+    report.Gcr.Eco.resinks
+    (if report.Gcr.Eco.full_rebuild then " (fell back to full rebuild)" else "")
+    w_ratio;
+  record "eco"
+    (Printf.sprintf
+       "{\"n_sinks\": %d, \"update_ns\": %.1f, \"repair_ns\": %.1f, \
+        \"full_reroute_ns\": %.1f, \"w_ratio\": %.6f, \"drifted\": %d, \
+        \"resinks\": %d, \"full_rebuild\": %b}"
+       n (update_s *. 1e9) (repair_s *. 1e9) (full_s *. 1e9) w_ratio
+       (List.length report.Gcr.Eco.drifted)
+       report.Gcr.Eco.resinks report.Gcr.Eco.full_rebuild)
+
 (* When this process itself ran traced (GCR_TRACE=1), dump its own run
    report so CI can archive it next to BENCH_greedy.json. *)
 let dump_obs_report () =
@@ -1488,6 +1574,7 @@ let sections : (string * (unit -> unit)) list =
     ("guard-overhead", guard_overhead);
     ("trace-overhead", trace_overhead);
     ("serve", serve_bench);
+    ("eco", eco_bench);
     ("bechamel", run_bechamel);
   ]
 

@@ -152,6 +152,35 @@ let gate_share_arg =
     & opt ~vopt:(Some "1,0") (some string) None
     & info [ "gate-share" ] ~docv:"MIN,EPS" ~doc)
 
+let eco_arg =
+  let doc =
+    "Opt into ECO-style drift repair with the given relative threshold \
+     (default 0.05 when the flag is given bare). Only consulted by \
+     --resume and by the serve layer; the batch pipeline itself never \
+     repairs."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "0.05") (some string) None
+    & info [ "eco" ] ~docv:"THRESHOLD" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume a previously routed scenario (a gcr fuzz seed file): route \
+     it, ingest every --trace-chunk into the streaming IFT/IMATT \
+     accumulator, locally repair the tree against the drifted profile \
+     and compare with a from-scratch re-route."
+  in
+  Arg.(value & opt (some file) None & info [ "resume" ] ~docv:"SCENARIO" ~doc)
+
+let trace_chunk_arg =
+  let doc =
+    "Instruction-trace chunk (stream file over the scenario's RTL) to \
+     ingest on top of the scenario's own trace. Repeatable; chunks are \
+     ingested in order."
+  in
+  Arg.(value & opt_all file [] & info [ "trace-chunk" ] ~docv:"FILE" ~doc)
+
 let test_en_arg =
   let doc =
     "Report the tree in test mode: every gate honoring its bypass is \
@@ -191,8 +220,16 @@ let reduce_tree mode tree =
       tree
   | None -> usage_error "--reduce expects greedy | rules | none | fraction"
 
+let eco_of_flag = function
+  | None -> Gcr.Flow.No_eco
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some t when Float.is_finite t && t > 0.0 -> Gcr.Flow.Eco { threshold = t }
+    | _ -> usage_error "--eco expects a positive drift threshold")
+
 let run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
-    ~gate_share ~test_en ~paranoid ~svg ~spice ~csv ~verify ~trace ~trace_out =
+    ~gate_share ~eco ~test_en ~paranoid ~svg ~spice ~csv ~verify ~trace
+    ~trace_out =
   let trace =
     match trace with
     | None -> None
@@ -237,6 +274,7 @@ let run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
               Gcr.Flow.Share { min_instances = mi; eps }
             | _ -> bad ())
           | _ -> bad ()));
+      eco = eco_of_flag eco;
     }
   in
   let skew_budget = if skew_budget > 0.0 then Some skew_budget else None in
@@ -328,18 +366,102 @@ let run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
       close_out oc;
       Format.printf "wrote %s (replay with: gcr stats %s)@." trace_out trace_out)
 
+(* --resume: route a saved scenario, ingest drifted trace chunks through
+   the streaming accumulator, repair locally and show what the locality
+   bought vs. a from-scratch re-route. *)
+let run_resume scenario_file chunk_files ~eco =
+  with_diagnostics @@ fun () ->
+  let scn = Conformance.Scenario.load scenario_file in
+  let options =
+    match eco with
+    | None -> scn.Conformance.Scenario.options
+    | Some _ ->
+      { scn.Conformance.Scenario.options with Gcr.Flow.eco = eco_of_flag eco }
+  in
+  let config = Conformance.Scenario.config scn in
+  let sinks = scn.Conformance.Scenario.sinks in
+  let rtl = scn.Conformance.Scenario.rtl in
+  let timed f =
+    let t0 = Util.Obs.Clock.now () in
+    let x = f () in
+    (x, (Util.Obs.Clock.now () -. t0) *. 1e3)
+  in
+  let acc =
+    Activity.Stream_update.of_stream (Conformance.Scenario.instr_stream scn)
+  in
+  let base, base_ms =
+    timed (fun () ->
+        let t =
+          Gcr.Flow.run ~options config
+            (Activity.Stream_update.profile acc)
+            sinks
+        in
+        if scn.Conformance.Scenario.test_en then
+          Gcr.Gated_tree.with_test_en t true
+        else t)
+  in
+  if chunk_files = [] then
+    usage_error "--resume needs at least one --trace-chunk";
+  let (), update_ms =
+    timed (fun () ->
+        List.iter
+          (fun file ->
+            Activity.Stream_update.ingest_stream acc
+              (Formats.Stream_format.load rtl file))
+          chunk_files)
+  in
+  let updated = Activity.Stream_update.profile acc in
+  let report, repair_ms =
+    timed (fun () -> Gcr.Eco.repair ~options base updated)
+  in
+  let scratch, scratch_ms =
+    timed (fun () ->
+        let t = Gcr.Flow.run ~options config updated sinks in
+        if scn.Conformance.Scenario.test_en then
+          Gcr.Gated_tree.with_test_en t true
+        else t)
+  in
+  let reports =
+    [
+      Gcr.Report.of_tree ~name:"base" base;
+      Gcr.Report.of_tree ~name:"repaired" report.Gcr.Eco.tree;
+      Gcr.Report.of_tree ~name:"scratch" scratch;
+    ]
+  in
+  Util.Text_table.print (Gcr.Report.comparison_table reports);
+  let w_repaired = Gcr.Cost.w_total report.Gcr.Eco.tree in
+  let w_scratch = Gcr.Cost.w_total scratch in
+  Format.printf
+    "drifted %d nodes, %d stale subtree(s), %d sinks re-merged%s@."
+    (List.length report.Gcr.Eco.drifted)
+    (List.length report.Gcr.Eco.stale)
+    report.Gcr.Eco.resinks
+    (if report.Gcr.Eco.full_rebuild then " (full rebuild)" else "");
+  Format.printf "repaired/scratch W ratio %.6f@."
+    (if w_scratch > 0.0 then w_repaired /. w_scratch else Float.nan);
+  Format.printf
+    "base route %.2f ms; chunk update %.2f ms + local repair %.2f ms vs \
+     full re-route %.2f ms@."
+    base_ms update_ms repair_ms scratch_ms
+
 let route_cmd bench n_sinks stream usage k reduction skew_budget size shards
-    gate_share test_en paranoid svg spice csv verify trace trace_out =
-  handle_unknown_bench @@ fun () ->
-  let case = load_case bench n_sinks stream usage k in
-  let { Benchmarks.Suite.config; profile; sinks; _ } = case in
-  run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
-    ~gate_share ~test_en ~paranoid ~svg ~spice ~csv ~verify ~trace ~trace_out
+    gate_share eco resume trace_chunks test_en paranoid svg spice csv verify
+    trace trace_out =
+  match resume with
+  | Some scenario_file -> run_resume scenario_file trace_chunks ~eco
+  | None ->
+    handle_unknown_bench @@ fun () ->
+    let case = load_case bench n_sinks stream usage k in
+    let { Benchmarks.Suite.config; profile; sinks; _ } = case in
+    run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
+      ~gate_share ~eco ~test_en ~paranoid ~svg ~spice ~csv ~verify ~trace
+      ~trace_out
 
 let route_t =
   Term.(
     const route_cmd $ bench_arg $ sinks_arg $ stream_arg $ usage_arg $ k_arg
     $ reduction_arg $ skew_arg $ size_arg $ shards_arg $ gate_share_arg
+    $ eco_arg $ resume_arg $ trace_chunk_arg
     $ test_en_arg $ paranoid_arg $ svg_arg $ spice_arg $ csv_arg $ verify_arg
     $ trace_arg $ trace_out_arg)
 
@@ -352,7 +474,7 @@ let req_file arg_name =
   Arg.(required & opt (some file) None & info [ arg_name ] ~docv:"FILE" ~doc)
 
 let route_files_cmd sinks_file rtl_file stream_file k reduction skew_budget size
-    shards gate_share test_en paranoid svg spice csv verify trace trace_out =
+    shards gate_share eco test_en paranoid svg spice csv verify trace trace_out =
   with_diagnostics @@ fun () ->
   let sinks = Formats.Sinks_format.load sinks_file in
   let rtl = Formats.Rtl_format.load rtl_file in
@@ -367,14 +489,15 @@ let route_files_cmd sinks_file rtl_file stream_file k reduction skew_budget size
   let controller = Gcr.Controller.distributed die ~k in
   let config = Gcr.Config.make ~controller ~die () in
   run_comparison config profile sinks ~reduction ~skew_budget ~size ~shards
-    ~gate_share ~test_en ~paranoid ~svg ~spice ~csv ~verify ~trace ~trace_out
+    ~gate_share ~eco ~test_en ~paranoid ~svg ~spice ~csv ~verify ~trace
+    ~trace_out
 
 let route_files_t =
   Term.(
     const route_files_cmd $ req_file "sinks" $ req_file "rtl" $ req_file "stream"
     $ k_arg $ reduction_arg $ skew_arg $ size_arg $ shards_arg $ gate_share_arg
-    $ test_en_arg $ paranoid_arg $ svg_arg $ spice_arg $ csv_arg $ verify_arg
-    $ trace_arg $ trace_out_arg)
+    $ eco_arg $ test_en_arg $ paranoid_arg $ svg_arg $ spice_arg $ csv_arg
+    $ verify_arg $ trace_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                              *)
@@ -791,6 +914,19 @@ let send_seed_arg =
   let doc = "Seed for $(b,--generate)." in
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let send_update_chunk_arg =
+  let doc =
+    "Send every scenario as an $(i,update) request carrying this \
+     trace chunk (comma- or space-separated instruction indices over \
+     the scenario's RTL): the daemon ingests the chunk into the \
+     workload's streaming profile — advancing its epoch — before \
+     routing."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "update-chunk" ] ~docv:"INDICES" ~doc)
+
 let send_timeout_arg =
   let doc = "Seconds to wait for each response." in
   Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"S" ~doc)
@@ -804,9 +940,31 @@ let expect_reject_arg =
   Arg.(value & opt (some int) None & info [ "expect-reject" ] ~docv:"N" ~doc)
 
 let serve_send_cmd socket tcp files generate poison seed budget_ms paranoid
-    timeout expect_ok expect_reject =
+    update_chunk timeout expect_ok expect_reject =
   with_diagnostics @@ fun () ->
   let address = parse_address socket tcp in
+  let kind =
+    match update_chunk with
+    | None -> Serve.Proto.Route
+    | Some s ->
+      let parts =
+        String.split_on_char ','
+          (String.map (function ' ' | '\t' -> ',' | c -> c) s)
+      in
+      let chunk =
+        List.filter_map
+          (fun p ->
+            if p = "" then None
+            else
+              match int_of_string_opt p with
+              | Some i when i >= 0 -> Some i
+              | _ ->
+                usage_error
+                  "--update-chunk expects non-negative instruction indices")
+          parts
+      in
+      Serve.Proto.Update { chunk = Array.of_list chunk }
+  in
   let prng = Util.Prng.create seed in
   let requests =
     List.map (fun f -> (f, Formats.Parse.read_file f)) files
@@ -827,7 +985,7 @@ let serve_send_cmd socket tcp files generate poison seed budget_ms paranoid
   Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
   List.iteri
     (fun id (_, scenario) ->
-      Serve.Client.send c { Serve.Proto.id; scenario; budget_ms; paranoid })
+      Serve.Client.send c { Serve.Proto.id; scenario; budget_ms; paranoid; kind })
     requests;
   Serve.Client.close_half c;
   let ok = ref 0 and rejected = ref 0 and received = ref 0 in
@@ -839,12 +997,13 @@ let serve_send_cmd socket tcp files generate poison seed budget_ms paranoid
       | Ok (Some (Serve.Proto.Answer a)) ->
         incr ok;
         incr received;
-        Format.printf "%s: ok rung=%s%s digest=%s w_total=%.1f %.1fms@."
+        Format.printf "%s: ok rung=%s%s digest=%s w_total=%.1f epoch=%d %.1fms@."
           files.(a.Serve.Proto.id) a.Serve.Proto.rung
           (match a.Serve.Proto.degraded with
           | [] -> ""
           | d -> " degraded=" ^ String.concat "," d)
-          a.Serve.Proto.digest a.Serve.Proto.w_total a.Serve.Proto.elapsed_ms
+          a.Serve.Proto.digest a.Serve.Proto.w_total a.Serve.Proto.epoch
+          a.Serve.Proto.elapsed_ms
       | Ok (Some (Serve.Proto.Reject r)) ->
         incr rejected;
         incr received;
@@ -884,7 +1043,8 @@ let serve_send_t =
   Term.(
     const serve_send_cmd $ socket_arg $ tcp_arg $ send_files_arg
     $ send_generate_arg $ send_poison_arg $ send_seed_arg $ budget_ms_arg
-    $ paranoid_arg $ send_timeout_arg $ expect_ok_arg $ expect_reject_arg)
+    $ paranoid_arg $ send_update_chunk_arg $ send_timeout_arg $ expect_ok_arg
+    $ expect_reject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench: the full benchmark harness as a subcommand                   *)

@@ -29,6 +29,41 @@ let build stream =
   Array.sort (fun a b -> Int.compare ((a.first * k) + a.second) ((b.first * k) + b.second)) rows;
   { rtl; rows; total_pairs = b - 1 }
 
+(* Same representation [build] emits — rows sorted ascending by the packed
+   index [first * k + second] — so a table accumulated incrementally from
+   chunk ingestion (Stream_update) is bit-for-bit the table a from-scratch
+   [build] over the concatenated stream would produce: the pair multiset
+   determines the counts, and the sort order determines everything else. *)
+let of_pair_counts rtl pairs =
+  let k = Rtl.n_instructions rtl in
+  let rows =
+    Array.map
+      (fun (first, second, count) ->
+        if first < 0 || first >= k || second < 0 || second >= k then
+          invalid_arg
+            (Printf.sprintf "Imatt.of_pair_counts: pair (%d, %d) out of range"
+               first second);
+        if count <= 0 then
+          invalid_arg "Imatt.of_pair_counts: non-positive pair count";
+        { first; second; count })
+      pairs
+  in
+  Array.sort
+    (fun a b ->
+      Int.compare ((a.first * k) + a.second) ((b.first * k) + b.second))
+    rows;
+  Array.iteri
+    (fun i r ->
+      if i > 0 && rows.(i - 1).first = r.first && rows.(i - 1).second = r.second
+      then
+        invalid_arg
+          (Printf.sprintf "Imatt.of_pair_counts: duplicate pair (%d, %d)"
+             r.first r.second))
+    rows;
+  let total = Array.fold_left (fun acc r -> acc + r.count) 0 rows in
+  if total = 0 then invalid_arg "Imatt.of_pair_counts: empty table";
+  { rtl; rows; total_pairs = total }
+
 let rtl t = t.rtl
 
 let total_pairs t = t.total_pairs

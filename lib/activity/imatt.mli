@@ -20,6 +20,15 @@ val build : Instr_stream.t -> t
 (** Single scan over the [B - 1] consecutive pairs. Raises
     [Invalid_argument] on a single-cycle stream. *)
 
+val of_pair_counts : Rtl.t -> (int * int * int) array -> t
+(** Rebuild a table from externally accumulated [(first, second, count)]
+    pair counts — the streaming-ingestion constructor behind
+    {!Stream_update}. The result is bit-for-bit the table {!build} would
+    produce on any stream realizing the same pair multiset ([total_pairs]
+    is the count sum). Raises [Invalid_argument] on out-of-range
+    instructions, non-positive counts, duplicate pairs, or an empty
+    table. *)
+
 val rtl : t -> Rtl.t
 
 val total_pairs : t -> int

@@ -35,10 +35,16 @@
    (CAS on the flushed watermark), so a monitoring domain can flush a
    worker's cache without tearing or double-counting. *)
 
-type entry = { key : Module_set.t; h : int; p : float }
+(* [gen] stamps the profile generation the probability was computed
+   under. Entries of an older generation never answer: [set_profile]
+   clears the table outright, and the per-entry stamp backstops any
+   future path that swaps the profile without clearing — a memoized [p]
+   from a drifted profile must read as a miss, never as a stale hit. *)
+type entry = { key : Module_set.t; h : int; p : float; gen : int }
 
 type t = {
-  profile : Profile.t;
+  mutable profile : Profile.t;
+  mutable generation : int; (* bumped by every [set_profile] *)
   buf : Module_set.scratch;
   mutable buckets : entry list array; (* length is a power of two *)
   mutable size : int;
@@ -68,6 +74,7 @@ let create ?(capacity = 0) profile =
   if capacity < 0 then invalid_arg "Pcache.create: negative capacity";
   {
     profile;
+    generation = 0;
     buf = Module_set.scratch (Profile.n_modules profile);
     buckets = Array.make (initial_buckets capacity) [];
     size = 0;
@@ -80,6 +87,24 @@ let create ?(capacity = 0) profile =
   }
 
 let profile t = t.profile
+
+let generation t = t.generation
+
+(* Swap the profile under the memo table. Everything memoized is now
+   suspect — the probabilities were computed from the old tables — so
+   the table is cleared and the generation bumped (entries carry their
+   generation, so even a survivor could never answer). The bypass
+   decision restarts too: the new workload may hit where the old one
+   didn't. Same call-context contract as [reset] (no query in flight);
+   the owner pin and the accounting are kept. *)
+let set_profile t profile =
+  if Profile.n_modules profile <> Module_set.scratch_universe t.buf then
+    invalid_arg "Pcache.set_profile: module universe mismatch";
+  t.profile <- profile;
+  t.generation <- t.generation + 1;
+  Array.fill t.buckets 0 (Array.length t.buckets) [];
+  t.size <- 0;
+  t.bypass <- false
 
 (* Single-writer enforcement: the first querying domain pins the cache;
    [reset] unpins it (the sharded router resets a per-region cache before
@@ -152,14 +177,15 @@ let lookup t =
       let p = Profile.p_scratch t.profile t.buf in
       if len < chain_cap then begin
         let key = Module_set.freeze t.buf in
-        t.buckets.(i) <- { key; h; p } :: t.buckets.(i);
+        t.buckets.(i) <- { key; h; p; gen = t.generation } :: t.buckets.(i);
         t.size <- t.size + 1;
         if t.size > 2 * Array.length t.buckets && Array.length t.buckets < max_buckets
         then resize t
       end;
       p
     | e :: tl ->
-      if e.h = h && Module_set.scratch_equal t.buf e.key then begin
+      if e.gen = t.generation && e.h = h && Module_set.scratch_equal t.buf e.key
+      then begin
         Atomic.incr t.hits;
         e.p
       end

@@ -37,6 +37,24 @@ val create : ?capacity:int -> Profile.t -> t
     sharded router. Raises [Invalid_argument] when negative. *)
 
 val profile : t -> Profile.t
+(** The profile currently answering misses (the latest {!set_profile}
+    argument, or the creation profile). *)
+
+val generation : t -> int
+(** Profile generation: [0] at creation, bumped by every
+    {!set_profile}. Memoized entries are stamped with the generation
+    they were computed under and can only answer queries of the same
+    generation. *)
+
+val set_profile : t -> Profile.t -> unit
+(** Swap in an updated profile (same module universe — the streaming
+    drift flow), dropping every memoized probability: the table is
+    cleared, the generation bumped, and the hit-rate bypass decision
+    restarted, so the first query per set after an update is a
+    guaranteed miss recomputed from the new tables. Owner pin and
+    statistics are kept. Same call-context contract as {!reset}: no
+    query may be in flight. Raises [Invalid_argument] when the new
+    profile's module universe differs. *)
 
 val p : t -> Module_set.t -> float
 (** Memoized {!Profile.p}. *)

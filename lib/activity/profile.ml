@@ -18,6 +18,16 @@ let of_stream stream =
       use_kernel = true;
     }
 
+let of_tables ?kernel stream ift imatt =
+  let rtl = Instr_stream.rtl stream in
+  if
+    Rtl.n_modules (Ift.rtl ift) <> Rtl.n_modules rtl
+    || Rtl.n_instructions (Ift.rtl ift) <> Rtl.n_instructions rtl
+    || Rtl.n_modules (Imatt.rtl imatt) <> Rtl.n_modules rtl
+    || Rtl.n_instructions (Imatt.rtl imatt) <> Rtl.n_instructions rtl
+  then invalid_arg "Profile.of_tables: tables built from a different RTL";
+  Sampled { stream; ift; imatt; kernel; use_kernel = true }
+
 let of_model model = Analytic model
 
 let generate model ~seed ~length =

@@ -17,6 +17,15 @@ val of_stream : Instr_stream.t -> t
 (** Scan the stream once and build both tables. Raises [Invalid_argument]
     on a stream shorter than two cycles. *)
 
+val of_tables :
+  ?kernel:Signature.kernel -> Instr_stream.t -> Ift.t -> Imatt.t -> t
+(** Sampled profile over prebuilt tables — the streaming-update
+    constructor ({!Stream_update.profile}): no rescan of the stream, and
+    an optional already-built (or in-place patched) signature kernel to
+    seed the cache slot. The caller asserts the tables describe the
+    stream; dimensions against the stream's RTL are checked
+    ([Invalid_argument] on mismatch). *)
+
 val of_model : Cpu_model.t -> t
 (** Analytic profile: exact Markov probabilities, no sampling. *)
 

@@ -434,6 +434,78 @@ let kernel ?(force_ocaml = false) ift imatt =
 
 let uses_c_kernel kern = kern.use_c
 
+(* In-place arena patch for a weight update that keeps the bit geometry:
+   the [weights] segment already stores every bit's old count, so one
+   sweep comparing old vs new repairs exactly the touched slots — plane
+   bits, mask, heavy flag, running total. The plane count [np] stays as
+   built; counts that outgrow the low planes are absorbed by the heavy
+   path (correct for any [np >= 1], possibly a popcount slower per word
+   than a re-chosen split — a rebuild reclaims that when it matters. *)
+let patch_arena ~np nwords n arena weight_of =
+  let masks_off = nwords * np in
+  let heavy_off = masks_off + nwords in
+  let totals_off = heavy_off + nwords in
+  let weights_off = totals_off + nwords in
+  for i = 0 to n - 1 do
+    let c = weight_of i in
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    let old = arena.{weights_off + (w * bits_per_word) + b} in
+    if c <> old then begin
+      let bit = 1 lsl b in
+      let put off cond =
+        arena.{off + w} <-
+          (if cond then arena.{off + w} lor bit
+           else arena.{off + w} land lnot bit)
+      in
+      put masks_off (c <> 0);
+      put heavy_off (c lsr np <> 0);
+      arena.{totals_off + w} <- arena.{totals_off + w} + c - old;
+      arena.{weights_off + (w * bits_per_word) + b} <- c;
+      for pb = 0 to np - 1 do
+        let slot = (w * np) + pb in
+        arena.{slot} <-
+          (if c land (1 lsl pb) <> 0 then arena.{slot} lor bit
+           else arena.{slot} land lnot bit)
+      done
+    end
+  done
+
+let same_row_set kern rows =
+  Array.length rows = kern.n_rows
+  && (let rec eq r =
+        r >= kern.n_rows
+        || (rows.(r).Imatt.first = kern.row_first.(r)
+            && rows.(r).Imatt.second = kern.row_second.(r)
+            && eq (r + 1))
+      in
+      eq 0)
+
+let patch_kernel kern ift imatt =
+  if
+    not (same_rtl kern.rtl (Ift.rtl ift))
+    || not (same_rtl kern.rtl (Imatt.rtl imatt))
+  then None
+  else
+    let rows = Imatt.rows imatt in
+    if not (same_row_set kern rows) then None
+    else
+      Util.Obs.span ~name:"sig.kernel_patch" (fun () ->
+          patch_arena ~np:kern.p_np kern.hwords kern.k kern.p_arena
+            (Ift.count ift);
+          patch_arena ~np:kern.r_np kern.rwords kern.n_rows kern.r_arena
+            (fun r -> rows.(r).Imatt.count);
+          let kern =
+            {
+              kern with
+              total = Ift.total_cycles ift;
+              total_pairs = Imatt.total_pairs imatt;
+            }
+          in
+          Some
+            (if kern.use_c && not (self_check kern) then
+               { kern with use_c = false }
+             else kern))
+
 (* ------------------------------------------------------------------ *)
 (* Signatures.                                                        *)
 (* ------------------------------------------------------------------ *)

@@ -58,6 +58,26 @@ val kernel : ?force_ocaml:bool -> Ift.t -> Imatt.t -> kernel
 val uses_c_kernel : kernel -> bool
 (** Whether this kernel answers queries in C (for tests/diagnostics). *)
 
+val patch_kernel : kernel -> Ift.t -> Imatt.t -> kernel option
+(** Patch the kernel's weight planes {e in place} for updated tables over
+    the same RTL — the streaming-ingestion fast path. Succeeds exactly
+    when the IMATT {e row set} (the ordered pairs with positive count) is
+    unchanged, so the bit geometry is intact and only counts moved: one
+    sweep repairs the touched plane bits, masks, heavy flags and totals
+    (reading each bit's previous count out of the arena's weights
+    segment), and the result answers every query bit-for-bit like a
+    fresh {!kernel} over the new tables. Returns [None] — arenas
+    untouched, caller must rebuild — when the RTL differs or new pairs
+    appeared (a geometry change).
+
+    The returned kernel {e shares the mutated arenas} with its input:
+    after [Some k'], the old kernel must not be queried again, and no
+    other domain may hold it (single-owner update flows only — the serve
+    cache rebuilds instead, so in-flight readers of the old kernel stay
+    consistent). Existing signatures remain valid: row bits depend only
+    on the row set, which is unchanged. The C-vs-OCaml self-check is
+    re-run on the patched arenas. *)
+
 val of_set : kernel -> Module_set.t -> t
 (** Signature of a module set: one scan of the RTL's used-module sets
     (the last time the module universe is touched). Raises

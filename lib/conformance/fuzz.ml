@@ -62,6 +62,13 @@ let check (sc : Scenario.t) =
     Oracles.sharded_regions_optimal config profile sc.Scenario.sinks
   | Gcr.Flow.Shards s ->
     Oracles.sharded_regions_optimal ~shards:s config profile sc.Scenario.sinks);
+  (* Streaming ingestion replays the same trace chunked; on eco draws the
+     drift-repair axis additionally exercises local re-route. *)
+  Oracles.chunked_vs_whole sc;
+  (match options.Gcr.Flow.eco with
+  | Gcr.Flow.No_eco -> ()
+  | Gcr.Flow.Eco { threshold } ->
+    Oracles.eco_repair_matches_scratch ~threshold sc);
   Oracles.domains_determinism sc
 
 let fails check sc =
@@ -159,6 +166,14 @@ let candidates (sc : Scenario.t) =
              sc with
              Scenario.options =
                { opts with Gcr.Flow.gate_share = Gcr.Flow.No_share };
+           };
+         ]
+       else []);
+      (if opts.Gcr.Flow.eco <> Gcr.Flow.No_eco then
+         [
+           {
+             sc with
+             Scenario.options = { opts with Gcr.Flow.eco = Gcr.Flow.No_eco };
            };
          ]
        else []);

@@ -280,6 +280,121 @@ let engine_vs_dense (sc : Scenario.t) =
   greedy_optimal ~what:"dense oracle" config profile sinks
     (Gcr.Activity_router.topology_dense config profile sinks)
 
+(* Streaming ingestion is additive over concatenation, so any chunking
+   of the trace — including degenerate chunks — must land on the same
+   tables bit-for-bit and therefore the same routed tree. The split here
+   deliberately exercises every boundary shape at once: an empty chunk,
+   a single-instruction chunk (whose only contribution is one hit count
+   and the boundary pair), and a cut point inside a NOW/NEXT pair. *)
+let chunked_vs_whole (sc : Scenario.t) =
+  let stream = Scenario.instr_stream sc in
+  let len = Activity.Instr_stream.length stream in
+  let acc = Activity.Stream_update.create sc.Scenario.rtl in
+  let cut = 1 + ((len - 1) / 2) in
+  let slice pos n = Array.init n (fun i -> Activity.Instr_stream.get stream (pos + i)) in
+  Activity.Stream_update.ingest acc (slice 0 1);
+  Activity.Stream_update.ingest acc [||];
+  Activity.Stream_update.ingest acc (slice 1 (cut - 1));
+  Activity.Stream_update.ingest acc (slice cut (len - cut));
+  let ift_c = Activity.Stream_update.ift acc
+  and ift_w = Activity.Ift.build stream in
+  if Activity.Ift.total_cycles ift_c <> Activity.Ift.total_cycles ift_w then
+    fail "chunked_vs_whole" "IFT totals differ (%d chunked vs %d whole)"
+      (Activity.Ift.total_cycles ift_c)
+      (Activity.Ift.total_cycles ift_w);
+  for i = 0 to Activity.Rtl.n_instructions sc.Scenario.rtl - 1 do
+    if Activity.Ift.count ift_c i <> Activity.Ift.count ift_w i then
+      fail "chunked_vs_whole" "IFT count of instruction %d differs (%d vs %d)"
+        i
+        (Activity.Ift.count ift_c i)
+        (Activity.Ift.count ift_w i)
+  done;
+  let imatt_c = Activity.Stream_update.imatt acc
+  and imatt_w = Activity.Imatt.build stream in
+  if
+    Activity.Imatt.total_pairs imatt_c <> Activity.Imatt.total_pairs imatt_w
+  then
+    fail "chunked_vs_whole" "IMATT totals differ (%d chunked vs %d whole)"
+      (Activity.Imatt.total_pairs imatt_c)
+      (Activity.Imatt.total_pairs imatt_w);
+  let rows_c = Activity.Imatt.rows imatt_c
+  and rows_w = Activity.Imatt.rows imatt_w in
+  if Array.length rows_c <> Array.length rows_w then
+    fail "chunked_vs_whole" "IMATT row counts differ (%d vs %d)"
+      (Array.length rows_c) (Array.length rows_w);
+  Array.iteri
+    (fun r (a : Activity.Imatt.row) ->
+      let b = rows_w.(r) in
+      if
+        a.Activity.Imatt.first <> b.Activity.Imatt.first
+        || a.Activity.Imatt.second <> b.Activity.Imatt.second
+        || a.Activity.Imatt.count <> b.Activity.Imatt.count
+      then
+        fail "chunked_vs_whole"
+          "IMATT row %d differs ((%d,%d)x%d vs (%d,%d)x%d)" r
+          a.Activity.Imatt.first a.Activity.Imatt.second a.Activity.Imatt.count
+          b.Activity.Imatt.first b.Activity.Imatt.second b.Activity.Imatt.count)
+    rows_c;
+  (* Same tables => same routed tree, bit for bit. *)
+  let config = Scenario.config sc in
+  let route profile =
+    Gcr.Flow.run ~options:sc.Scenario.options config profile sc.Scenario.sinks
+  in
+  same_tree ~what:"chunked ingestion vs whole-trace build"
+    (route (Activity.Stream_update.profile acc))
+    (route (Scenario.profile sc))
+
+(* Deterministic drift on top of a scenario's trace: one chunk replaying
+   the trace reversed (moves the pair distribution, i.e. Ptr, while
+   keeping every hit count) and one chunk hammering the trace's first
+   instruction (moves the hit distribution, i.e. P, in both
+   directions). *)
+let drift_chunks (sc : Scenario.t) =
+  let stream = sc.Scenario.stream in
+  let len = Array.length stream in
+  [ Array.init len (fun i -> stream.(len - 1 - i));
+    Array.make (Int.max 8 len) stream.(0) ]
+
+(* The locality bound for ECO repair: the switched capacitance of a
+   locally repaired tree may not stray from a from-scratch route under
+   the updated profile by more than this relative tolerance. Measured
+   over fuzz smoke populations (EXPERIMENTS.md, "Streaming updates and
+   ECO repair"); genuine repair
+   bugs (stale enables, a mis-spliced subtree) miss by whole factors. *)
+let eco_w_tolerance = 0.25
+
+let eco_repair_matches_scratch ?threshold (sc : Scenario.t) =
+  let config = Scenario.config sc in
+  let options = sc.Scenario.options in
+  let with_test t = if sc.Scenario.test_en then Gcr.Gated_tree.with_test_en t true else t in
+  let acc = Activity.Stream_update.of_stream (Scenario.instr_stream sc) in
+  let base = with_test (Gcr.Flow.run ~options config (Activity.Stream_update.profile acc) sc.Scenario.sinks) in
+  List.iter (Activity.Stream_update.ingest acc) (drift_chunks sc);
+  let updated = Activity.Stream_update.profile acc in
+  let report = Gcr.Eco.repair ?threshold ~options base updated in
+  let repaired = report.Gcr.Eco.tree in
+  Gsim.Invariant.structural repaired;
+  analytic_vs_simulated repaired;
+  let scratch = with_test (Gcr.Flow.run ~options config updated sc.Scenario.sinks) in
+  if report.Gcr.Eco.full_rebuild then
+    (* Root drift degenerates to the ordinary pipeline — then the repair
+       must be the from-scratch route, bit for bit. *)
+    same_tree ~what:"eco full rebuild vs scratch" repaired scratch
+  else begin
+    let w_rep = Gcr.Cost.w_total repaired
+    and w_scr = Gcr.Cost.w_total scratch in
+    if not (Float.is_finite w_rep && w_rep >= 0.0) then
+      fail "eco_repair_matches_scratch" "repaired W is %.17g" w_rep;
+    if not (Util.Tol.close ~rel:eco_w_tolerance w_rep w_scr) then
+      fail "eco_repair_matches_scratch"
+        "repaired W %.17g strays more than %g%% from the from-scratch W \
+         %.17g (%d drifted nodes, %d stale subtrees, %d sinks re-merged)"
+        w_rep (100.0 *. eco_w_tolerance) w_scr
+        (List.length report.Gcr.Eco.drifted)
+        (List.length report.Gcr.Eco.stale)
+        report.Gcr.Eco.resinks
+  end
+
 let with_domains value f =
   let old = Sys.getenv_opt "GCR_DOMAINS" in
   Unix.putenv "GCR_DOMAINS" value;

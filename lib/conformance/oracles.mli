@@ -73,6 +73,34 @@ val engine_vs_dense : Scenario.t -> unit
     legally diverge whenever saturated enables meet overlapping merge
     regions. *)
 
+val chunked_vs_whole : Scenario.t -> unit
+(** Streaming-ingestion determinism: feeds the scenario's trace through
+    {!Activity.Stream_update} in deliberately awkward chunks — a
+    single-instruction chunk, an empty chunk, and a cut inside a
+    NOW/NEXT pair — and requires the accumulated IFT and IMATT to equal
+    the whole-trace builds {e bit for bit} (totals, per-instruction
+    counts, every pair row), then {!same_tree} on the pipelines routed
+    from each. *)
+
+val drift_chunks : Scenario.t -> int array list
+(** The deterministic drift workload the ECO oracle (and the fuzz
+    replayer) applies on top of a scenario's trace: the trace reversed
+    (drifts [Ptr] while preserving every hit count) followed by a
+    burst of its first instruction (drifts [P] in both directions). *)
+
+val eco_w_tolerance : float
+(** Relative band for {!eco_repair_matches_scratch}'s switched
+    capacitance comparison. *)
+
+val eco_repair_matches_scratch : ?threshold:float -> Scenario.t -> unit
+(** Routes the scenario, drifts its profile with {!drift_chunks} through
+    the streaming accumulator, repairs via {!Gcr.Eco.repair} and
+    re-routes from scratch under the drifted profile. The repaired tree
+    must pass the structural and analytic-vs-simulated invariants, and
+    its [W] must stay within {!eco_w_tolerance} of the from-scratch
+    route; a root-drift full rebuild must equal the scratch route bit
+    for bit ({!same_tree}). [threshold] as in {!Gcr.Eco.detect}. *)
+
 val domains_determinism : Scenario.t -> unit
 (** Runs the full {!Gcr.Flow.run} pipeline with [GCR_DOMAINS=1] and with
     [GCR_DOMAINS] at the domain count, and requires {!same_tree}: the

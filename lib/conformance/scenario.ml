@@ -102,6 +102,13 @@ let generate prng ~tag =
         { min_instances = 1 + Util.Prng.int prng 4; eps = Util.Prng.int prng 3 }
     | _ -> Gcr.Flow.No_share
   in
+  let eco =
+    match Util.Prng.int prng 4 with
+    | 0 ->
+      Gcr.Flow.Eco
+        { threshold = float_of_int (1 + Util.Prng.int prng 20) /. 100.0 }
+    | _ -> Gcr.Flow.No_eco
+  in
   let test_en = Util.Prng.int prng 4 = 0 in
   let k_controllers = Util.Prng.choose prng [| 1; 4; 9; 16 |] in
   let control_weight = Util.Prng.choose prng [| 1.0; 0.5; 2.0 |] in
@@ -114,7 +121,7 @@ let generate prng ~tag =
     sinks;
     rtl;
     stream;
-    options = { Gcr.Flow.skew_budget; reduction; sizing; shards; gate_share };
+    options = { Gcr.Flow.skew_budget; reduction; sizing; shards; gate_share; eco };
     test_en;
   }
 
@@ -179,6 +186,9 @@ let render t =
   | Gcr.Flow.No_share -> add "gate-share none"
   | Gcr.Flow.Share { min_instances; eps } ->
     add "gate-share %d %d" min_instances eps);
+  (match t.options.Gcr.Flow.eco with
+  | Gcr.Flow.No_eco -> add "eco none"
+  | Gcr.Flow.Eco { threshold } -> add "eco %.17g" threshold);
   add "test-en %d" (if t.test_en then 1 else 0);
   add "begin sinks";
   Buffer.add_string b (Formats.Sinks_format.render t.sinks);
@@ -341,6 +351,21 @@ let parse ?(source = "<scenario>") contents =
       Formats.Parse.fail ~source ~line
         "gate-share expects none | <min-instances> <eps>"
   in
+  (* Optional for compatibility with pre-streaming scenario files. *)
+  let eco =
+    match Hashtbl.find_opt header "eco" with
+    | None | Some (_, [ "none" ]) -> Gcr.Flow.No_eco
+    | Some (line, [ s ]) ->
+      let threshold =
+        Formats.Parse.float_field ~source ~line ~what:"eco drift threshold" s
+      in
+      if not (Float.is_finite threshold && threshold > 0.0) then
+        Formats.Parse.fail ~source ~line
+          "eco drift threshold must be finite and positive";
+      Gcr.Flow.Eco { threshold }
+    | Some (line, _) ->
+      Formats.Parse.fail ~source ~line "eco expects none | <threshold>"
+  in
   let test_en =
     match Hashtbl.find_opt header "test-en" with
     | None | Some (_, [ "0" ]) -> false
@@ -385,7 +410,7 @@ let parse ?(source = "<scenario>") contents =
     sinks;
     rtl;
     stream;
-    options = { Gcr.Flow.skew_budget; reduction; sizing; shards; gate_share };
+    options = { Gcr.Flow.skew_budget; reduction; sizing; shards; gate_share; eco };
     test_en;
   }
 

@@ -1,0 +1,83 @@
+(** ECO-style local re-route under workload drift.
+
+    A routed tree encodes two kinds of decisions made from the activity
+    profile: {e where} subtrees merged (the greedy Eq. (3) topology) and
+    {e what hardware} each edge carries (reduction, sharing, sizing).
+    When a trace update ({!Activity.Stream_update}) moves the observed
+    [P(EN)]/[Ptr(EN)] of some subtree, only the decisions near it are
+    suspect — re-routing everything from scratch throws away the whole
+    merge structure to fix a local problem.
+
+    The repair pass keeps it local, engineering-change-order style:
+
+    + {!detect} compares the tree's stored per-node enables against
+      fresh ones computed from the updated profile; a node {e drifts}
+      when [P] or [Ptr] moved by more than [threshold] relative to its
+      old value (with an absolute floor of 0.05 so near-zero
+      probabilities don't flag on noise).
+    + The {e stale roots} are the maximal drifted subtrees (leaf drifts
+      promote to their parent — the smallest re-routable unit). Each is
+      re-merged from its own sinks by the ordinary greedy engine under
+      the new profile; everything outside keeps its merge structure
+      bit-for-bit.
+    + The spliced topology is re-embedded (zero skew is a global
+      constraint, so the DME embedding is always recomputed) and the
+      cheap optimisation stages — gate reduction, sharing, sizing, per
+      [options] — re-run globally on the new numbers. Test mode carries
+      over.
+
+    When the drift reaches the root — or the stale regions cover more
+    than half the sinks, where pinning the surviving merge structure
+    costs re-route freedom without buying locality — the repair
+    degenerates to an honest full re-route ([full_rebuild = true]).
+    Conformance's
+    [eco_repair_matches_scratch] oracle bounds the cost of locality:
+    the repaired tree's switched capacitance must stay within tolerance
+    of a from-scratch route under the updated profile. *)
+
+type drift = {
+  node : int;  (** node id in the old tree's topology *)
+  p_old : float;
+  p_new : float;
+  ptr_old : float;
+  ptr_new : float;
+}
+(** One node whose enable statistics moved past the threshold. *)
+
+type report = {
+  tree : Gated_tree.t;  (** the repaired tree, over the new profile *)
+  drifted : drift list;  (** every flagged node, ascending by id *)
+  stale : int list;
+      (** maximal stale subtree roots (old-topology ids), ascending;
+          empty when no node drifted *)
+  resinks : int;  (** sinks inside re-merged regions *)
+  full_rebuild : bool;
+      (** the drift reached the root and the repair fell back to a full
+          re-route *)
+}
+
+val default_threshold : float
+(** [0.05] — used when [options.eco] is [No_eco] and no explicit
+    threshold is given. *)
+
+val detect :
+  ?threshold:float -> Gated_tree.t -> Activity.Profile.t -> drift list
+(** Nodes whose [P(EN)] or [Ptr(EN)] under the new profile moved past
+    the relative threshold (default {!default_threshold}) vs the values
+    stored in the tree. Raises [Invalid_argument] on a non-positive or
+    non-finite threshold, or when the profile's module universe does not
+    cover the tree's sinks. *)
+
+val repair :
+  ?threshold:float ->
+  options:Flow.options ->
+  Gated_tree.t ->
+  Activity.Profile.t ->
+  report
+(** Detect drift and repair the tree against the updated profile as
+    described above. [threshold] defaults to [options.eco]'s threshold
+    (or {!default_threshold} under [No_eco]); [options] also supplies
+    the skew budget and the reduction/sharing/sizing stages re-applied
+    to the repaired tree. With no drift at all the same topology is
+    rebuilt over the new profile (stages re-run — the sub-threshold
+    probability moves still shift every [W] term). *)

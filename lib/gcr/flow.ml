@@ -6,12 +6,15 @@ type shards = Flat | Auto_shards | Shards of int
 
 type gate_share = No_share | Share of { min_instances : int; eps : int }
 
+type eco = No_eco | Eco of { threshold : float }
+
 type options = {
   skew_budget : float;
   reduction : reduction;
   sizing : sizing;
   shards : shards;
   gate_share : gate_share;
+  eco : eco;
 }
 
 let default =
@@ -21,6 +24,7 @@ let default =
     sizing = No_sizing;
     shards = Flat;
     gate_share = No_share;
+    eco = No_eco;
   }
 
 let apply_reduction options tree =
@@ -151,6 +155,12 @@ let validate_inputs config profile sinks options =
        min_instances
    | Share { eps; _ } when eps < 0 ->
      bad "options" "gate-share eps %d must be non-negative" eps
+   | _ -> ());
+  (match options.eco with
+   | Eco { threshold } when not (Float.is_finite threshold && threshold > 0.0)
+     ->
+     bad "options" "eco drift threshold %g must be finite and positive"
+       threshold
    | _ -> ());
   List.rev !errs
 
@@ -413,7 +423,12 @@ let label options =
     | Share { min_instances; eps } ->
       Printf.sprintf "+share:%d,%d" min_instances eps
   in
-  "gated" ^ r ^ s ^ sh ^ gs
+  let e =
+    match options.eco with
+    | No_eco -> ""
+    | Eco { threshold } -> Printf.sprintf "+eco:%g" threshold
+  in
+  "gated" ^ r ^ s ^ sh ^ gs ^ e
 
 let standard_comparison ?(options = default) config profile sinks =
   let skew_budget = budget options in

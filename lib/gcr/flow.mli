@@ -20,12 +20,23 @@ type gate_share =
           fewer than [min_instances] sinks, remove gates within [eps] of
           their governor, group the rest onto shared enables *)
 
+type eco =
+  | No_eco  (** workload drift forces a full re-route *)
+  | Eco of { threshold : float }
+      (** opt into ECO-style local repair under workload drift: when a
+          trace update moves some subtree's observed [P(EN)]/[Ptr(EN)]
+          past this relative threshold, {!Eco.repair} re-merges only the
+          stale subtree (see {!Eco}). The threshold is carried here so
+          scenarios, the CLI and the serve layer agree on one knob; the
+          batch pipeline ({!run}/{!run_checked}) itself never repairs. *)
+
 type options = {
   skew_budget : float;  (** 0 = exact zero skew *)
   reduction : reduction;
   sizing : sizing;
   shards : shards;  (** region-parallel routing (see {!Shard_router}) *)
   gate_share : gate_share;  (** post-reduction gate sharing *)
+  eco : eco;  (** drift-repair policy for streaming updates *)
 }
 
 val default : options

@@ -1,7 +1,10 @@
 type entry = {
-  profile : Activity.Profile.t;
+  mutable profile : Activity.Profile.t;
+  mutable epoch : int;  (* bumped by every profile update *)
   lanes : Activity.Pcache.t option array;  (* one per worker slot *)
   mutable stamp : int;  (* LRU clock value of the last touch *)
+  update_m : Mutex.t;  (* serializes updates for this workload only *)
+  mutable acc : Activity.Stream_update.t option;  (* guarded by update_m *)
 }
 
 type t = {
@@ -71,11 +74,11 @@ let profile t scn =
         match Hashtbl.find_opt t.table key with
         | Some e ->
           touch t e;
-          Some e.profile
+          Some (e.profile, e.epoch)
         | None -> None)
   in
   match resident with
-  | Some p -> (key, p, true)
+  | Some (p, epoch) -> (key, p, epoch, true)
   | None ->
     (* Build outside the lock: table construction over a long stream is
        the expensive part and must not serialize unrelated workloads.
@@ -91,19 +94,89 @@ let profile t scn =
             (* A concurrent first sight won the insert; adopt its value
                so every request for the workload shares one profile. *)
             touch t e;
-            e.profile
+            (e.profile, e.epoch)
           | None ->
             let e =
-              { profile = fresh; lanes = Array.make t.slots None; stamp = 0 }
+              {
+                profile = fresh;
+                epoch = 0;
+                lanes = Array.make t.slots None;
+                stamp = 0;
+                update_m = Mutex.create ();
+                acc = None;
+              }
             in
             touch t e;
             Hashtbl.replace t.table key e;
             evict_lru_locked t;
-            e.profile)
+            (e.profile, e.epoch))
     in
-    (key, adopted, false)
+    let p, epoch = adopted in
+    (key, p, epoch, false)
 
-let pcache t ~key ~slot =
+(* The entry for [scn], inserting via {!profile} when absent. The retry
+   covers the window where another workload's insert evicts ours between
+   the build and the re-lookup — one extra round trip in practice. *)
+let rec ensure_entry t scn key =
+  let resident =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some e ->
+          touch t e;
+          Some e
+        | None -> None)
+  in
+  match resident with
+  | Some e -> e
+  | None ->
+    ignore (profile t scn);
+    ensure_entry t scn key
+
+let update t scn ~chunk =
+  let key = workload_key scn in
+  let entry = ensure_entry t scn key in
+  (* Per-entry update lock: updates to one workload serialize against
+     each other (the accumulator is single-owner mutable state) but the
+     expensive part — ingesting and rebuilding tables plus forcing the
+     fresh kernel — runs outside the table mutex, so routes and updates
+     of unrelated workloads never wait on it. *)
+  Mutex.lock entry.update_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock entry.update_m)
+    (fun () ->
+      let acc =
+        match entry.acc with
+        | Some acc -> acc
+        | None ->
+          let acc =
+            Activity.Stream_update.of_stream
+              (Conformance.Scenario.instr_stream scn)
+          in
+          entry.acc <- Some acc;
+          acc
+      in
+      Activity.Stream_update.ingest acc chunk;
+      (* [~patch:false]: in-flight readers of the previous epoch keep a
+         profile whose kernel is never mutated under them. *)
+      let fresh = Activity.Stream_update.profile ~patch:false acc in
+      ignore (Activity.Profile.signature_kernel fresh);
+      locked t (fun () ->
+          (* Publish epoch-atomically: profile swap, epoch bump and lane
+             invalidation are one critical section, so no worker can
+             observe the new profile with an old lane or vice versa. *)
+          entry.profile <- fresh;
+          entry.epoch <- entry.epoch + 1;
+          Array.fill entry.lanes 0 (Array.length entry.lanes) None;
+          if not (Hashtbl.mem t.table key) then begin
+            (* Evicted while we were building: re-adopt our entry so the
+               epoch history of the workload stays monotonic. *)
+            Hashtbl.replace t.table key entry;
+            evict_lru_locked t
+          end;
+          touch t entry;
+          (entry.epoch, fresh)))
+
+let pcache t ~key ~slot ~epoch =
   if slot < 0 || slot >= t.slots then
     invalid_arg (Printf.sprintf "Cache.pcache: slot %d out of range" slot);
   locked t (fun () ->
@@ -111,14 +184,17 @@ let pcache t ~key ~slot =
       | None ->
         invalid_arg
           (Printf.sprintf "Cache.pcache: workload %016Lx not resident" key)
-      | Some e -> (
+      | Some e ->
         touch t e;
-        match e.lanes.(slot) with
-        | Some pc -> pc
-        | None ->
-          let pc = Activity.Pcache.create e.profile in
-          e.lanes.(slot) <- Some pc;
-          pc))
+        if e.epoch <> epoch then `Stale e.epoch
+        else
+          `Pcache
+            (match e.lanes.(slot) with
+            | Some pc -> pc
+            | None ->
+              let pc = Activity.Pcache.create e.profile in
+              e.lanes.(slot) <- Some pc;
+              pc))
 
 let audit pc (tree : Gcr.Gated_tree.t) =
   let h0, m0 = Activity.Pcache.stats pc in
@@ -136,6 +212,12 @@ let audit pc (tree : Gcr.Gated_tree.t) =
   (h1 - h0, m1 - m0)
 
 let resident t = locked t (fun () -> Hashtbl.length t.table)
+
+let epoch t scn =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table (workload_key scn) with
+      | Some e -> Some e.epoch
+      | None -> None)
 
 let flush_obs t =
   let lanes =

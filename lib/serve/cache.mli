@@ -15,6 +15,17 @@
       construction, so the Pcache contract holds without any locking on
       the query path.
 
+    {b Epochs.} A workload's profile is no longer immutable for the life
+    of the entry: {!update} ingests a trace chunk through
+    {!Activity.Stream_update} and swaps in the drifted profile. Each
+    swap advances the entry's {e epoch} — profile, epoch and per-slot
+    pcache lanes move in one critical section, so a worker either sees
+    the old profile with old lanes or the new profile with empty lanes,
+    never a mix. Routes identify the profile they used by [(key, epoch)]
+    and {!pcache} refuses with [`Stale] when the epoch advanced
+    mid-request; the server re-routes against the fresh profile instead
+    of auditing a tree against tables it was not built from.
+
     The registry itself is a small mutex-guarded table with LRU eviction
     (an evicted entry is merely unlinked; in-flight requests holding its
     profile or a pcache keep them alive and consistent).
@@ -39,19 +50,46 @@ val workload_key : Conformance.Scenario.t -> int64
     inputs the profile is a function of. *)
 
 val profile :
-  t -> Conformance.Scenario.t -> int64 * Activity.Profile.t * bool
-(** [(key, profile, warm)]: the shared profile for the scenario's
-    workload, built (kernel forced) and inserted on first sight. [warm]
-    is whether the workload was already resident when this request
-    looked it up. Concurrent first sights build independently and adopt
-    one winner; losers' work is discarded, never torn. *)
+  t -> Conformance.Scenario.t -> int64 * Activity.Profile.t * int * bool
+(** [(key, profile, epoch, warm)]: the shared profile for the scenario's
+    workload at its current epoch (0 until the first {!update}), built
+    (kernel forced) and inserted on first sight. [warm] is whether the
+    workload was already resident when this request looked it up.
+    Concurrent first sights build independently and adopt one winner;
+    losers' work is discarded, never torn. *)
 
-val pcache : t -> key:int64 -> slot:int -> Activity.Pcache.t
+val update :
+  t -> Conformance.Scenario.t -> chunk:int array -> int * Activity.Profile.t
+(** Ingest [chunk] (instruction indices over the scenario's RTL) into
+    the workload's streaming accumulator — seeded with the scenario's
+    own trace on the first update — and publish the drifted profile,
+    returning [(epoch, profile)] for the new epoch. The swap is
+    epoch-atomic: profile, epoch bump and the invalidation of every
+    per-slot pcache lane happen in one critical section. Updates to the
+    same workload serialize; the table construction and kernel forcing
+    run outside the registry lock. Raises [Invalid_argument] on an
+    out-of-range instruction index (the accumulator is unchanged). *)
+
+val epoch : t -> Conformance.Scenario.t -> int option
+(** Current epoch of the scenario's workload, [None] when not
+    resident. *)
+
+val pcache :
+  t ->
+  key:int64 ->
+  slot:int ->
+  epoch:int ->
+  [ `Pcache of Activity.Pcache.t | `Stale of int ]
 (** The calling worker's pcache lane for a resident workload, created on
-    first use. Must only be called with the worker's own [slot] (that is
-    what makes it single-writer). Raises [Invalid_argument] on an
-    unknown key (evicted mid-request: call {!profile} again) or a slot
-    out of range. *)
+    first use — but only when the entry is still at [epoch] (the one
+    {!profile} reported when the request picked up its tables).
+    [`Stale current] means an {!update} advanced the profile
+    mid-request: the tree in hand was routed from tables that are no
+    longer the workload's truth, so the caller must re-fetch and
+    re-route rather than audit across epochs. Must only be called with
+    the worker's own [slot] (that is what makes it single-writer).
+    Raises [Invalid_argument] on an unknown key (evicted mid-request:
+    call {!profile} again) or a slot out of range. *)
 
 val audit : Activity.Pcache.t -> Gcr.Gated_tree.t -> int * int
 (** Recompute every node's enable signal probability through the pcache

@@ -36,6 +36,7 @@ let render_request ?budget_ms ~id scn =
     scenario = Conformance.Scenario.render scn;
     budget_ms;
     paranoid = false;
+    kind = Proto.Route;
   }
 
 (* Local one-shot ground truth: the plain [Flow.run] pipeline on the
@@ -138,7 +139,8 @@ let interpret addr ~case plan =
       ~finally:(fun () -> Client.close c)
       (fun () ->
         Client.send c
-          { Proto.id = case; scenario = text; budget_ms = None; paranoid = false };
+          { Proto.id = case; scenario = text; budget_ms = None; paranoid = false;
+            kind = Proto.Route };
         match Client.recv c with
         | Ok (Some (Proto.Reject r)) ->
           if r.Proto.exit_code = 65 && String.length r.Proto.message > 0 then

@@ -1,8 +1,11 @@
+type kind = Route | Update of { chunk : int array }
+
 type request = {
   id : int;
   scenario : string;
   budget_ms : float option;
   paranoid : bool;
+  kind : kind;
 }
 
 type answer = {
@@ -17,6 +20,7 @@ type answer = {
   audit_hits : int;
   audit_misses : int;
   cache_warm : bool;
+  epoch : int;
   elapsed_ms : float;
 }
 
@@ -80,6 +84,17 @@ let request_to_json r =
     Buffer.add_string b ",\"budget_ms\":";
     add_float b ms);
   if r.paranoid then Buffer.add_string b ",\"paranoid\":true";
+  (match r.kind with
+  | Route -> ()
+  | Update { chunk } ->
+    (* Absent = route: older peers keep parsing pre-streaming frames. *)
+    Buffer.add_string b ",\"kind\":\"update\",\"chunk\":[";
+    Array.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int x))
+      chunk;
+    Buffer.add_char b ']');
   Buffer.add_string b ",\"scenario\":";
   add_str b r.scenario;
   Buffer.add_char b '}';
@@ -108,6 +123,7 @@ let response_to_json = function
     Buffer.add_string b
       (Printf.sprintf ",\"audit_hits\":%d,\"audit_misses\":%d,\"cache_warm\":%b"
          a.audit_hits a.audit_misses a.cache_warm);
+    Buffer.add_string b (Printf.sprintf ",\"epoch\":%d" a.epoch);
     Buffer.add_string b ",\"elapsed_ms\":";
     add_float b a.elapsed_ms;
     Buffer.add_char b '}';
@@ -183,6 +199,18 @@ let request_of_json text =
         budget_ms = opt "budget_ms" num j;
         paranoid =
           (match opt "paranoid" bool_field j with Some b -> b | None -> false);
+        kind =
+          (match opt "kind" str j with
+          | None | Some "route" -> Route
+          | Some "update" ->
+            let chunk =
+              match mem "chunk" j with
+              | J.List l ->
+                Array.of_list (List.map (fun v -> int_field "chunk" v) l)
+              | _ -> shape "field \"chunk\" must be a list of integers"
+            in
+            Update { chunk }
+          | Some s -> shape "unknown request kind %S" s);
       })
     text
 
@@ -208,6 +236,9 @@ let response_of_json text =
             audit_hits = int_field "audit_hits" (mem "audit_hits" j);
             audit_misses = int_field "audit_misses" (mem "audit_misses" j);
             cache_warm = bool_field "cache_warm" (mem "cache_warm" j);
+            epoch =
+              (* Optional for answers recorded before profile epochs. *)
+              (match opt "epoch" int_field j with Some e -> e | None -> 0);
             elapsed_ms = num "elapsed_ms" (mem "elapsed_ms" j);
           }
       | "error" ->

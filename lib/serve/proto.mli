@@ -21,6 +21,14 @@
     carrying a typed {!Util.Gcr_error} class, its sysexits code, and for
     backpressure rejects a [retry_after_ms] hint. *)
 
+type kind =
+  | Route  (** route the scenario as-is (the default; absent in JSON) *)
+  | Update of { chunk : int array }
+      (** ingest [chunk] (instruction indices over the scenario's RTL)
+          into the workload's streaming profile first — advancing its
+          {!Cache} epoch and invalidating every worker's pcache lane —
+          then route against the drifted profile *)
+
 type request = {
   id : int;  (** client-chosen, echoed in the response *)
   scenario : string;  (** rendered {!Conformance.Scenario} text *)
@@ -28,6 +36,7 @@ type request = {
       (** per-request wall budget for {!Gcr.Flow.run_checked_info};
           [None] = the server's default *)
   paranoid : bool;  (** run with {!Gcr.Flow.mode} [Paranoid] *)
+  kind : kind;
 }
 
 type answer = {
@@ -45,6 +54,11 @@ type answer = {
           nonzero exactly when the workload was warm *)
   audit_misses : int;
   cache_warm : bool;  (** the workload profile was already resident *)
+  epoch : int;
+      (** profile epoch the tree was routed (and audited) against — 0
+          until the workload's first [Update]; the warm-audit tripwire
+          compares this, not just workload hashes, so an answer can
+          never silently mix tables from two epochs *)
   elapsed_ms : float;  (** service time, queue wait excluded *)
 }
 

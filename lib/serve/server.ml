@@ -215,7 +215,14 @@ let evaluate cfg cache ~slot (req : Proto.request) =
           Util.Gcr_error.degenerate ~what:"budget_ms"
             "wall budget %g ms must be finite and non-negative" b
         | _ -> ());
-        let key, profile, warm = Cache.profile cache scenario in
+        (* An update request advances the workload's profile epoch first
+           (atomically swapping profile and invalidating every pcache
+           lane), then routes like any other request — the route below
+           picks up the drifted tables through the ordinary lookup. *)
+        (match req.kind with
+        | Proto.Route -> ()
+        | Proto.Update { chunk } ->
+          ignore (Cache.update cache scenario ~chunk));
         let config = Conformance.Scenario.config scenario in
         let limits =
           {
@@ -227,35 +234,54 @@ let evaluate cfg cache ~slot (req : Proto.request) =
           if req.paranoid || cfg.paranoid then Gcr.Flow.Paranoid
           else Gcr.Flow.Default
         in
-        match
-          Gcr.Flow.run_checked_info ~mode ~limits
-            ~options:scenario.Conformance.Scenario.options config profile
-            scenario.Conformance.Scenario.sinks
-        with
-        | Error errs -> `Errs errs
-        | Ok checked ->
-          let tree = checked.Gcr.Flow.tree in
-          let pc = Cache.pcache cache ~key ~slot in
-          let audit_hits, audit_misses = Cache.audit pc tree in
-          `Answer
-            {
-              Proto.id = req.id;
-              rung = checked.Gcr.Flow.rung;
-              degraded =
-                List.map
-                  (fun (e : Gcr.Flow.event) -> e.Gcr.Flow.stage)
-                  checked.Gcr.Flow.degraded;
-              digest = Digest.to_hex (Digest.tree tree);
-              w_total = Gcr.Cost.w_total tree;
-              gates = Gcr.Gated_tree.gate_count tree;
-              buffers = Gcr.Gated_tree.buffer_count tree;
-              wirelen =
-                Clocktree.Embed.total_wirelength tree.Gcr.Gated_tree.embed;
-              audit_hits;
-              audit_misses;
-              cache_warm = warm;
-              elapsed_ms = (now () -. t0) *. 1000.0;
-            })
+        (* The audit must compare the tree against the profile epoch it
+           was routed from. When a concurrent update advances the epoch
+           mid-route, the tree in hand no longer reflects the workload's
+           tables: re-route against the fresh profile (bounded — each
+           retry needs another update to land inside the route window). *)
+        let rec routed attempt =
+          let key, profile, epoch, warm = Cache.profile cache scenario in
+          match
+            Gcr.Flow.run_checked_info ~mode ~limits
+              ~options:scenario.Conformance.Scenario.options config profile
+              scenario.Conformance.Scenario.sinks
+          with
+          | Error errs -> `Errs errs
+          | Ok checked -> (
+            let tree = checked.Gcr.Flow.tree in
+            match Cache.pcache cache ~key ~slot ~epoch with
+            | `Stale current when attempt < 3 ->
+              ignore current;
+              routed (attempt + 1)
+            | `Stale current ->
+              Util.Gcr_error.mismatch ~stage:"serve:audit"
+                "workload profile kept advancing under evaluation (epoch %d \
+                 -> %d after %d attempts)"
+                epoch current attempt
+            | `Pcache pc ->
+              let audit_hits, audit_misses = Cache.audit pc tree in
+              `Answer
+                {
+                  Proto.id = req.id;
+                  rung = checked.Gcr.Flow.rung;
+                  degraded =
+                    List.map
+                      (fun (e : Gcr.Flow.event) -> e.Gcr.Flow.stage)
+                      checked.Gcr.Flow.degraded;
+                  digest = Digest.to_hex (Digest.tree tree);
+                  w_total = Gcr.Cost.w_total tree;
+                  gates = Gcr.Gated_tree.gate_count tree;
+                  buffers = Gcr.Gated_tree.buffer_count tree;
+                  wirelen =
+                    Clocktree.Embed.total_wirelength tree.Gcr.Gated_tree.embed;
+                  audit_hits;
+                  audit_misses;
+                  cache_warm = warm;
+                  epoch;
+                  elapsed_ms = (now () -. t0) *. 1000.0;
+                })
+        in
+        routed 0)
   in
   match result with
   | Ok (`Answer a) -> Proto.Answer a

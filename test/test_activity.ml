@@ -1066,6 +1066,192 @@ let prop_markov_matches_sampling =
       let dptr = Float.abs (Activity.Profile.ptr profile set -. Activity.Markov.ptr model set) in
       dp < 0.02 && dptr < 0.02)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming accumulation (Stream_update) and patched kernels         *)
+(* ------------------------------------------------------------------ *)
+
+let check_tables_equal ~what rtl acc whole =
+  let k = Activity.Rtl.n_instructions rtl in
+  let ift_a = Activity.Stream_update.ift acc and ift_w = Activity.Ift.build whole in
+  Alcotest.(check int)
+    (what ^ ": total cycles")
+    (Activity.Ift.total_cycles ift_w)
+    (Activity.Ift.total_cycles ift_a);
+  for i = 0 to k - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "%s: IFT count of instr %d" what i)
+      (Activity.Ift.count ift_w i) (Activity.Ift.count ift_a i)
+  done;
+  let im_a = Activity.Stream_update.imatt acc
+  and im_w = Activity.Imatt.build whole in
+  Alcotest.(check int)
+    (what ^ ": total pairs")
+    (Activity.Imatt.total_pairs im_w)
+    (Activity.Imatt.total_pairs im_a);
+  for first = 0 to k - 1 do
+    for second = 0 to k - 1 do
+      Alcotest.(check int)
+        (Printf.sprintf "%s: pair (%d,%d)" what first second)
+        (Activity.Imatt.pair_count im_w ~first ~second)
+        (Activity.Imatt.pair_count im_a ~first ~second)
+    done
+  done
+
+let test_stream_update_chunk_shapes () =
+  let rtl = Activity.Rtl.paper_example in
+  let trace = [| 0; 1; 2; 0; 1; 0; 3; 2; 1 |] in
+  let whole = Activity.Instr_stream.make rtl trace in
+  let acc = Activity.Stream_update.create rtl in
+  Alcotest.(check int) "fresh accumulator" 0
+    (Activity.Stream_update.total_cycles acc);
+  Activity.Stream_update.ingest acc [||];
+  Alcotest.(check int) "empty chunk is a no-op" 0
+    (Activity.Stream_update.total_cycles acc);
+  (* A single-instruction chunk contributes one hit count; its boundary
+     pair (0,1) appears with the next chunk — the NOW/NEXT pair split
+     across the boundary is counted exactly once. *)
+  Activity.Stream_update.ingest acc [| 0 |];
+  Alcotest.(check int) "one cycle" 1 (Activity.Stream_update.total_cycles acc);
+  Activity.Stream_update.ingest acc [| 1; 2; 0 |];
+  Activity.Stream_update.ingest acc [||];
+  Activity.Stream_update.ingest acc [| 1; 0; 3 |];
+  (* replays already-seen instructions: only counts move, no new rows *)
+  Activity.Stream_update.ingest acc [| 2; 1 |];
+  check_tables_equal ~what:"chunked" rtl acc whole;
+  Alcotest.(check int) "distinct pairs = IMATT rows"
+    (Array.length (Activity.Imatt.rows (Activity.Imatt.build whole)))
+    (Activity.Stream_update.distinct_pairs acc);
+  let s = Activity.Stream_update.stream acc in
+  Alcotest.(check int) "stream length" (Array.length trace)
+    (Activity.Instr_stream.length s);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check int)
+        (Printf.sprintf "stream cycle %d" i)
+        v
+        (Activity.Instr_stream.get s i))
+    trace
+
+let test_stream_update_validation () =
+  let rtl = Activity.Rtl.paper_example in
+  let acc = Activity.Stream_update.create rtl in
+  Alcotest.check_raises "ift before ingest"
+    (Invalid_argument "Stream_update.ift: no cycles ingested") (fun () ->
+      ignore (Activity.Stream_update.ift acc));
+  Alcotest.check_raises "stream before ingest"
+    (Invalid_argument "Stream_update.stream: no cycles ingested") (fun () ->
+      ignore (Activity.Stream_update.stream acc));
+  Activity.Stream_update.ingest acc [| 3 |];
+  Alcotest.check_raises "imatt needs two cycles"
+    (Invalid_argument "Stream_update.imatt: fewer than two cycles ingested")
+    (fun () -> ignore (Activity.Stream_update.imatt acc));
+  (* Validation happens before any mutation: a rejected chunk leaves the
+     accumulator exactly where it was. *)
+  Alcotest.check_raises "out-of-range instruction"
+    (Invalid_argument "Stream_update.ingest: instruction 7 out of range")
+    (fun () -> Activity.Stream_update.ingest acc [| 0; 7 |]);
+  Alcotest.(check int) "rejected chunk left no trace" 1
+    (Activity.Stream_update.total_cycles acc);
+  Activity.Stream_update.ingest acc [| 0 |];
+  check_tables_equal ~what:"post-rejection" rtl acc
+    (Activity.Instr_stream.make rtl [| 3; 0 |]);
+  let other = random_rtl (Util.Prng.create 5) ~n_modules:6 ~n_instr:7 in
+  Alcotest.check_raises "rtl mismatch"
+    (Invalid_argument "Stream_update.ingest_stream: mismatched RTL") (fun () ->
+      Activity.Stream_update.ingest_stream acc
+        (Activity.Instr_stream.make other [| 0 |]))
+
+let prop_stream_update_patch_matches_scratch =
+  QCheck.Test.make
+    ~name:"patched signature kernel = from-scratch build (P/Ptr bit-for-bit)"
+    ~count:40
+    QCheck.(pair (int_range 1 10_000) (int_range 4 300))
+    (fun (seed, len) ->
+      let prng = Util.Prng.create seed in
+      let rtl = random_rtl prng ~n_modules:9 ~n_instr:5 in
+      let model = Activity.Cpu_model.make ~locality:0.3 rtl in
+      let stream = Activity.Cpu_model.generate model prng len in
+      let arr =
+        Array.init (Activity.Instr_stream.length stream)
+          (Activity.Instr_stream.get stream)
+      in
+      let acc = Activity.Stream_update.create rtl in
+      (* Ingest in irregular chunks, demanding a patched profile after
+         every chunk so the kernel alternates between the in-place arena
+         patch (only counts moved) and the rebuild (new pairs appeared). *)
+      let pos = ref 0 in
+      while !pos < Array.length arr do
+        let left = Array.length arr - !pos in
+        let step = 1 + Util.Prng.int prng (Int.min left 7) in
+        Activity.Stream_update.ingest acc (Array.sub arr !pos step);
+        pos := !pos + step;
+        if Activity.Stream_update.total_cycles acc >= 2 then
+          ignore (Activity.Stream_update.profile acc)
+      done;
+      (* a replayed prefix moves only counts: the pure patch path *)
+      let replay = Int.min 5 (Array.length arr) in
+      Activity.Stream_update.ingest acc (Array.sub arr 0 replay);
+      let patched = Activity.Stream_update.profile acc in
+      let whole =
+        Activity.Instr_stream.concat
+          [ stream; Activity.Instr_stream.slice stream ~pos:0 ~len:replay ]
+      in
+      let scratch = Activity.Profile.of_stream whole in
+      let kern p =
+        match Activity.Profile.signature_kernel p with
+        | Some k -> k
+        | None -> QCheck.Test.fail_report "profile lost its kernel"
+      in
+      let kp = kern patched and ks = kern scratch in
+      let ok = ref true in
+      for _ = 1 to 12 do
+        let set = random_set prng 9 in
+        let sp = Activity.Signature.of_set kp set
+        and ss = Activity.Signature.of_set ks set in
+        if
+          Activity.Signature.p kp sp <> Activity.Signature.p ks ss
+          || Activity.Signature.ptr kp sp <> Activity.Signature.ptr ks ss
+          || Activity.Signature.p kp sp <> Activity.Brute.p_any whole set
+          || Activity.Signature.ptr kp sp <> Activity.Brute.ptr whole set
+        then ok := false
+      done;
+      !ok)
+
+let test_pcache_set_profile_generation () =
+  let cache = Activity.Pcache.create paper_profile in
+  let m56 = Ms.of_list 6 [ 4; 5 ] in
+  Alcotest.(check int) "fresh generation" 0 (Activity.Pcache.generation cache);
+  check_float "old profile" 0.55 (Activity.Pcache.p cache m56);
+  check_float "memoized" 0.55 (Activity.Pcache.p cache m56);
+  (* Drift the workload: a trace parked on I2 (uses M1 M4) leaves M5|M6
+     idle almost always, so the memoized 0.55 would be a wrong answer. *)
+  let rtl = Activity.Profile.rtl paper_profile in
+  let drifted =
+    Activity.Profile.of_stream
+      (Activity.Instr_stream.make rtl [| 1; 1; 1; 2; 1; 1; 1; 1 |])
+  in
+  let expected = Activity.Profile.p drifted m56 in
+  Alcotest.(check bool) "the drift actually moved P(M5|M6)" true
+    (expected <> 0.55);
+  Activity.Pcache.set_profile cache drifted;
+  Alcotest.(check int) "generation bumped" 1 (Activity.Pcache.generation cache);
+  Alcotest.(check bool) "profile swapped" true
+    (Activity.Pcache.profile cache == drifted);
+  let _, misses0 = Activity.Pcache.stats cache in
+  check_float "stale entry cannot answer" expected (Activity.Pcache.p cache m56);
+  let _, misses1 = Activity.Pcache.stats cache in
+  Alcotest.(check int) "recomputed, not served stale" (misses0 + 1) misses1;
+  check_float "new entry memoized" expected (Activity.Pcache.p cache m56);
+  let foreign =
+    Activity.Profile.of_stream
+      (Activity.Instr_stream.make
+         (random_rtl (Util.Prng.create 9) ~n_modules:4 ~n_instr:3)
+         [| 0; 1 |])
+  in
+  Alcotest.check_raises "wrong universe rejected"
+    (Invalid_argument "Pcache.set_profile: module universe mismatch") (fun () ->
+      Activity.Pcache.set_profile cache foreign)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "activity"
@@ -1134,7 +1320,15 @@ let () =
             test_pcache_domains_stress;
           Alcotest.test_case "single-writer pinning" `Quick
             test_pcache_owner_violation;
+          Alcotest.test_case "set_profile invalidates" `Quick
+            test_pcache_set_profile_generation;
           qt prop_pcache_matches_profile;
+        ] );
+      ( "stream_update",
+        [
+          Alcotest.test_case "chunk shapes" `Quick test_stream_update_chunk_shapes;
+          Alcotest.test_case "validation" `Quick test_stream_update_validation;
+          qt prop_stream_update_patch_matches_scratch;
         ] );
       ( "tables_vs_brute",
         [ qt prop_tables_match_brute; qt prop_p_monotone_in_set; qt prop_ptr_bounded_by_2min ] );

@@ -49,7 +49,8 @@ let test_flow_matrix () =
             (fun skew_budget ->
               let options =
                 { Gcr.Flow.skew_budget; reduction; sizing;
-                  shards = Gcr.Flow.Flat; gate_share = Gcr.Flow.No_share }
+                  shards = Gcr.Flow.Flat; gate_share = Gcr.Flow.No_share;
+                  eco = Gcr.Flow.No_eco }
               in
               let tree = Gcr.Flow.run ~options config profile sc.S.sinks in
               Gsim.Check.validate tree)
@@ -126,7 +127,7 @@ let test_zero_skew_detects_tamper () =
   let sc = { (scenario_with_sinks 11 "tamper") with S.options =
                { Gcr.Flow.skew_budget = 0.0; reduction = Gcr.Flow.No_reduction;
                  sizing = Gcr.Flow.No_sizing; shards = Gcr.Flow.Flat;
-                 gate_share = Gcr.Flow.No_share } }
+                 gate_share = Gcr.Flow.No_share; eco = Gcr.Flow.No_eco } }
   in
   let tree = all_gated_tree sc in
   Gsim.Invariant.zero_skew tree;

@@ -836,6 +836,7 @@ let test_flow_options () =
       sizing = Gcr.Flow.Uniform 2.0;
       shards = Gcr.Flow.Flat;
       gate_share = Gcr.Flow.No_share;
+      eco = Gcr.Flow.No_eco;
     }
   in
   let tree = Gcr.Flow.run ~options config profile sinks in
@@ -1083,6 +1084,107 @@ let test_svg_renders () =
     (Astring.String.is_infix ~affix:"polyline" svg);
   Alcotest.(check bool) "closes" true (Astring.String.is_suffix ~affix:"</svg>\n" svg)
 
+(* ------------------------------------------------------------------ *)
+(* ECO drift detection and local repair                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Identity workload: instruction i exercises exactly module i, so a
+   stream edit maps to a precisely known set of drifting enables. Sinks
+   sit on a line with sinks 0 and 1 adjacent (they merge first). *)
+let eco_setup () =
+  let n = 8 in
+  let rtl =
+    Activity.Rtl.make ~n_modules:n
+      ~uses:(Array.init n (fun i -> Activity.Module_set.singleton n i))
+      ()
+  in
+  let base_trace = Array.init 400 (fun c -> c mod n) in
+  let profile = Activity.Profile.of_stream (Activity.Instr_stream.make rtl base_trace) in
+  let sinks =
+    Array.init n (fun id ->
+        let x = if id <= 1 then 10.0 +. float_of_int id else 100.0 *. float_of_int id in
+        mk_sink id x 0.0 10.0 id)
+  in
+  let config = Gcr.Config.make ~die:(Geometry.Bbox.square ~side:1000.0) () in
+  (rtl, base_trace, config, profile, sinks)
+
+let test_eco_threshold_validation () =
+  let _, _, config, profile, sinks = eco_setup () in
+  let tree = Gcr.Flow.run config profile sinks in
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises
+        (Printf.sprintf "threshold %f rejected" bad)
+        (Invalid_argument "Eco.detect: threshold must be finite and positive")
+        (fun () -> ignore (Gcr.Eco.detect ~threshold:bad tree profile)))
+    [ 0.0; -0.1; Float.nan; Float.infinity ]
+
+let test_eco_no_drift_keeps_topology () =
+  let _, _, config, profile, sinks = eco_setup () in
+  let tree = Gcr.Flow.run config profile sinks in
+  let report = Gcr.Eco.repair ~options:Gcr.Flow.default tree profile in
+  Alcotest.(check int) "nothing drifted" 0 (List.length report.Gcr.Eco.drifted);
+  Alcotest.(check (list int)) "no stale roots" [] report.Gcr.Eco.stale;
+  Alcotest.(check int) "no sinks re-merged" 0 report.Gcr.Eco.resinks;
+  Alcotest.(check bool) "no full rebuild" false report.Gcr.Eco.full_rebuild;
+  Alcotest.(check bool) "topology preserved" true
+    (Clocktree.Topo.equal tree.Gcr.Gated_tree.topo
+       report.Gcr.Eco.tree.Gcr.Gated_tree.topo);
+  Gcr.Gated_tree.check_invariants report.Gcr.Eco.tree
+
+let test_eco_local_repair () =
+  let rtl, base_trace, config, profile, sinks = eco_setup () in
+  let tree = Gcr.Flow.run config profile sinks in
+  (* Replace every I1 by I0: modules 0 and 1 swap activity while every
+     enable containing both or neither keeps its waveform bit-for-bit —
+     only the two leaves drift, and repair stays inside their parent. *)
+  let drifted_profile =
+    Activity.Profile.of_stream
+      (Activity.Instr_stream.make rtl
+         (Array.map (fun i -> if i = 1 then 0 else i) base_trace))
+  in
+  let options = { Gcr.Flow.default with Gcr.Flow.eco = Gcr.Flow.Eco { threshold = 0.3 } } in
+  let report = Gcr.Eco.repair ~options tree drifted_profile in
+  Alcotest.(check (list int)) "exactly the two swapped leaves drift" [ 0; 1 ]
+    (List.map (fun d -> d.Gcr.Eco.node) report.Gcr.Eco.drifted);
+  Alcotest.(check int) "one stale subtree" 1 (List.length report.Gcr.Eco.stale);
+  Alcotest.(check int) "only the local sinks re-merged" 2 report.Gcr.Eco.resinks;
+  Alcotest.(check bool) "local, not a full rebuild" false
+    report.Gcr.Eco.full_rebuild;
+  Gcr.Gated_tree.check_invariants report.Gcr.Eco.tree;
+  let scratch = Gcr.Flow.run ~options config drifted_profile sinks in
+  let w_rep = Gcr.Cost.w_total report.Gcr.Eco.tree
+  and w_scr = Gcr.Cost.w_total scratch in
+  (* One-sided: the bound is on the cost of pinning the surviving merge
+     structure. Here repair actually beats the scratch greedy route —
+     the dead module 1 makes the activity-greedy merge chase inactive
+     sinks across the die, which the preserved topology never does. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "repaired W %.1f at most 25%% over scratch %.1f" w_rep w_scr)
+    true
+    (w_rep < w_scr *. 1.25)
+
+let test_eco_widespread_drift_full_rebuild () =
+  let rtl, _, config, profile, sinks = eco_setup () in
+  let tree = Gcr.Flow.run config profile sinks in
+  (* Parking the whole trace on I0 drifts every leaf: locality cannot
+     pay, so repair must degenerate to an honest full re-route equal to
+     the ordinary pipeline bit for bit. *)
+  let drifted_profile =
+    Activity.Profile.of_stream
+      (Activity.Instr_stream.make rtl (Array.make 400 0))
+  in
+  let report = Gcr.Eco.repair ~options:Gcr.Flow.default tree drifted_profile in
+  Alcotest.(check bool) "full rebuild" true report.Gcr.Eco.full_rebuild;
+  Alcotest.(check int) "every sink re-merged" (Array.length sinks)
+    report.Gcr.Eco.resinks;
+  let scratch = Gcr.Flow.run config drifted_profile sinks in
+  Alcotest.(check bool) "same topology as the pipeline" true
+    (Clocktree.Topo.equal scratch.Gcr.Gated_tree.topo
+       report.Gcr.Eco.tree.Gcr.Gated_tree.topo);
+  check_float "same W as the pipeline" (Gcr.Cost.w_total scratch)
+    (Gcr.Cost.w_total report.Gcr.Eco.tree)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "gcr"
@@ -1187,6 +1289,16 @@ let () =
           Alcotest.test_case "default matches manual" `Quick test_flow_default_matches_manual;
           Alcotest.test_case "options" `Quick test_flow_options;
           Alcotest.test_case "standard comparison" `Quick test_flow_standard_comparison;
+        ] );
+      ( "eco",
+        [
+          Alcotest.test_case "threshold validation" `Quick
+            test_eco_threshold_validation;
+          Alcotest.test_case "no drift keeps topology" `Quick
+            test_eco_no_drift_keeps_topology;
+          Alcotest.test_case "local repair" `Quick test_eco_local_repair;
+          Alcotest.test_case "widespread drift rebuilds" `Quick
+            test_eco_widespread_drift_full_rebuild;
         ] );
       ( "shard_router",
         [

@@ -146,9 +146,11 @@ let test_proto_request_roundtrip () =
         Alcotest.failf "round-trip failed: %s at %d" msg off)
     [
       { Serve.Proto.id = 0; scenario = Conformance.Scenario.render (scenario_of_seed 1);
-        budget_ms = None; paranoid = false };
+        budget_ms = None; paranoid = false;
+        kind = Serve.Proto.Route };
       { Serve.Proto.id = 42; scenario = "not even\na scenario\x01";
-        budget_ms = Some 12.5; paranoid = true };
+        budget_ms = Some 12.5; paranoid = true;
+        kind = Serve.Proto.Update { chunk = [| 0; 1; 0 |] } };
     ]
 
 let test_proto_response_roundtrip () =
@@ -163,7 +165,7 @@ let test_proto_response_roundtrip () =
         { id = 7; rung = "route"; degraded = [ "reduce"; "size" ];
           digest = "00ff00ff00ff00ff"; w_total = 1234.5; gates = 7; buffers = 2;
           wirelen = 314.25; audit_hits = 10; audit_misses = 3;
-          cache_warm = true; elapsed_ms = 1.75 };
+          cache_warm = true; epoch = 2; elapsed_ms = 1.75 };
       Serve.Proto.Reject
         { id = Some 9; error_class = "parse"; exit_code = 65;
           message = "scenario:3:1: bad"; retry_after_ms = None };
@@ -348,9 +350,10 @@ let test_pool_backstop_counts_raises () =
 let test_cache_warm_and_audit () =
   let cache = Serve.Cache.create ~slots:1 () in
   let scn = scenario_of_seed 11 in
-  let key1, prof1, warm1 = Serve.Cache.profile cache scn in
+  let key1, prof1, epoch1, warm1 = Serve.Cache.profile cache scn in
   Alcotest.(check bool) "first sight is cold" false warm1;
-  let key2, prof2, warm2 = Serve.Cache.profile cache scn in
+  Alcotest.(check int) "base epoch" 0 epoch1;
+  let key2, prof2, _, warm2 = Serve.Cache.profile cache scn in
   Alcotest.(check bool) "second sight is warm" true warm2;
   Alcotest.(check bool) "same key" true (Int64.equal key1 key2);
   Alcotest.(check bool) "same shared profile" true (prof1 == prof2);
@@ -361,7 +364,11 @@ let test_cache_warm_and_audit () =
     Gcr.Flow.run ~options:scn.Conformance.Scenario.options
       (Conformance.Scenario.config scn) prof1 scn.Conformance.Scenario.sinks
   in
-  let pc = Serve.Cache.pcache cache ~key:key1 ~slot:0 in
+  let pc =
+    match Serve.Cache.pcache cache ~key:key1 ~slot:0 ~epoch:epoch1 with
+    | `Pcache pc -> pc
+    | `Stale _ -> Alcotest.fail "lane stale without any update"
+  in
   let hits1, misses1 = Serve.Cache.audit pc tree in
   Alcotest.(check bool) "audit touched the cache" true (hits1 + misses1 > 0);
   let hits2, misses2 = Serve.Cache.audit pc tree in
@@ -369,7 +376,55 @@ let test_cache_warm_and_audit () =
   Alcotest.(check int) "same queries" (hits1 + misses1) hits2;
   Alcotest.check_raises "unknown workload key"
     (Invalid_argument "Cache.pcache: workload 0000000000000bad not resident")
-    (fun () -> ignore (Serve.Cache.pcache cache ~key:0xbadL ~slot:0))
+    (fun () ->
+      ignore (Serve.Cache.pcache cache ~key:0xbadL ~slot:0 ~epoch:0))
+
+(* An update atomically swaps the shared profile, advances the epoch and
+   invalidates every pcache lane: a route that picked up its tables
+   before the update must see [`Stale] (the cross-epoch audit tripwire),
+   and a fresh lookup must route and audit cleanly against the drifted
+   profile. *)
+let test_cache_update_epoch () =
+  let cache = Serve.Cache.create ~slots:1 () in
+  let scn = scenario_of_seed 12 in
+  let key, prof0, epoch0, _ = Serve.Cache.profile cache scn in
+  Alcotest.(check int) "base epoch" 0 epoch0;
+  (match Serve.Cache.pcache cache ~key ~slot:0 ~epoch:epoch0 with
+  | `Pcache _ -> ()
+  | `Stale _ -> Alcotest.fail "base lane stale");
+  (* Drift the workload: replay the scenario's own trace reversed. *)
+  let stream = Conformance.Scenario.instr_stream scn in
+  let n = Activity.Instr_stream.length stream in
+  let chunk = Array.init n (fun i -> Activity.Instr_stream.get stream (n - 1 - i)) in
+  let epoch1, prof1 = Serve.Cache.update cache scn ~chunk in
+  Alcotest.(check int) "epoch advanced" (epoch0 + 1) epoch1;
+  Alcotest.(check bool) "profile replaced" true (not (prof0 == prof1));
+  Alcotest.(check (option int)) "epoch visible" (Some epoch1)
+    (Serve.Cache.epoch cache scn);
+  (* The old epoch's lane is gone: a route that started before the
+     update must not audit against the drifted tables. *)
+  (match Serve.Cache.pcache cache ~key ~slot:0 ~epoch:epoch0 with
+  | `Stale current -> Alcotest.(check int) "stale reports current" epoch1 current
+  | `Pcache _ -> Alcotest.fail "stale epoch served a lane");
+  let key', prof', epoch', warm' = Serve.Cache.profile cache scn in
+  Alcotest.(check bool) "same workload key" true (Int64.equal key key');
+  Alcotest.(check bool) "lookup sees drifted profile" true (prof' == prof1);
+  Alcotest.(check int) "lookup sees new epoch" epoch1 epoch';
+  Alcotest.(check bool) "still warm" true warm';
+  let tree =
+    Gcr.Flow.run ~options:scn.Conformance.Scenario.options
+      (Conformance.Scenario.config scn) prof' scn.Conformance.Scenario.sinks
+  in
+  let pc =
+    match Serve.Cache.pcache cache ~key ~slot:0 ~epoch:epoch' with
+    | `Pcache pc -> pc
+    | `Stale _ -> Alcotest.fail "fresh lane stale"
+  in
+  let hits, misses = Serve.Cache.audit pc tree in
+  Alcotest.(check bool) "audit over drifted profile" true (hits + misses > 0);
+  (* A second update on top of the first keeps accumulating. *)
+  let epoch2, _ = Serve.Cache.update cache scn ~chunk:[| 0 |] in
+  Alcotest.(check int) "second update" (epoch1 + 1) epoch2
 
 (* ------------------------------------------------------------------ *)
 (* The daemon over a real socket                                      *)
@@ -432,12 +487,14 @@ let test_server_smoke_50 () =
           if List.mem id poison_at then
             Serve.Client.send c
               { Serve.Proto.id; scenario = "die-side 1.0\nnot a scenario [";
-                budget_ms = None; paranoid = false }
+                budget_ms = None; paranoid = false;
+        kind = Serve.Proto.Route }
           else begin
             Serve.Client.send c
               { Serve.Proto.id;
                 scenario = Conformance.Scenario.render scenarios.(!next_scn);
-                budget_ms = None; paranoid = false };
+                budget_ms = None; paranoid = false;
+        kind = Serve.Proto.Route };
             incr next_scn
           end
         done;
@@ -511,7 +568,8 @@ let test_server_backpressure () =
         let text = Conformance.Scenario.render scn in
         for id = 0 to burst - 1 do
           Serve.Client.send c
-            { Serve.Proto.id; scenario = text; budget_ms = None; paranoid = false }
+            { Serve.Proto.id; scenario = text; budget_ms = None; paranoid = false;
+        kind = Serve.Proto.Route }
         done;
         Serve.Client.close_half c;
         let answered = ref 0 and backpressured = ref 0 in
@@ -574,7 +632,8 @@ let test_server_budget_degrades () =
         Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
         Serve.Client.send c
           { Serve.Proto.id = 0; scenario = Conformance.Scenario.render scn;
-            budget_ms = Some 1.0; paranoid = false };
+            budget_ms = Some 1.0; paranoid = false;
+            kind = Serve.Proto.Route };
         match Serve.Client.recv ~timeout_s:300.0 c with
         | Ok (Some r) -> r
         | Ok None -> Alcotest.fail "no response"
@@ -598,7 +657,8 @@ let test_server_zero_budget_rejects () =
         Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
         Serve.Client.send c
           { Serve.Proto.id = 0; scenario = Conformance.Scenario.render scn;
-            budget_ms = Some 0.0; paranoid = false };
+            budget_ms = Some 0.0; paranoid = false;
+            kind = Serve.Proto.Route };
         match Serve.Client.recv ~timeout_s:60.0 c with
         | Ok (Some r) -> r
         | Ok None -> Alcotest.fail "no response"
@@ -660,7 +720,9 @@ let () =
             test_pool_backstop_counts_raises;
         ] );
       ( "cache",
-        [ Alcotest.test_case "warm flag and audit" `Quick test_cache_warm_and_audit ] );
+        [ Alcotest.test_case "warm flag and audit" `Quick test_cache_warm_and_audit;
+          Alcotest.test_case "update advances epoch" `Quick
+            test_cache_update_epoch ] );
       ( "daemon",
         [
           Alcotest.test_case "smoke: 48 ok + 2 poison" `Slow
